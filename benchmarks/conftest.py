@@ -1,0 +1,22 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one of the paper's tables or figures once (the
+experiments are deterministic, so repeated rounds would only re-measure the
+same arithmetic) and records the reproduced series in
+``benchmark.extra_info`` so the JSON output doubles as the data behind
+EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+@pytest.fixture
+def run_once(benchmark):
+    """Run an experiment exactly once under pytest-benchmark timing."""
+
+    def _run(func, *args, **kwargs):
+        return benchmark.pedantic(func, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+    return _run

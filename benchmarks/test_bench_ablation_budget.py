@@ -1,0 +1,56 @@
+"""Ablation benchmark: energy-based budget estimator vs temperature oracle.
+
+Section 7 proposes estimating the remaining sprint budget from dissipated
+energy.  This ablation compares that estimator against an oracle that reads
+the junction temperature directly: the oracle extracts the longest safe
+sprint, and the energy-based scheme should land close without exceeding the
+thermal limit.
+"""
+
+from repro.core.budget import EnergyBudgetEstimator, OracleBudgetEstimator
+from repro.core.config import SystemConfig
+from repro.core.simulation import SprintSimulation
+from repro.workloads.suite import kernel_suite
+
+
+def _run_both_estimators():
+    workload = kernel_suite()["kmeans"].workload("C")
+    config = SystemConfig.small_pcm()
+    simulation = SprintSimulation(config)
+    energy_result = simulation.run(
+        workload, budget=EnergyBudgetEstimator(config.package)
+    )
+    oracle_result = simulation.run(
+        workload, budget=OracleBudgetEstimator(config.package)
+    )
+    baseline = simulation.run_baseline(workload, quantum_s=2e-3)
+    return energy_result, oracle_result, baseline
+
+
+def test_budget_estimator_ablation(run_once, benchmark):
+    """The energy-based estimator is safe and close to the temperature oracle."""
+    energy_result, oracle_result, baseline = run_once(_run_both_estimators)
+
+    # Both estimators keep the junction at or below the limit (plus at most
+    # one quantum of overshoot).
+    assert energy_result.peak_junction_c < 72.0
+    assert oracle_result.peak_junction_c < 72.0
+    # Both truncate the sprint on the constrained package.
+    assert energy_result.sprint_was_truncated
+    assert oracle_result.sprint_was_truncated
+    # The oracle can never do worse than the conservative energy estimate by
+    # a large margin, and the energy estimator keeps most of its benefit.
+    energy_speedup = energy_result.speedup_over(baseline)
+    oracle_speedup = oracle_result.speedup_over(baseline)
+    assert energy_speedup > 1.0
+    assert oracle_speedup > 1.0
+    assert energy_speedup >= 0.5 * oracle_speedup
+
+    benchmark.extra_info["energy_estimator_speedup"] = round(energy_speedup, 2)
+    benchmark.extra_info["oracle_speedup"] = round(oracle_speedup, 2)
+    benchmark.extra_info["energy_sprint_s"] = round(
+        energy_result.sprint_duration_s, 3
+    )
+    benchmark.extra_info["oracle_sprint_s"] = round(
+        oracle_result.sprint_duration_s, 3
+    )

@@ -1,0 +1,78 @@
+"""Ablation benchmark: PCM mass and melting point vs sprint duration.
+
+DESIGN.md Section 5 calls out the PCM design point (60 C melting point, 150
+mg mass) for ablation: how do sprint duration and cooldown change as the
+mass and melting point move?
+"""
+
+from dataclasses import replace
+
+from repro.thermal.materials import GENERIC_PCM
+from repro.thermal.package import FULL_PCM_PACKAGE
+from repro.thermal.transient import max_sprint_duration_s, simulate_sprint_and_cooldown
+
+PCM_MASSES_G = (0.0015, 0.015, 0.150, 0.300)
+MELTING_POINTS_C = (45.0, 55.0, 60.0, 65.0)
+
+
+def _mass_sweep():
+    durations = {}
+    for mass in PCM_MASSES_G:
+        package = FULL_PCM_PACKAGE.with_pcm_mass(mass)
+        durations[mass] = max_sprint_duration_s(package, sprint_power_w=16.0)
+    return durations
+
+
+def _melting_point_sweep():
+    results = {}
+    for melt_c in MELTING_POINTS_C:
+        material = replace(GENERIC_PCM, name=f"pcm-{melt_c:.0f}C", melting_point_c=melt_c)
+        package = replace(FULL_PCM_PACKAGE, pcm_material=material)
+        sprint, cooldown = simulate_sprint_and_cooldown(
+            package, sprint_power_w=16.0, cooldown_s=60.0
+        )
+        results[melt_c] = (
+            sprint.sprint_duration_s,
+            cooldown.time_to_near_ambient_s,
+        )
+    return results
+
+
+def test_pcm_mass_ablation(run_once, benchmark):
+    """More PCM means longer sprints, with diminishing sensitivity below ~10 mg."""
+    durations = run_once(_mass_sweep)
+
+    ordered = [durations[m] for m in PCM_MASSES_G]
+    # Sprint duration grows monotonically with PCM mass.
+    assert all(later >= earlier for earlier, later in zip(ordered, ordered[1:]))
+    # The paper's two design points: ~1 s at 150 mg, much less at 1.5 mg.
+    assert durations[0.150] > 5 * durations[0.0015]
+
+    benchmark.extra_info["sprint_duration_by_mass_g"] = {
+        str(m): round(d, 3) for m, d in durations.items()
+    }
+
+
+def test_pcm_melting_point_ablation(run_once, benchmark):
+    """Higher melting points shorten the margin to Tmax but speed up cooling."""
+    results = run_once(_melting_point_sweep)
+
+    durations = {m: r[0] for m, r in results.items()}
+    cooldowns = {m: r[1] for m, r in results.items()}
+    # Melting points comfortably below Tmax sustain the full ~1 s sprint.
+    assert all(durations[m] > 0.8 for m in (45.0, 55.0, 60.0))
+    # A melting point too close to Tmax starves the junction-to-PCM gradient:
+    # the maximum sprint power drops below 16 W and the sprint ends early.
+    assert durations[65.0] < durations[60.0]
+    # Paper Section 4.5: a higher melting point accelerates cooling
+    # (larger PCM-to-ambient gradient), so cooldown shrinks monotonically.
+    known = [cooldowns[m] for m in MELTING_POINTS_C if cooldowns[m] is not None]
+    assert len(known) >= 3
+    assert all(later <= earlier * 1.05 for earlier, later in zip(known, known[1:]))
+
+    benchmark.extra_info["sprint_duration_by_melt_c"] = {
+        str(m): round(d, 3) for m, d in durations.items()
+    }
+    benchmark.extra_info["cooldown_by_melt_c"] = {
+        str(m): (round(c, 1) if c is not None else None) for m, c in cooldowns.items()
+    }

@@ -1,0 +1,30 @@
+"""Figure 1 benchmark: dark-silicon and power-density projections."""
+
+from repro.experiments import fig01_trends
+
+
+def test_fig01_trends(run_once, benchmark):
+    """Power density grows and dark silicon dominates by the 6 nm node."""
+    result = run_once(fig01_trends.run)
+
+    for series in result.series:
+        # Power density grows monotonically with each generation.
+        assert all(
+            later >= earlier
+            for earlier, later in zip(series.power_density, series.power_density[1:])
+        )
+        # The dark fraction also grows and becomes the majority of the chip.
+        assert series.dark_percent[0] == 0.0
+        assert series.dark_percent[-1] > 50.0
+
+    pessimistic = result.by_scenario("ITRS + Borkar Vdd scaling")
+    optimistic = result.by_scenario("ITRS")
+    # The combined-worst-case curve of the paper is the steepest.
+    assert pessimistic.dark_percent[-1] >= optimistic.dark_percent[-1]
+
+    benchmark.extra_info["dark_percent_at_6nm"] = {
+        s.scenario: round(s.dark_percent[-1], 1) for s in result.series
+    }
+    benchmark.extra_info["power_density_at_6nm"] = {
+        s.scenario: round(s.power_density[-1], 2) for s in result.series
+    }

@@ -1,0 +1,25 @@
+"""Figure 2 benchmark: sustained vs sprint vs PCM-augmented sprint traces."""
+
+from repro.experiments import fig02_modes
+
+
+def test_fig02_execution_modes(run_once, benchmark):
+    """Sprinting compresses the computation and the PCM extends the sprint."""
+    result = run_once(fig02_modes.run)
+
+    # Sprinting finishes the same work much faster than sustained execution.
+    assert result.sprint_speedup > 5.0
+    # The PCM-augmented sprint is at least as fast as the bare sprint.
+    assert result.pcm_extends_sprint
+    # All three runs retire the same cumulative computation.
+    sustained_work = result.sustained.cumulative_instructions[-1]
+    pcm_work = result.sprint_with_pcm.cumulative_instructions[-1]
+    assert abs(sustained_work - pcm_work) / sustained_work < 0.05
+    # The sprint activates many cores; sustained execution uses one.
+    assert result.sprint_with_pcm.active_cores.max() > result.sustained.active_cores.max()
+
+    benchmark.extra_info["sprint_speedup"] = round(result.sprint_speedup, 2)
+    benchmark.extra_info["sustained_time_s"] = round(result.sustained.total_time_s, 3)
+    benchmark.extra_info["sprint_time_s"] = round(
+        result.sprint_with_pcm.total_time_s, 3
+    )

@@ -1,0 +1,24 @@
+"""Figure 4 benchmark: sprint-initiation and cooldown thermal transients."""
+
+from repro.experiments import fig04_thermal
+
+
+def test_fig04_sprint_and_cooldown(run_once, benchmark):
+    """A 16 W sprint lasts ~1 s with a long melt plateau, then cools in tens of seconds."""
+    result = run_once(fig04_thermal.run)
+
+    # Paper: the sprint is sustainable for "a little over 1 s".
+    assert 0.8 <= result.max_sprint_duration_s <= 2.0
+    # Paper: the junction plateaus for ~0.95 s while the PCM melts.
+    assert 0.6 <= result.melt_plateau_s <= 1.5
+    # The junction never exceeds the 70 C limit.
+    assert result.sprint.trace.peak_junction_c <= 70.5
+    # Paper: cooldown to near ambient takes on the order of 24 s.
+    assert result.cooldown_to_ambient_s is not None
+    assert 8.0 <= result.cooldown_to_ambient_s <= 40.0
+    # The paper's rule of thumb (duration x power/TDP) is the right order.
+    assert result.paper_cooldown_rule_s > result.max_sprint_duration_s * 5
+
+    benchmark.extra_info["sprint_duration_s"] = round(result.max_sprint_duration_s, 2)
+    benchmark.extra_info["melt_plateau_s"] = round(result.melt_plateau_s, 2)
+    benchmark.extra_info["cooldown_s"] = round(result.cooldown_to_ambient_s, 1)

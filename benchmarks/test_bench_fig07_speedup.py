@@ -1,0 +1,37 @@
+"""Figure 7 benchmark: 16-core parallel sprint vs DVFS sprint, both PCM sizes."""
+
+from repro.experiments import fig07_speedup
+
+
+def test_fig07_parallel_vs_dvfs_sprinting(run_once, benchmark):
+    """Parallel sprinting delivers order-of-magnitude responsiveness; DVFS cannot."""
+    result = run_once(fig07_speedup.run)
+
+    # Paper headline: ~10.2x average speedup with the full 150 mg PCM.
+    assert 7.0 <= result.average_parallel_full_pcm <= 14.0
+    # The constrained 1.5 mg design truncates sprints and loses speedup.
+    assert result.average_parallel_small_pcm < result.average_parallel_full_pcm
+    # DVFS sprinting is capped near the cube-root bound (~2.5x), far below parallel.
+    assert result.average_dvfs_full_pcm < 3.0
+    assert result.average_parallel_full_pcm > 3.0 * result.average_dvfs_full_pcm
+
+    for row in result.rows:
+        # Every kernel benefits from parallel sprinting.
+        assert row.parallel_full_pcm > 2.0
+        # The small-PCM configuration never beats the full one.
+        assert row.parallel_small_pcm <= row.parallel_full_pcm * 1.05
+        # DVFS can never exceed its analytic bound by more than noise.
+        assert row.dvfs_full_pcm <= row.dvfs_ideal_bound * 1.1
+
+    benchmark.extra_info["parallel_150mg"] = {
+        r.kernel: round(r.parallel_full_pcm, 1) for r in result.rows
+    }
+    benchmark.extra_info["parallel_1.5mg"] = {
+        r.kernel: round(r.parallel_small_pcm, 1) for r in result.rows
+    }
+    benchmark.extra_info["dvfs_150mg"] = {
+        r.kernel: round(r.dvfs_full_pcm, 1) for r in result.rows
+    }
+    benchmark.extra_info["average_parallel_150mg"] = round(
+        result.average_parallel_full_pcm, 2
+    )

@@ -1,0 +1,30 @@
+"""Figure 8 benchmark: sobel speedup versus input size."""
+
+from repro.experiments import fig08_sobel
+
+#: A reduced sweep (the paper's x-axis spans 2-12 MP) keeps the bench quick.
+MEGAPIXELS = (1.0, 2.0, 4.0, 8.0, 12.0)
+
+
+def test_fig08_sobel_input_scaling(run_once, benchmark):
+    """Full PCM sustains 16-core speedup at every size; 1.5 mg falls away."""
+    result = run_once(fig08_sobel.run, megapixels=MEGAPIXELS)
+
+    # Paper: with the fully sized PCM the sprint covers every resolution.
+    assert result.full_pcm_sustains_all_sizes
+    assert min(p.parallel_full_pcm for p in result.points) > 8.0
+    # Paper: the artificially limited design drops off as the image grows.
+    assert result.small_pcm_drops_off
+    assert result.points[-1].small_pcm_truncated
+    # DVFS sprinting with 1.5 mg exhausts even sooner than parallel sprinting.
+    assert result.points[-1].dvfs_small_pcm < result.points[-1].parallel_small_pcm
+
+    benchmark.extra_info["parallel_150mg"] = {
+        p.megapixels: round(p.parallel_full_pcm, 1) for p in result.points
+    }
+    benchmark.extra_info["parallel_1.5mg"] = {
+        p.megapixels: round(p.parallel_small_pcm, 1) for p in result.points
+    }
+    benchmark.extra_info["dvfs_1.5mg"] = {
+        p.megapixels: round(p.dvfs_small_pcm, 1) for p in result.points
+    }

@@ -1,0 +1,34 @@
+"""Figure 9 benchmark: 16-core speedup across input classes A-D."""
+
+from repro.experiments import fig09_inputs
+
+
+def test_fig09_input_size_classes(run_once, benchmark):
+    """Bigger inputs speed up at least as well but need more thermal capacitance."""
+    result = run_once(fig09_inputs.run)
+
+    kernels = {p.kernel for p in result.points}
+    assert kernels == {"sobel", "feature", "kmeans", "disparity", "texture", "segment"}
+
+    for kernel in sorted(kernels):
+        series = result.kernel_series(kernel)
+        # Figure 9 plots at least three input classes per kernel.
+        assert len(series) >= 3
+        # Full-PCM speedup does not collapse for larger inputs.
+        assert result.speedup_grows_with_input(kernel)
+        # The constrained design never beats the fully provisioned one.
+        for point in series:
+            assert point.parallel_small_pcm <= point.parallel_full_pcm * 1.05
+
+    # The largest inputs of the heavier kernels truncate the 1.5 mg sprint.
+    truncated = [p for p in result.points if p.small_pcm_truncated]
+    assert len(truncated) >= 4
+
+    benchmark.extra_info["full_pcm"] = {
+        f"{p.kernel}-{p.input_label}": round(p.parallel_full_pcm, 1)
+        for p in result.points
+    }
+    benchmark.extra_info["small_pcm"] = {
+        f"{p.kernel}-{p.input_label}": round(p.parallel_small_pcm, 1)
+        for p in result.points
+    }

@@ -1,0 +1,37 @@
+"""Figure 10 benchmark: speedup versus sprint core count (1/4/16/64)."""
+
+from repro.experiments import fig10_cores
+
+
+def test_fig10_core_count_scaling(run_once, benchmark):
+    """kmeans/sobel scale to 64 cores; others hit parallelism or bandwidth walls."""
+    result = run_once(fig10_cores.run)
+
+    for row in result.rows:
+        # Speedup is monotonically non-decreasing in core count.
+        assert all(
+            later >= earlier * 0.95
+            for earlier, later in zip(row.speedups, row.speedups[1:])
+        )
+        # Fewer cores extract a higher fraction of peak throughput.
+        assert row.speedup_at(4) >= 2.0
+
+    # Paper: kmeans and sobel continue to scale well all the way to 64 cores.
+    assert result.by_kernel("kmeans").scales_to_max_cores
+    assert result.by_kernel("sobel").scales_to_max_cores
+    # Paper: segment and texture are limited by available parallelism.
+    assert result.by_kernel("segment").speedup_at(64) < 12.0
+    assert result.by_kernel("texture").speedup_at(64) < 14.0
+    # Paper: feature and disparity are limited by memory bandwidth, and
+    # doubling the per-channel bandwidth lifts both substantially.
+    for name in ("feature", "disparity"):
+        row = result.by_kernel(name)
+        assert row.speedup_at(64) < result.by_kernel("sobel").speedup_at(64)
+        assert row.speedup_max_cores_2x_bandwidth > 1.2 * row.speedup_at(64)
+
+    benchmark.extra_info["speedups"] = {
+        row.kernel: [round(s, 1) for s in row.speedups] for row in result.rows
+    }
+    benchmark.extra_info["speedup_64_2x_bandwidth"] = {
+        row.kernel: round(row.speedup_max_cores_2x_bandwidth, 1) for row in result.rows
+    }

@@ -1,0 +1,31 @@
+"""Figure 11 benchmark: normalised dynamic energy versus core count."""
+
+from repro.experiments import fig11_energy
+
+
+def test_fig11_dynamic_energy(run_once, benchmark):
+    """Parallel sprinting is near energy-neutral at 16 cores; DVFS costs ~6x."""
+    result = run_once(fig11_energy.run)
+
+    # Paper: on 16 cores the average overhead is ~12%.
+    assert result.average_overhead_at(16) < 1.25
+    # Paper: overheads grow beyond 16 cores, up to ~1.8x at 64.
+    assert result.average_overhead_at(64) > result.average_overhead_at(16)
+    assert max(row.energy_at(64) for row in result.rows) <= 2.5
+
+    for row in result.rows:
+        # Energy in the linear-scaling regime matches single-core energy.
+        assert 0.95 <= row.energy_at(4) <= 1.15
+        # Paper Section 8.6: voltage boosting costs roughly 6x more energy.
+        assert 4.0 <= row.dvfs_energy_ratio <= 8.0
+
+    # At least four of the six kernels stay within ~10% at 16 cores.
+    within_ten_percent = [row for row in result.rows if row.energy_at(16) <= 1.12]
+    assert len(within_ten_percent) >= 4
+
+    benchmark.extra_info["normalized_energy"] = {
+        row.kernel: [round(e, 2) for e in row.normalized_energy] for row in result.rows
+    }
+    benchmark.extra_info["dvfs_energy_ratio"] = {
+        row.kernel: round(row.dvfs_energy_ratio, 1) for row in result.rows
+    }

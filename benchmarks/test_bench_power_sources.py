@@ -1,0 +1,25 @@
+"""Section 6 benchmark: power-source feasibility for 16 x 1 W sprints."""
+
+from repro.experiments import sec6_sources
+
+
+def test_sec6_power_sources(run_once, benchmark):
+    """Phone Li-ion falls short; Li-polymer, ultracap and hybrid sources suffice."""
+    result = run_once(sec6_sources.run)
+
+    # Paper: a representative phone battery (~10 W burst) cannot power 16 cores.
+    assert not result.phone_battery_sufficient
+    phone = result.by_name("phone-li-ion")
+    assert phone.max_cores < 16
+    # High-discharge Li-polymer and the ultracapacitor can.
+    assert "li-polymer-high-discharge" in result.feasible_sources
+    assert "nesscap-25f" in result.feasible_sources
+    # The battery+ultracapacitor hybrid the paper advocates also works.
+    assert any("ultracap" in name for name in result.feasible_sources)
+    # Paper: ~320 power/ground pins for 16 A at 1 V and 100 mA per pin pair.
+    assert 300 <= result.pins_for_sprint_current <= 340
+
+    benchmark.extra_info["max_cores"] = {
+        a.source_name: a.max_cores for a in result.assessments
+    }
+    benchmark.extra_info["pins_required"] = result.pins_for_sprint_current

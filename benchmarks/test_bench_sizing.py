@@ -1,0 +1,32 @@
+"""Sections 4.1-4.3 benchmark: heat-store sizing and heat flux."""
+
+from repro.experiments import sec4_sizing
+
+
+def test_sec4_heat_store_sizing(run_once, benchmark):
+    """The sizing calculations reproduce the paper's design numbers."""
+    result = run_once(sec4_sizing.run)
+
+    # 16 joules for a 16 W, 1 s sprint.
+    assert result.sprint_heat_j == 16.0
+    # Section 4.1: 7.2 mm of copper or 10.3 mm of aluminium for a 10 C rise.
+    assert result.within_percent(result.copper_thickness_mm, result.paper_copper_mm)
+    assert result.within_percent(
+        result.aluminium_thickness_mm, result.paper_aluminium_mm
+    )
+    # Section 4.2: ~150 mg / ~2.3 mm of PCM at 100 J/g.
+    assert result.within_percent(result.pcm_mass_g, result.paper_pcm_mass_g)
+    assert result.within_percent(
+        result.pcm_thickness_mm, result.paper_pcm_thickness_mm, tolerance=20.0
+    )
+    # Section 4.3: 25 W/cm^2 peak heat flux.
+    assert abs(result.peak_heat_flux_w_cm2 - 25.0) < 0.5
+    # Aluminium stores less heat per volume, so it must be thicker than copper.
+    assert result.aluminium_thickness_mm > result.copper_thickness_mm
+    # The PCM achieves the same storage in a far thinner layer.
+    assert result.pcm_thickness_mm < 0.5 * result.copper_thickness_mm
+
+    benchmark.extra_info["copper_mm"] = round(result.copper_thickness_mm, 2)
+    benchmark.extra_info["aluminium_mm"] = round(result.aluminium_thickness_mm, 2)
+    benchmark.extra_info["pcm_mass_g"] = round(result.pcm_mass_g, 3)
+    benchmark.extra_info["heat_flux_w_cm2"] = round(result.peak_heat_flux_w_cm2, 1)

@@ -1,0 +1,30 @@
+"""Table 1 benchmark: the six-kernel workload suite."""
+
+from repro.experiments import table1_kernels
+
+
+def test_table1_kernel_suite(run_once, benchmark):
+    """All six kernels characterise to multi-second single-core tasks."""
+    result = run_once(table1_kernels.run)
+
+    assert result.names == (
+        "sobel",
+        "feature",
+        "kmeans",
+        "disparity",
+        "texture",
+        "segment",
+    )
+    for row in result.rows:
+        # Tasks are in the "seconds on one core" regime the paper targets.
+        assert 0.5 <= row.single_core_estimate_s <= 20.0
+        assert 0.0 < row.memory_fraction < 0.8
+        assert 0.9 <= row.parallel_fraction <= 1.0
+        assert row.max_parallelism >= 8
+
+    benchmark.extra_info["single_core_seconds"] = {
+        row.name: round(row.single_core_estimate_s, 2) for row in result.rows
+    }
+    benchmark.extra_info["instructions_millions"] = {
+        row.name: round(row.total_instructions / 1e6) for row in result.rows
+    }

@@ -1,0 +1,53 @@
+"""Bursty task streams: how often can the device sprint?
+
+Sprinting moves thermal budget from idle periods into bursts, so it only
+helps workloads that *have* idle periods: once the sprint capacity is spent
+the package must cool at its sustainable power before the next task can
+sprint again.  This example uses :class:`repro.core.pacing.SprintPacer` to
+ask, for the paper's platform and a five-second (single-core) task:
+
+* what is the minimum spacing between tasks that keeps every task sprintable,
+* how responsiveness degrades as tasks arrive faster than that,
+* how the two PCM design points (150 mg vs 1.5 mg) differ in the arrival
+  rates they can absorb.
+
+Run with::
+
+    python examples/bursty_workload.py
+"""
+
+from __future__ import annotations
+
+from repro import SprintPacer, SystemConfig
+
+TASK_SUSTAINED_S = 5.0
+SPRINT_SPEEDUP = 10.0
+TASKS = 20
+
+
+def arrival_sweep(label: str, config: SystemConfig) -> None:
+    pacer = SprintPacer(config, sprint_speedup=SPRINT_SPEEDUP)
+    minimum = pacer.minimum_interarrival_s(TASK_SUSTAINED_S)
+    print(f"-- {label}: sprint budget {pacer.capacity_j:.1f} J, "
+          f"minimum spacing for back-to-back sprints {minimum:.1f} s --")
+    print(f"{'spacing':>9} {'sprinting tasks':>16} {'avg response':>13} {'worst response':>15}")
+    for spacing in (0.75, 2.0, 5.0, 10.0, minimum, 1.5 * minimum):
+        summary = pacer.simulate_periodic(spacing, TASK_SUSTAINED_S, TASKS)
+        print(
+            f"{spacing:8.1f}s {summary.sprint_fraction * 100:15.0f}% "
+            f"{summary.average_response_s:12.2f}s {summary.worst_response_s:14.2f}s"
+        )
+    print()
+
+
+def main() -> None:
+    print(
+        f"task: {TASK_SUSTAINED_S:.0f} s sustained, {SPRINT_SPEEDUP:.0f}x sprint speedup, "
+        f"{TASKS} periodic arrivals\n"
+    )
+    arrival_sweep("paper design (150 mg PCM)", SystemConfig.paper_default())
+    arrival_sweep("constrained design (1.5 mg PCM)", SystemConfig.small_pcm())
+
+
+if __name__ == "__main__":
+    main()

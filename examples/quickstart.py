@@ -1,0 +1,63 @@
+"""Quickstart: sprint one vision task and compare it against the baselines.
+
+Runs the sobel edge-detection workload three ways on the paper's default
+platform (16 cores, 1 W sustainable, 150 mg of phase change material):
+
+* sustained single-core execution (the non-sprinting baseline),
+* a 16-core parallel sprint,
+* a single-core DVFS sprint using the same 16x power headroom,
+
+then prints the responsiveness and energy comparison of Figure 7 for this
+one workload, plus the thermal story (peak temperature, sprint duration,
+time to cool back down).
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro import SprintSimulation, SystemConfig
+from repro.workloads import kernel_suite
+
+
+def main() -> None:
+    config = SystemConfig.paper_default()
+    simulation = SprintSimulation(config)
+    workload = kernel_suite()["sobel"].workload("B")
+
+    print(f"platform: {config.machine.n_cores} cores, "
+          f"TDP {config.sustainable_power_w:.1f} W, "
+          f"sprint {config.sprint_power_w:.0f} W, "
+          f"PCM {config.package.pcm_mass_g * 1000:.0f} mg")
+    print(f"workload: {workload.name} ({workload.input_label}), "
+          f"{workload.total_instructions / 1e9:.1f} G instructions\n")
+
+    baseline = simulation.run_baseline(workload)
+    sprint = simulation.run(workload)
+    dvfs = simulation.run_dvfs_sprint(workload)
+
+    rows = [
+        ("sustained single core", baseline),
+        ("16-core parallel sprint", sprint),
+        ("DVFS sprint (2.5x boost)", dvfs),
+    ]
+    print(f"{'configuration':<28} {'time':>8} {'speedup':>8} {'energy':>8} {'peak T':>8}")
+    for label, result in rows:
+        print(
+            f"{label:<28} {result.total_time_s:7.2f}s "
+            f"{result.speedup_over(baseline):7.1f}x "
+            f"{result.total_energy_j:7.2f}J "
+            f"{result.peak_junction_c:6.1f}C"
+        )
+
+    cooldown = simulation.cooldown_after(sprint)
+    print(f"\nsprint lasted {sprint.sprint_duration_s:.2f}s "
+          f"({sprint.sprint_completion_fraction * 100:.0f}% of the task inside the sprint)")
+    if cooldown.time_to_near_ambient_s is not None:
+        print(f"cooldown to near ambient: {cooldown.time_to_near_ambient_s:.1f}s")
+
+
+if __name__ == "__main__":
+    main()

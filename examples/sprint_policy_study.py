@@ -1,0 +1,88 @@
+"""Sprint-policy study: intensity, termination and budget estimation.
+
+The runtime of Section 7 has several knobs: how many cores to wake, what to
+do when the thermal budget runs out (migrate threads to one core or let the
+hardware throttle the clock), and how to estimate the remaining budget
+(from dissipated energy, as the paper proposes, or from an oracle that
+reads the junction temperature).  This example exercises all three on a
+workload large enough to exhaust the constrained 1.5 mg package.
+
+Run with::
+
+    python examples/sprint_policy_study.py
+"""
+
+from __future__ import annotations
+
+from repro import SprintSimulation, SystemConfig
+from repro.core.budget import EnergyBudgetEstimator, OracleBudgetEstimator
+from repro.core.modes import TerminationAction
+from repro.workloads import kernel_suite
+
+SPRINT_CORE_COUNTS = (2, 4, 8, 16)
+
+
+def sprint_intensity_sweep() -> None:
+    """How does responsiveness change with the number of sprinting cores?"""
+    workload = kernel_suite()["kmeans"].workload("B")
+    print("-- sprint intensity (150 mg PCM, kmeans B) --")
+    base_config = SystemConfig.paper_default()
+    baseline = SprintSimulation(base_config).run_baseline(workload, quantum_s=2e-3)
+    print(f"{'cores':>6} {'time':>8} {'speedup':>8} {'peak T':>8} {'truncated':>10}")
+    for cores in SPRINT_CORE_COUNTS:
+        config = base_config.with_sprint_cores(cores)
+        result = SprintSimulation(config).run(workload)
+        print(
+            f"{cores:6d} {result.total_time_s:7.2f}s "
+            f"{result.speedup_over(baseline):7.1f}x {result.peak_junction_c:7.1f}C "
+            f"{'yes' if result.sprint_was_truncated else 'no':>10}"
+        )
+    print()
+
+
+def termination_policy_comparison() -> None:
+    """Migrate-to-one-core versus hardware frequency throttle."""
+    workload = kernel_suite()["kmeans"].workload("C")
+    print("-- termination policy (1.5 mg PCM, kmeans C) --")
+    base_config = SystemConfig.small_pcm()
+    baseline = SprintSimulation(base_config).run_baseline(workload, quantum_s=2e-3)
+    for action in TerminationAction:
+        config = base_config.with_policy(base_config.policy.with_termination(action))
+        result = SprintSimulation(config).run(workload)
+        print(
+            f"{action.value:>10}: {result.total_time_s:6.2f}s "
+            f"({result.speedup_over(baseline):.1f}x), sprint covered "
+            f"{result.sprint_completion_fraction * 100:.0f}% of the work, "
+            f"peak {result.peak_junction_c:.1f}C"
+        )
+    print()
+
+
+def budget_estimator_comparison() -> None:
+    """Energy-based budget accounting versus a temperature oracle."""
+    workload = kernel_suite()["kmeans"].workload("C")
+    print("-- budget estimator (1.5 mg PCM, kmeans C) --")
+    config = SystemConfig.small_pcm()
+    simulation = SprintSimulation(config)
+    baseline = simulation.run_baseline(workload, quantum_s=2e-3)
+    estimators = {
+        "energy-based (paper)": EnergyBudgetEstimator(config.package),
+        "temperature oracle": OracleBudgetEstimator(config.package),
+    }
+    for label, estimator in estimators.items():
+        result = simulation.run(workload, budget=estimator)
+        print(
+            f"{label:>22}: sprint {result.sprint_duration_s:5.2f}s, "
+            f"speedup {result.speedup_over(baseline):.1f}x, "
+            f"peak {result.peak_junction_c:.1f}C"
+        )
+
+
+def main() -> None:
+    sprint_intensity_sweep()
+    termination_policy_comparison()
+    budget_estimator_comparison()
+
+
+if __name__ == "__main__":
+    main()

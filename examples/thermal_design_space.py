@@ -1,0 +1,91 @@
+"""Thermal design-space exploration for a sprint-enabled package.
+
+Section 4 of the paper sizes the heat store (copper vs aluminium vs phase
+change material), picks a melting point between the sustained operating
+temperature and the junction limit, and checks the resulting sprint
+duration and cooldown.  This example walks that design space:
+
+1. compares candidate heat stores for a 16 J sprint,
+2. sweeps PCM mass and reports the sprint duration and cooldown of each,
+3. sweeps the PCM melting point to show the duration/cooldown trade-off,
+4. checks the electrical side: activation ramp and power-source feasibility.
+
+Run with::
+
+    python examples/thermal_design_space.py
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.experiments import fig06_activation, sec4_sizing, sec6_sources
+from repro.thermal.materials import GENERIC_PCM
+from repro.thermal.package import FULL_PCM_PACKAGE
+from repro.thermal.transient import simulate_sprint_and_cooldown
+
+PCM_MASSES_G = (0.0015, 0.050, 0.150, 0.300)
+MELTING_POINTS_C = (45.0, 55.0, 60.0, 65.0)
+SPRINT_POWER_W = 16.0
+
+
+def heat_store_comparison() -> None:
+    print("-- Section 4.1/4.2: sizing the heat store for a 16 J sprint --")
+    print(sec4_sizing.format_table(sec4_sizing.run()))
+    print()
+
+
+def pcm_mass_sweep() -> None:
+    print("-- PCM mass vs sprint duration and cooldown (16 W sprint) --")
+    print(f"{'mass':>8} {'sprint':>9} {'cooldown':>9}")
+    for mass in PCM_MASSES_G:
+        package = FULL_PCM_PACKAGE.with_pcm_mass(mass)
+        sprint, cooldown = simulate_sprint_and_cooldown(
+            package, SPRINT_POWER_W, cooldown_s=60.0
+        )
+        cool = (
+            f"{cooldown.time_to_near_ambient_s:8.1f}s"
+            if cooldown.time_to_near_ambient_s is not None
+            else "    >60s"
+        )
+        print(f"{mass * 1000:6.1f}mg {sprint.sprint_duration_s:8.2f}s {cool}")
+    print()
+
+
+def melting_point_sweep() -> None:
+    print("-- PCM melting point vs sprint duration and cooldown --")
+    print(f"{'T_melt':>8} {'max sprint power':>17} {'sprint':>9} {'cooldown':>9}")
+    for melt_c in MELTING_POINTS_C:
+        material = replace(GENERIC_PCM, name=f"pcm-{melt_c:.0f}", melting_point_c=melt_c)
+        package = replace(FULL_PCM_PACKAGE, pcm_material=material)
+        sprint, cooldown = simulate_sprint_and_cooldown(
+            package, SPRINT_POWER_W, cooldown_s=60.0
+        )
+        cool = (
+            f"{cooldown.time_to_near_ambient_s:8.1f}s"
+            if cooldown.time_to_near_ambient_s is not None
+            else "    >60s"
+        )
+        print(
+            f"{melt_c:6.0f}C {package.max_sprint_power_w:16.1f}W "
+            f"{sprint.sprint_duration_s:8.2f}s {cool}"
+        )
+    print()
+
+
+def electrical_checks() -> None:
+    print("-- Section 5/6: activation ramp and power source --")
+    print(fig06_activation.format_table(fig06_activation.run()))
+    print()
+    print(sec6_sources.format_table(sec6_sources.run()))
+
+
+def main() -> None:
+    heat_store_comparison()
+    pcm_mass_sweep()
+    melting_point_sweep()
+    electrical_checks()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,56 @@
+"""repro: a reproduction of "Computational Sprinting" (HPCA 2012).
+
+The library couples four substrates -- a thermal RC network with phase
+change material storage, an RLC power-delivery model, an energy model, and
+a many-core performance simulator -- under a sprint runtime that activates
+dark-silicon cores for sub-second bursts and accounts for the thermal budget
+they consume.
+
+Quick start::
+
+    from repro import SprintSimulation, SystemConfig
+    from repro.workloads import kernel_suite
+
+    sim = SprintSimulation(SystemConfig.paper_default())
+    workload = kernel_suite()["sobel"].workload("B")
+    sprint = sim.run(workload)
+    baseline = sim.run_baseline(workload)
+    print(sprint.speedup_over(baseline))
+
+See README.md for the architecture overview and DESIGN.md for the mapping
+between the paper's figures/tables and the modules that regenerate them.
+
+The most commonly used classes are re-exported lazily at the top level so
+that ``import repro`` stays cheap and subpackages (``repro.thermal``,
+``repro.power``, ...) can be used independently.
+"""
+
+from importlib import import_module
+from typing import Any
+
+__version__ = "1.0.0"
+
+#: Top-level names re-exported from repro.core on first access.
+_CORE_EXPORTS = {
+    "ExecutionMode",
+    "SprintController",
+    "SprintMetrics",
+    "SprintMode",
+    "SprintPacer",
+    "SprintPolicy",
+    "SprintResult",
+    "SprintSimulation",
+    "SystemConfig",
+}
+
+__all__ = sorted(_CORE_EXPORTS | {"__version__"})
+
+
+def __getattr__(name: str) -> Any:
+    if name in _CORE_EXPORTS:
+        return getattr(import_module("repro.core"), name)
+    raise AttributeError(f"module 'repro' has no attribute {name!r}")
+
+
+def __dir__() -> list[str]:
+    return __all__

@@ -1,0 +1,62 @@
+"""Architectural substrate: the many-core performance simulator of Section 8.1.
+
+The paper evaluates sprinting on an instruction-level simulator of a
+cache-coherent many-core with in-order cores (CPI of one plus cache miss
+penalties), private 32 KB L1 caches, a shared 4 MB last-level cache with a
+20-cycle hit latency, and a dual-channel memory interface with 4 GB/s
+channels and 60 ns uncontended latency.  This package reproduces that
+machine as a quantum-based analytic simulator:
+
+* :mod:`repro.arch.cache` — cache geometry and capacity/sharing effects on
+  miss rates,
+* :mod:`repro.arch.memory` — the dual-channel DRAM interface with bandwidth
+  contention,
+* :mod:`repro.arch.coherence` — directory-protocol traffic for shared lines,
+* :mod:`repro.arch.core` — the in-order core timing model,
+* :mod:`repro.arch.machine` — the full machine configuration,
+* :mod:`repro.arch.scheduler` — thread placement, migration and PAUSE/sleep,
+* :mod:`repro.arch.simulator` — the execution engine that retires a
+  :class:`~repro.workloads.descriptor.WorkloadDescriptor` quantum by quantum
+  and reports per-quantum instruction and energy samples for the thermal
+  coupling.
+"""
+
+from repro.arch.cache import CacheConfig, CacheHierarchy, MissRates
+from repro.arch.coherence import CoherenceConfig, DirectoryProtocol
+from repro.arch.core import CoreTimingModel, CyclesBreakdown
+from repro.arch.machine import PAPER_MACHINE, MachineConfig
+from repro.arch.memory import MemoryConfig, MemorySystem
+from repro.arch.scheduler import (
+    MigrationModel,
+    ThreadScheduler,
+    ThreadState,
+)
+from repro.arch.simulator import (
+    ExecutionEngine,
+    ExecutionTrace,
+    ManyCoreSimulator,
+    QuantumSample,
+    RunResult,
+)
+
+__all__ = [
+    "CacheConfig",
+    "CacheHierarchy",
+    "CoherenceConfig",
+    "CoreTimingModel",
+    "CyclesBreakdown",
+    "DirectoryProtocol",
+    "ExecutionEngine",
+    "ExecutionTrace",
+    "MachineConfig",
+    "ManyCoreSimulator",
+    "MemoryConfig",
+    "MemorySystem",
+    "MigrationModel",
+    "MissRates",
+    "PAPER_MACHINE",
+    "QuantumSample",
+    "RunResult",
+    "ThreadScheduler",
+    "ThreadState",
+]

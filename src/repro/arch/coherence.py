@@ -1,0 +1,82 @@
+"""Directory-based cache coherence traffic model.
+
+The paper's machine uses a standard invalidation-based coherence protocol
+with the directory co-located with the last-level cache (Section 8.1).
+Coherence does not change the headline results much (the kernels are mostly
+data-parallel with little sharing), but it does add latency to the fraction
+of misses caused by communication, and that cost grows mildly with the
+number of sharers.  This module captures that effect.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class CoherenceConfig:
+    """Cost parameters of the invalidation-based directory protocol."""
+
+    #: Cycles to consult the directory (co-located with the L2, so about an
+    #: L2 hit worth of latency).
+    directory_lookup_cycles: int = 20
+    #: Cycles for a cache-to-cache transfer once the owner is known.
+    forward_latency_cycles: int = 25
+    #: Extra cycles per additional sharer that must be invalidated on a write
+    #: to a shared line.
+    invalidation_cycles_per_sharer: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.directory_lookup_cycles < 0:
+            raise ValueError("directory lookup cycles must be non-negative")
+        if self.forward_latency_cycles < 0:
+            raise ValueError("forward latency must be non-negative")
+        if self.invalidation_cycles_per_sharer < 0:
+            raise ValueError("invalidation cost must be non-negative")
+
+
+class DirectoryProtocol:
+    """Latency of coherence misses under the directory protocol."""
+
+    def __init__(self, config: CoherenceConfig | None = None) -> None:
+        self.config = config or CoherenceConfig()
+
+    def coherence_miss_cycles(self, sharers: int) -> float:
+        """Average latency of a miss served by another core's cache.
+
+        A coherence miss consults the directory, forwards the request to the
+        owner, and (for upgrades) invalidates the remaining sharers.  With a
+        single core there can be no coherence misses, so the cost is zero.
+        """
+        if sharers < 1:
+            raise ValueError("sharers must be at least 1")
+        if sharers == 1:
+            return 0.0
+        cfg = self.config
+        invalidations = cfg.invalidation_cycles_per_sharer * (sharers - 1)
+        return cfg.directory_lookup_cycles + cfg.forward_latency_cycles + invalidations
+
+    def effective_coherence_fraction(
+        self, base_fraction: float, sharers: int
+    ) -> float:
+        """Fraction of L1 misses that are coherence misses at ``sharers`` cores.
+
+        With one core there is no communication.  The fraction grows with
+        the logarithm of the sharer count (boundary sharing between adjacent
+        tiles grows slowly relative to the partitioned data volume) and is
+        capped at three times the workload's intrinsic value.
+        """
+        if not 0.0 <= base_fraction <= 1.0:
+            raise ValueError("base coherence fraction must be in [0, 1]")
+        if sharers < 1:
+            raise ValueError("sharers must be at least 1")
+        if sharers == 1 or base_fraction == 0.0:
+            return 0.0
+        import math
+
+        growth = 1.0 + math.log2(sharers) / 4.0
+        return min(1.0, min(3.0 * base_fraction, base_fraction * growth))
+
+
+#: Default protocol parameters used by the paper machine.
+PAPER_COHERENCE = CoherenceConfig()

@@ -1,0 +1,66 @@
+"""Full machine configuration for the many-core sprinting chip.
+
+Bundles the cache hierarchy, memory system, coherence protocol, core count
+and nominal operating point into one object so that the execution engine,
+the sprint runtime and the experiment harnesses all agree on the machine
+they are simulating.  :data:`PAPER_MACHINE` is the configuration of Section
+8.1: 16 in-order 1 GHz cores, 32 KB private L1s, a shared 4 MB L2, and a
+dual-channel 4 GB/s-per-channel memory interface.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.arch.cache import CacheHierarchy, PAPER_HIERARCHY
+from repro.arch.coherence import CoherenceConfig, PAPER_COHERENCE
+from repro.arch.core import CoreTimingModel
+from repro.arch.memory import MemoryConfig, PAPER_MEMORY
+from repro.energy.dvfs import DvfsModel, OperatingPoint, PAPER_DVFS
+
+
+@dataclass(frozen=True)
+class MachineConfig:
+    """Static description of the simulated chip."""
+
+    n_cores: int = 16
+    nominal: OperatingPoint = field(
+        default_factory=lambda: OperatingPoint(frequency_hz=1e9, voltage_v=1.0)
+    )
+    hierarchy: CacheHierarchy = PAPER_HIERARCHY
+    memory: MemoryConfig = PAPER_MEMORY
+    coherence: CoherenceConfig = PAPER_COHERENCE
+    dvfs: DvfsModel = PAPER_DVFS
+    base_cpi: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.n_cores <= 0:
+            raise ValueError("core count must be positive")
+        if self.base_cpi <= 0:
+            raise ValueError("base CPI must be positive")
+
+    @property
+    def frequency_hz(self) -> float:
+        """Nominal core clock frequency."""
+        return self.nominal.frequency_hz
+
+    def timing_model(self) -> CoreTimingModel:
+        """Core timing model consistent with this machine."""
+        return CoreTimingModel(hierarchy=self.hierarchy, base_cpi=self.base_cpi)
+
+    def with_cores(self, n_cores: int) -> "MachineConfig":
+        """Copy of this machine with a different core count (Figure 10)."""
+        return replace(self, n_cores=n_cores)
+
+    def with_memory_bandwidth_scale(self, factor: float) -> "MachineConfig":
+        """Copy with scaled memory bandwidth (Section 8.5's 2x study)."""
+        return replace(self, memory=self.memory.with_bandwidth_scale(factor))
+
+    def with_frequency(self, frequency_hz: float) -> "MachineConfig":
+        """Copy running at a different nominal frequency (DVFS sprints)."""
+        point = self.dvfs.operating_point(frequency_hz)
+        return replace(self, nominal=point)
+
+
+#: The evaluation machine of Section 8.1.
+PAPER_MACHINE = MachineConfig()

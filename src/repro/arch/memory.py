@@ -1,0 +1,140 @@
+"""Off-chip memory system: dual-channel DRAM with bandwidth contention.
+
+Section 8.1 gives the machine a dual-channel memory interface with 4 GB/s
+per channel and an uncontended 60 ns round-trip latency.  Sections 8.5 and
+8.6 show that two of the six kernels (feature and disparity) are limited by
+this bandwidth at high core counts and that doubling the per-channel
+bandwidth lifts both to a 12x speedup on 64 cores — so the contention model
+matters for reproducing Figure 10.
+
+The model here is deliberately simple and monotonic:
+
+* each core generates DRAM traffic at a rate set by its miss rates and
+  frequency,
+* when the aggregate demand exceeds the peak bandwidth, every core's memory
+  throughput is scaled back proportionally (a fair-share bandwidth model),
+* queueing delay grows as utilisation approaches one, increasing the
+  effective round-trip latency seen by the cores.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+
+@dataclass(frozen=True)
+class MemoryConfig:
+    """Parameters of the off-chip memory interface."""
+
+    channels: int = 2
+    bandwidth_per_channel_gbs: float = 4.0
+    uncontended_latency_ns: float = 60.0
+    #: Utilisation beyond which queueing delay starts to grow noticeably.
+    queueing_knee: float = 0.6
+    #: Maximum latency multiplier at full utilisation.
+    max_latency_multiplier: float = 4.0
+
+    def __post_init__(self) -> None:
+        if self.channels <= 0:
+            raise ValueError("channel count must be positive")
+        if self.bandwidth_per_channel_gbs <= 0:
+            raise ValueError("per-channel bandwidth must be positive")
+        if self.uncontended_latency_ns <= 0:
+            raise ValueError("uncontended latency must be positive")
+        if not 0.0 < self.queueing_knee < 1.0:
+            raise ValueError("queueing knee must be in (0, 1)")
+        if self.max_latency_multiplier < 1.0:
+            raise ValueError("max latency multiplier must be at least 1")
+
+    @property
+    def peak_bandwidth_bytes_s(self) -> float:
+        """Aggregate peak bandwidth in bytes per second."""
+        return self.channels * self.bandwidth_per_channel_gbs * 1e9
+
+    def with_bandwidth_scale(self, factor: float) -> "MemoryConfig":
+        """Copy with per-channel bandwidth scaled (Section 8.5's 2x study)."""
+        if factor <= 0:
+            raise ValueError("bandwidth scale factor must be positive")
+        return replace(
+            self, bandwidth_per_channel_gbs=self.bandwidth_per_channel_gbs * factor
+        )
+
+    def latency_cycles(self, frequency_hz: float) -> float:
+        """Uncontended round-trip latency expressed in core cycles."""
+        if frequency_hz <= 0:
+            raise ValueError("frequency must be positive")
+        return self.uncontended_latency_ns * 1e-9 * frequency_hz
+
+
+@dataclass(frozen=True)
+class BandwidthShare:
+    """Outcome of arbitrating a bandwidth demand against the memory system."""
+
+    demanded_bytes_s: float
+    granted_bytes_s: float
+    utilization: float
+    latency_multiplier: float
+
+    @property
+    def throttle_factor(self) -> float:
+        """Fraction of the demanded traffic actually served (<= 1)."""
+        if self.demanded_bytes_s == 0:
+            return 1.0
+        return self.granted_bytes_s / self.demanded_bytes_s
+
+    @property
+    def saturated(self) -> bool:
+        """True when demand had to be throttled."""
+        return self.throttle_factor < 1.0 - 1e-12
+
+
+class MemorySystem:
+    """Arbitrates DRAM bandwidth and computes effective access latency."""
+
+    def __init__(self, config: MemoryConfig | None = None) -> None:
+        self.config = config or MemoryConfig()
+
+    def arbitrate(self, demanded_bytes_s: float) -> BandwidthShare:
+        """Grant bandwidth to an aggregate demand.
+
+        Demand above the peak is clipped; utilisation and the resulting
+        queueing-delay multiplier are reported alongside.
+        """
+        if demanded_bytes_s < 0:
+            raise ValueError("demanded bandwidth must be non-negative")
+        peak = self.config.peak_bandwidth_bytes_s
+        granted = min(demanded_bytes_s, peak)
+        utilization = granted / peak
+        return BandwidthShare(
+            demanded_bytes_s=demanded_bytes_s,
+            granted_bytes_s=granted,
+            utilization=utilization,
+            latency_multiplier=self.latency_multiplier(utilization),
+        )
+
+    def latency_multiplier(self, utilization: float) -> float:
+        """Queueing-delay multiplier applied to the uncontended latency.
+
+        Flat at 1.0 below the knee, then rises linearly to
+        ``max_latency_multiplier`` at full utilisation.  A piecewise-linear
+        form keeps the model monotonic and easy to reason about in tests.
+        """
+        if not 0.0 <= utilization <= 1.0 + 1e-9:
+            raise ValueError("utilization must be in [0, 1]")
+        utilization = min(1.0, utilization)
+        knee = self.config.queueing_knee
+        if utilization <= knee:
+            return 1.0
+        slope = (self.config.max_latency_multiplier - 1.0) / (1.0 - knee)
+        return 1.0 + slope * (utilization - knee)
+
+    def effective_latency_cycles(
+        self, frequency_hz: float, utilization: float
+    ) -> float:
+        """Round-trip DRAM latency in core cycles at a given utilisation."""
+        base = self.config.latency_cycles(frequency_hz)
+        return base * self.latency_multiplier(utilization)
+
+
+#: The paper's dual-channel, 4 GB/s-per-channel, 60 ns memory system.
+PAPER_MEMORY = MemoryConfig()

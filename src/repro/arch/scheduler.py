@@ -1,0 +1,155 @@
+"""Thread scheduling, migration and PAUSE/sleep behaviour.
+
+Section 7 of the paper: software activates sprinting when there are more
+runnable threads than powered cores, migrates threads onto newly woken
+cores, and — when the thermal budget nears exhaustion — migrates every
+thread back onto a single core and multiplexes them there.  Section 8.1
+adds that the runtime inserts PAUSE instructions on barriers and failed
+task-steals, putting the core to sleep for 1000 cycles at 10% power.
+
+The execution engine is analytic, so the scheduler's job is bookkeeping:
+which threads exist, which cores they occupy, what a migration costs, and
+how much time multiplexed threads lose to context switching.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+
+class ThreadState(Enum):
+    """State of one software thread."""
+
+    RUNNABLE = "runnable"
+    RUNNING = "running"
+    PAUSED = "paused"
+    FINISHED = "finished"
+
+
+@dataclass(frozen=True)
+class MigrationModel:
+    """Cost of moving threads between cores at sprint termination.
+
+    ``per_thread_overhead_s`` covers the OS context switch and the cache
+    state lost by the migrating thread; ``cold_cache_misses`` is the number
+    of extra L1 misses paid after arrival (refilling a private cache is at
+    most one miss per line).
+    """
+
+    per_thread_overhead_s: float = 20e-6
+    cold_cache_misses: float = 512.0
+    #: Cycles a core sleeps when it executes a PAUSE (Section 8.1).
+    pause_sleep_cycles: int = 1000
+
+    def __post_init__(self) -> None:
+        if self.per_thread_overhead_s < 0:
+            raise ValueError("per-thread overhead must be non-negative")
+        if self.cold_cache_misses < 0:
+            raise ValueError("cold cache misses must be non-negative")
+        if self.pause_sleep_cycles <= 0:
+            raise ValueError("pause sleep cycles must be positive")
+
+    def migration_cost_s(self, threads: int) -> float:
+        """Wall-clock cost of migrating ``threads`` threads to one core."""
+        if threads < 0:
+            raise ValueError("thread count must be non-negative")
+        return threads * self.per_thread_overhead_s
+
+
+@dataclass
+class ThreadScheduler:
+    """Maps software threads onto the currently powered cores."""
+
+    n_threads: int
+    n_cores: int
+    migration: MigrationModel = field(default_factory=MigrationModel)
+    #: Relative time lost to context switches per extra thread multiplexed
+    #: onto one core (the paper treats this as negligible; keep it small).
+    multiplex_overhead: float = 0.005
+
+    def __post_init__(self) -> None:
+        if self.n_threads <= 0:
+            raise ValueError("thread count must be positive")
+        if self.n_cores <= 0:
+            raise ValueError("core count must be positive")
+        if self.multiplex_overhead < 0:
+            raise ValueError("multiplex overhead must be non-negative")
+        self._active_cores = min(self.n_threads, self.n_cores)
+        self._pending_migration_s = 0.0
+        self._states = [ThreadState.RUNNABLE] * self.n_threads
+
+    # -- queries ---------------------------------------------------------------
+
+    @property
+    def active_cores(self) -> int:
+        """Number of cores currently running threads."""
+        return self._active_cores
+
+    @property
+    def threads_per_core(self) -> float:
+        """Average multiplexing degree on the active cores."""
+        return self.n_threads / self._active_cores
+
+    @property
+    def pending_migration_s(self) -> float:
+        """Wall-clock migration cost not yet consumed by the engine."""
+        return self._pending_migration_s
+
+    def thread_states(self) -> list[ThreadState]:
+        """Current state of every thread."""
+        return list(self._states)
+
+    def multiplexing_slowdown(self) -> float:
+        """Throughput penalty factor (>= 1) from multiplexing threads.
+
+        One thread per core costs nothing; each additional thread sharing a
+        core adds ``multiplex_overhead`` of context-switch time.
+        """
+        extra = max(0.0, self.threads_per_core - 1.0)
+        return 1.0 + extra * self.multiplex_overhead
+
+    # -- transitions ------------------------------------------------------------
+
+    def set_active_cores(self, cores: int) -> float:
+        """Change the number of powered cores; returns the migration cost (s).
+
+        Shrinking (sprint termination) pays the migration cost of every
+        thread that loses its core.  Growing (sprint start) is modelled as
+        free here because the activation ramp is accounted for separately by
+        the power-delivery constraint (Section 5.3).
+        """
+        if cores <= 0:
+            raise ValueError("core count must be positive")
+        cores = min(cores, self.n_cores)
+        new_active = min(self.n_threads, cores)
+        cost = 0.0
+        if new_active < self._active_cores:
+            displaced = min(self.n_threads, self._active_cores) - new_active
+            cost = self.migration.migration_cost_s(displaced)
+            self._pending_migration_s += cost
+        self._active_cores = new_active
+        return cost
+
+    def consume_migration(self, dt_s: float) -> float:
+        """Consume up to ``dt_s`` of pending migration stall; returns the stall used."""
+        if dt_s < 0:
+            raise ValueError("dt must be non-negative")
+        used = min(dt_s, self._pending_migration_s)
+        self._pending_migration_s -= used
+        return used
+
+    def mark_running(self, count: int) -> None:
+        """Mark the first ``count`` threads as running and the rest paused."""
+        if not 0 <= count <= self.n_threads:
+            raise ValueError("running count out of range")
+        for index in range(self.n_threads):
+            if self._states[index] is ThreadState.FINISHED:
+                continue
+            self._states[index] = (
+                ThreadState.RUNNING if index < count else ThreadState.PAUSED
+            )
+
+    def finish_all(self) -> None:
+        """Mark every thread finished (workload complete)."""
+        self._states = [ThreadState.FINISHED] * self.n_threads

@@ -1,0 +1,583 @@
+"""Quantum-based many-core execution engine.
+
+This is the reproduction of the paper's instruction-level simulator
+(Section 8.1).  Rather than interpreting x86 instructions, the engine
+advances a :class:`~repro.workloads.descriptor.WorkloadDescriptor` in time
+quanta, applying the same arithmetic the paper's simulator applies per
+instruction:
+
+* in-order cores retire one instruction per cycle plus cache miss penalties,
+* private L1s and a shared L2 determine those penalties (with capacity and
+  sharing effects),
+* a dual-channel memory interface caps aggregate DRAM bandwidth and adds
+  queueing latency as it saturates,
+* load imbalance and barrier overhead blunt parallel efficiency, and cores
+  that run out of work PAUSE-sleep at 10% power,
+* per-quantum dynamic energy is reported so the sprint runtime can drive
+  the thermal model (the paper samples energy every 1000 cycles; the engine
+  reports exact per-quantum energy instead).
+
+The engine supports changing the number of powered cores and the operating
+point between quanta, which is how the sprint runtime terminates a sprint
+(migrate to one core) or sprints via DVFS instead of parallelism.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.arch.coherence import DirectoryProtocol
+from repro.arch.machine import MachineConfig, PAPER_MACHINE
+from repro.arch.memory import MemorySystem
+from repro.arch.scheduler import ThreadScheduler
+from repro.energy.core import CorePowerModel, CoreState
+from repro.energy.dvfs import OperatingPoint
+from repro.energy.instruction import InstructionEnergyModel
+from repro.workloads.descriptor import WorkloadDescriptor
+
+#: Smallest quantum the engine will simulate (guards against zero-size steps).
+_MIN_DT_S = 1e-12
+
+
+@dataclass(frozen=True)
+class QuantumSample:
+    """Everything that happened during one simulated quantum."""
+
+    time_s: float
+    dt_s: float
+    phase: str
+    active_cores: int
+    usable_cores: int
+    instructions_retired: float
+    energy_j: float
+    dram_bytes: float
+    bandwidth_utilization: float
+    cpi: float
+    executing_core_seconds: float
+    sleeping_core_seconds: float
+    finished: bool
+
+    @property
+    def chip_power_w(self) -> float:
+        """Average chip power over the quantum."""
+        if self.dt_s <= 0:
+            return 0.0
+        return self.energy_j / self.dt_s
+
+    @property
+    def throughput_ips(self) -> float:
+        """Aggregate instructions per second retired during the quantum."""
+        if self.dt_s <= 0:
+            return 0.0
+        return self.instructions_retired / self.dt_s
+
+
+@dataclass
+class ExecutionTrace:
+    """Ordered list of quantum samples with array accessors."""
+
+    samples: list[QuantumSample] = field(default_factory=list)
+
+    def append(self, sample: QuantumSample) -> None:
+        """Record one quantum."""
+        self.samples.append(sample)
+
+    def __len__(self) -> int:
+        return len(self.samples)
+
+    def __iter__(self):
+        return iter(self.samples)
+
+    @property
+    def empty(self) -> bool:
+        """True when nothing has been recorded."""
+        return not self.samples
+
+    def times_s(self) -> np.ndarray:
+        """End-of-quantum timestamps."""
+        return np.array([s.time_s + s.dt_s for s in self.samples])
+
+    def power_w(self) -> np.ndarray:
+        """Chip power per quantum."""
+        return np.array([s.chip_power_w for s in self.samples])
+
+    def active_cores(self) -> np.ndarray:
+        """Powered core count per quantum."""
+        return np.array([s.active_cores for s in self.samples])
+
+    def cumulative_instructions(self) -> np.ndarray:
+        """Cumulative instructions retired (the paper's "cumulative computation")."""
+        return np.cumsum([s.instructions_retired for s in self.samples])
+
+    @property
+    def total_energy_j(self) -> float:
+        """Total dynamic energy over the trace."""
+        return float(sum(s.energy_j for s in self.samples))
+
+    @property
+    def total_instructions(self) -> float:
+        """Total instructions retired over the trace."""
+        return float(sum(s.instructions_retired for s in self.samples))
+
+    @property
+    def duration_s(self) -> float:
+        """Total simulated time covered by the trace."""
+        return float(sum(s.dt_s for s in self.samples))
+
+
+@dataclass(frozen=True)
+class RunResult:
+    """Summary of running one workload to completion on a fixed configuration."""
+
+    workload_name: str
+    cores: int
+    operating_point: OperatingPoint
+    total_time_s: float
+    total_energy_j: float
+    total_instructions: float
+    trace: ExecutionTrace
+
+    @property
+    def average_power_w(self) -> float:
+        """Average chip power over the run."""
+        if self.total_time_s == 0:
+            return 0.0
+        return self.total_energy_j / self.total_time_s
+
+    def speedup_over(self, baseline: "RunResult") -> float:
+        """Wall-clock speedup relative to another run of the same workload."""
+        if self.total_time_s == 0:
+            raise ZeroDivisionError("run completed in zero time")
+        return baseline.total_time_s / self.total_time_s
+
+    def energy_ratio_over(self, baseline: "RunResult") -> float:
+        """Dynamic energy relative to another run (Figure 11's normalisation)."""
+        if baseline.total_energy_j == 0:
+            raise ZeroDivisionError("baseline consumed zero energy")
+        return self.total_energy_j / baseline.total_energy_j
+
+
+@dataclass
+class _PhaseProgress:
+    """Mutable record of how much of each phase remains."""
+
+    serial_remaining: float
+    parallel_remaining: float
+    sync_remaining: float = 0.0
+    #: Core count the current sync overhead was charged for.
+    sync_charged_for: int = 0
+
+    @property
+    def total_remaining(self) -> float:
+        return self.serial_remaining + self.parallel_remaining + self.sync_remaining
+
+    @property
+    def done(self) -> bool:
+        return self.total_remaining <= 1e-6
+
+
+class ExecutionEngine:
+    """Advances one workload through time on the simulated many-core chip."""
+
+    def __init__(
+        self,
+        workload: WorkloadDescriptor,
+        machine: MachineConfig | None = None,
+        n_threads: int | None = None,
+        energy_model: InstructionEnergyModel | None = None,
+        power_model: CorePowerModel | None = None,
+    ) -> None:
+        self.workload = workload
+        self.machine = machine or PAPER_MACHINE
+        self.energy_model = energy_model or InstructionEnergyModel()
+        self.power_model = power_model or CorePowerModel(nominal=self.machine.nominal)
+        self.timing = self.machine.timing_model()
+        self.memory = MemorySystem(self.machine.memory)
+        self.protocol = DirectoryProtocol(self.machine.coherence)
+
+        threads = self.machine.n_cores if n_threads is None else n_threads
+        self.scheduler = ThreadScheduler(n_threads=threads, n_cores=self.machine.n_cores)
+
+        parallel_fraction = workload.parallel.parallel_fraction
+        self._progress = _PhaseProgress(
+            serial_remaining=workload.total_instructions * (1.0 - parallel_fraction),
+            parallel_remaining=workload.total_instructions * parallel_fraction,
+        )
+        self._time_s = 0.0
+        self._active_cores = 1
+        self.trace = ExecutionTrace()
+
+    # -- queries ---------------------------------------------------------------
+
+    @property
+    def time_s(self) -> float:
+        """Simulated time elapsed so far."""
+        return self._time_s
+
+    @property
+    def done(self) -> bool:
+        """True when every instruction of the workload has been retired."""
+        return self._progress.done
+
+    @property
+    def active_cores(self) -> int:
+        """Number of currently powered cores."""
+        return self._active_cores
+
+    @property
+    def remaining_instructions(self) -> float:
+        """Instructions (including sync overhead) not yet retired."""
+        return self._progress.total_remaining
+
+    @property
+    def progress_fraction(self) -> float:
+        """Fraction of the original workload completed (sync overhead excluded)."""
+        original = self.workload.total_instructions
+        remaining = self._progress.serial_remaining + self._progress.parallel_remaining
+        return 1.0 - remaining / original
+
+    # -- control ----------------------------------------------------------------
+
+    def set_active_cores(self, cores: int) -> float:
+        """Power ``cores`` cores; returns the thread-migration stall incurred (s)."""
+        if cores < 1:
+            raise ValueError("at least one core must stay powered")
+        cores = min(cores, self.machine.n_cores)
+        cost = self.scheduler.set_active_cores(cores)
+        self._active_cores = cores
+        return cost
+
+    # -- execution ----------------------------------------------------------------
+
+    def advance(
+        self,
+        dt_s: float,
+        operating_point: OperatingPoint | None = None,
+    ) -> QuantumSample:
+        """Simulate ``dt_s`` seconds of execution and return what happened.
+
+        The quantum may span a phase boundary (serial work finishing and
+        parallel work starting); the engine handles that internally so the
+        returned sample always covers exactly ``dt_s`` of wall-clock time
+        (less if the workload finishes within the quantum).
+        """
+        if dt_s <= 0:
+            raise ValueError("dt must be positive")
+        if self.done:
+            raise RuntimeError("workload already finished")
+        op = operating_point or self.machine.nominal
+
+        remaining_dt = dt_s
+        instructions = 0.0
+        energy = 0.0
+        dram_bytes = 0.0
+        executing_core_seconds = 0.0
+        utilization_peak = 0.0
+        cpi_weighted = 0.0
+        start_time = self._time_s
+        phase_label = self._current_phase()
+
+        # Migration stall: cores sit idle (sleep power) until threads arrive.
+        stall = self.scheduler.consume_migration(remaining_dt)
+        if stall > 0:
+            energy += self._idle_energy(stall, self._active_cores, op)
+            remaining_dt -= stall
+
+        while remaining_dt > _MIN_DT_S and not self.done:
+            step = self._advance_phase(remaining_dt, op)
+            instructions += step.instructions
+            energy += step.energy_j
+            dram_bytes += step.dram_bytes
+            executing_core_seconds += step.executing_core_seconds
+            utilization_peak = max(utilization_peak, step.utilization)
+            cpi_weighted += step.cpi * step.instructions
+            remaining_dt -= step.dt_s
+
+        consumed = dt_s - remaining_dt if self.done else dt_s
+        # If the workload finished early the idle tail is not simulated: the
+        # caller decides what happens next (cool down, next task, ...).
+        self._time_s += consumed
+        total_core_seconds = self._active_cores * consumed
+        sleeping = max(0.0, total_core_seconds - executing_core_seconds)
+        if self.done:
+            self.scheduler.finish_all()
+
+        sample = QuantumSample(
+            time_s=start_time,
+            dt_s=consumed,
+            phase=phase_label,
+            active_cores=self._active_cores,
+            usable_cores=self._usable_cores(),
+            instructions_retired=instructions,
+            energy_j=energy,
+            dram_bytes=dram_bytes,
+            bandwidth_utilization=utilization_peak,
+            cpi=(cpi_weighted / instructions) if instructions > 0 else 0.0,
+            executing_core_seconds=executing_core_seconds,
+            sleeping_core_seconds=sleeping,
+            finished=self.done,
+        )
+        self.trace.append(sample)
+        return sample
+
+    # -- internals ----------------------------------------------------------------
+
+    def _current_phase(self) -> str:
+        if self._progress.serial_remaining > 1e-6:
+            return "serial"
+        return "parallel"
+
+    def _usable_cores(self) -> int:
+        if self._current_phase() == "serial":
+            return 1
+        return self.workload.parallel.usable_cores(self._active_cores)
+
+    @dataclass(frozen=True)
+    class _StepOutcome:
+        dt_s: float
+        instructions: float
+        energy_j: float
+        dram_bytes: float
+        executing_core_seconds: float
+        utilization: float
+        cpi: float
+
+    def _advance_phase(self, dt_s: float, op: OperatingPoint) -> "_StepOutcome":
+        """Advance within the current phase for at most ``dt_s`` seconds."""
+        phase = self._current_phase()
+        usable = self._usable_cores()
+        parallel_phase = phase == "parallel"
+
+        if parallel_phase and usable > 1:
+            self._charge_sync_overhead(usable)
+
+        remaining_work = (
+            self._progress.serial_remaining
+            if not parallel_phase
+            else self._progress.parallel_remaining + self._progress.sync_remaining
+        )
+
+        throughput, utilization, cpi, bytes_per_instruction = self._throughput(
+            usable if parallel_phase else 1, op, parallel_phase
+        )
+        if throughput <= 0:
+            raise RuntimeError("execution throughput collapsed to zero")
+
+        time_to_finish = remaining_work / throughput
+        step_dt = min(dt_s, time_to_finish)
+        work_done = throughput * step_dt
+        work_done = min(work_done, remaining_work)
+
+        self._retire(work_done, parallel_phase)
+
+        # Busy core-seconds: retiring `work_done` at one core's rate.  Because
+        # imbalance and multiplexing lower the aggregate rate below
+        # `usable * per_core_rate`, busy time is less than `usable * step_dt`
+        # and the difference is spent asleep (PAUSE) at 10% power.
+        cores_in_phase = usable if parallel_phase else 1
+        per_core_rate = op.frequency_hz / cpi
+        executing_core_seconds = min(
+            work_done / max(per_core_rate, 1e-30), cores_in_phase * step_dt
+        )
+
+        energy = self._dynamic_energy(work_done, op, usable if parallel_phase else 1)
+        idle_core_seconds = self._active_cores * step_dt - executing_core_seconds
+        energy += self._sleep_energy(max(0.0, idle_core_seconds), op)
+
+        return self._StepOutcome(
+            dt_s=step_dt,
+            instructions=work_done,
+            energy_j=energy,
+            dram_bytes=work_done * bytes_per_instruction,
+            executing_core_seconds=executing_core_seconds,
+            utilization=utilization,
+            cpi=cpi,
+        )
+
+    def _charge_sync_overhead(self, usable: int) -> None:
+        """Add barrier/task-queue instructions for a new parallel configuration."""
+        if self._progress.sync_charged_for == usable:
+            return
+        per_core = self.workload.parallel.sync_instructions_per_core
+        self._progress.sync_remaining += per_core * usable
+        self._progress.sync_charged_for = usable
+
+    def _retire(self, work: float, parallel_phase: bool) -> None:
+        if not parallel_phase:
+            self._progress.serial_remaining = max(
+                0.0, self._progress.serial_remaining - work
+            )
+            return
+        # Sync overhead retires alongside the useful parallel work.
+        sync = self._progress.sync_remaining
+        if sync > 0:
+            total = self._progress.parallel_remaining + sync
+            sync_share = work * (sync / total)
+            self._progress.sync_remaining = max(0.0, sync - sync_share)
+            work -= sync_share
+        self._progress.parallel_remaining = max(
+            0.0, self._progress.parallel_remaining - work
+        )
+
+    def _throughput(
+        self, cores: int, op: OperatingPoint, parallel_phase: bool
+    ) -> tuple[float, float, float, float]:
+        """Aggregate instruction throughput, bandwidth utilisation, CPI, bytes/inst."""
+        workload = self.workload
+        memory_behaviour = workload.memory
+        frequency = op.frequency_hz
+
+        def breakdown(utilization: float):
+            return self.timing.effective_breakdown(
+                mix=workload.instruction_mix,
+                intrinsic_l1_miss=memory_behaviour.l1_miss_rate,
+                intrinsic_l2_miss=memory_behaviour.l2_miss_rate,
+                working_set_bytes=memory_behaviour.working_set_bytes,
+                sharers=cores,
+                frequency_hz=frequency,
+                memory=self.memory,
+                utilization=utilization,
+                protocol=self.protocol,
+                base_coherence_fraction=memory_behaviour.coherence_miss_fraction,
+            )
+
+        coherence_fraction = self.protocol.effective_coherence_fraction(
+            memory_behaviour.coherence_miss_fraction, cores
+        )
+        miss_rates = self.timing.hierarchy.effective_miss_rates(
+            memory_behaviour.l1_miss_rate,
+            memory_behaviour.l2_miss_rate,
+            memory_behaviour.working_set_bytes,
+            sharers=cores,
+        )
+        bytes_per_instruction = (
+            workload.instruction_mix.memory_fraction
+            * miss_rates.l1_miss_rate
+            * (1.0 - coherence_fraction)
+            * miss_rates.l2_miss_rate
+            * memory_behaviour.bytes_per_l2_miss
+        )
+
+        # First pass with uncontended latency, then refine once with the
+        # utilisation implied by the first-pass demand (a single fixed-point
+        # iteration keeps the model deterministic and fast).
+        first = breakdown(0.0)
+        per_core = frequency / first.total_cpi
+        aggregate = self._aggregate_rate(per_core, cores, parallel_phase)
+        demand = aggregate * bytes_per_instruction
+        share = self.memory.arbitrate(demand)
+
+        refined = breakdown(share.utilization)
+        per_core = frequency / refined.total_cpi
+        aggregate = self._aggregate_rate(per_core, cores, parallel_phase)
+        if bytes_per_instruction > 0:
+            bandwidth_cap = (
+                self.memory.config.peak_bandwidth_bytes_s / bytes_per_instruction
+            )
+            aggregate = min(aggregate, bandwidth_cap)
+        final_demand = aggregate * bytes_per_instruction
+        final_share = self.memory.arbitrate(final_demand)
+        return aggregate, final_share.utilization, refined.total_cpi, bytes_per_instruction
+
+    def _aggregate_rate(
+        self, per_core_rate: float, cores: int, parallel_phase: bool
+    ) -> float:
+        if not parallel_phase or cores == 1:
+            # Post-sprint multiplexing of many threads onto one core pays a
+            # small context-switch overhead.
+            return per_core_rate / self.scheduler.multiplexing_slowdown()
+        imbalance = self.workload.parallel.imbalance
+        return per_core_rate * cores / imbalance
+
+    def _dynamic_energy(self, instructions: float, op: OperatingPoint, cores: int) -> float:
+        """Dynamic energy of retiring ``instructions`` at operating point ``op``."""
+        workload = self.workload
+        mix = workload.instruction_mix
+        scale = op.energy_per_work_scale(self.machine.nominal)
+
+        base = self.energy_model.instructions_energy_j(instructions, mix)
+        memory_behaviour = workload.memory
+        miss_rates = self.timing.hierarchy.effective_miss_rates(
+            memory_behaviour.l1_miss_rate,
+            memory_behaviour.l2_miss_rate,
+            memory_behaviour.working_set_bytes,
+            sharers=cores,
+        )
+        memory_instructions = instructions * mix.memory_fraction
+        l1_hits = memory_instructions * (1.0 - miss_rates.l1_miss_rate)
+        l1_misses = memory_instructions * miss_rates.l1_miss_rate
+        dram = l1_misses * miss_rates.l2_miss_rate * (
+            1.0 - memory_behaviour.coherence_miss_fraction
+        )
+        l2_hits = l1_misses - dram
+        hierarchy_energy = self.energy_model.memory_energy_j(l1_hits, l2_hits, dram)
+        return (base + hierarchy_energy) * scale
+
+    def _sleep_energy(self, core_seconds: float, op: OperatingPoint) -> float:
+        """Energy of cores sleeping (PAUSE) for the given core-seconds."""
+        return self.power_model.power_w(CoreState.SLEEP, op) * core_seconds
+
+    def _idle_energy(self, dt_s: float, cores: int, op: OperatingPoint) -> float:
+        """Energy of all powered cores idling during a stall."""
+        return self._sleep_energy(dt_s * cores, op)
+
+
+class ManyCoreSimulator:
+    """Runs whole workloads to completion on a fixed machine configuration.
+
+    This is the entry point for the thermally-unconstrained studies of
+    Figures 10 and 11 (speedup and energy versus core count) and for the
+    baselines against which sprints are compared.
+    """
+
+    def __init__(self, machine: MachineConfig | None = None) -> None:
+        self.machine = machine or PAPER_MACHINE
+
+    def run(
+        self,
+        workload: WorkloadDescriptor,
+        cores: int,
+        operating_point: OperatingPoint | None = None,
+        quantum_s: float = 1e-3,
+        max_time_s: float = 600.0,
+    ) -> RunResult:
+        """Execute ``workload`` on ``cores`` cores until it completes."""
+        if cores < 1:
+            raise ValueError("core count must be at least 1")
+        if cores > self.machine.n_cores:
+            machine = self.machine.with_cores(cores)
+        else:
+            machine = self.machine
+        if quantum_s <= 0:
+            raise ValueError("quantum must be positive")
+        op = operating_point or machine.nominal
+
+        engine = ExecutionEngine(workload, machine=machine, n_threads=cores)
+        engine.set_active_cores(cores)
+        elapsed = 0.0
+        while not engine.done:
+            if elapsed >= max_time_s:
+                raise RuntimeError(
+                    f"workload {workload.name!r} did not finish within {max_time_s}s"
+                )
+            sample = engine.advance(quantum_s, operating_point=op)
+            elapsed += sample.dt_s
+
+        trace = engine.trace
+        return RunResult(
+            workload_name=workload.name,
+            cores=cores,
+            operating_point=op,
+            total_time_s=trace.duration_s,
+            total_energy_j=trace.total_energy_j,
+            total_instructions=trace.total_instructions,
+            trace=trace,
+        )
+
+    def single_core_baseline(
+        self, workload: WorkloadDescriptor, quantum_s: float = 1e-3
+    ) -> RunResult:
+        """The paper's non-sprinting baseline: one core at the nominal point."""
+        return self.run(workload, cores=1, quantum_s=quantum_s)

@@ -1,0 +1,50 @@
+"""Sprint runtime: the paper's primary contribution.
+
+This package implements Sections 3 and 7 of the paper on top of the
+thermal, electrical, energy and architectural substrates:
+
+* :mod:`repro.core.config` — :class:`SystemConfig`, the complete description
+  of a sprint-enabled platform (machine + package + power + policy),
+* :mod:`repro.core.budget` — thermal-budget estimators (energy-based, as the
+  paper proposes, and a temperature oracle for ablation),
+* :mod:`repro.core.policy` — when to sprint, with how many cores, and what
+  to do when the budget runs out (migrate threads or throttle frequency),
+* :mod:`repro.core.controller` — the sprint state machine itself,
+* :mod:`repro.core.simulation` — :class:`SprintSimulation`, which couples the
+  execution engine with the thermal network and the controller to produce
+  the end-to-end results of Section 8,
+* :mod:`repro.core.metrics` — result containers and derived metrics.
+"""
+
+from repro.core.budget import (
+    EnergyBudgetEstimator,
+    OracleBudgetEstimator,
+    ThermalBudgetEstimator,
+)
+from repro.core.config import SystemConfig
+from repro.core.controller import SprintController, SprintDecision
+from repro.core.metrics import ModeInterval, SprintMetrics, SprintResult
+from repro.core.modes import ExecutionMode, SprintMode, TerminationAction
+from repro.core.pacing import PacingSummary, SprintPacer, TaskOutcome
+from repro.core.policy import SprintPolicy
+from repro.core.simulation import SprintSimulation
+
+__all__ = [
+    "EnergyBudgetEstimator",
+    "ExecutionMode",
+    "ModeInterval",
+    "OracleBudgetEstimator",
+    "PacingSummary",
+    "SprintController",
+    "SprintDecision",
+    "SprintMetrics",
+    "SprintMode",
+    "SprintPacer",
+    "SprintPolicy",
+    "SprintResult",
+    "SprintSimulation",
+    "SystemConfig",
+    "TaskOutcome",
+    "TerminationAction",
+    "ThermalBudgetEstimator",
+]

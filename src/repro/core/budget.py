@@ -1,0 +1,169 @@
+"""Thermal-budget estimators used to decide when a sprint must end.
+
+Section 7: "our proposed design monitors energy dissipation since sprint
+initiation.  Based on the dynamic energy consumption and a thermal model of
+the system, the hardware estimates when the available thermal budget is
+nearly exhausted."  :class:`EnergyBudgetEstimator` implements exactly that.
+:class:`OracleBudgetEstimator` instead reads the (simulated) junction
+temperature directly — physically unrealisable on the estimator's own terms
+but useful as the upper bound against which the energy-based scheme is
+ablated (DESIGN.md Section 5).
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+
+from repro.thermal.package import PcmPackage
+
+
+class ThermalBudgetEstimator(abc.ABC):
+    """Common interface: track a sprint and report when it must terminate."""
+
+    @abc.abstractmethod
+    def start_sprint(self, sprint_power_w: float) -> None:
+        """Reset the estimator at sprint initiation."""
+
+    @abc.abstractmethod
+    def record(self, energy_j: float, dt_s: float, junction_c: float) -> None:
+        """Account one quantum of dissipated energy and elapsed time."""
+
+    @property
+    @abc.abstractmethod
+    def exhausted(self) -> bool:
+        """True when the sprint should be terminated now."""
+
+    @property
+    @abc.abstractmethod
+    def remaining_fraction(self) -> float:
+        """Estimated fraction of the sprint budget still available (0..1)."""
+
+    def can_sprint(self, minimum_fraction: float = 0.05) -> bool:
+        """Whether enough budget remains to be worth starting a sprint."""
+        if not 0.0 <= minimum_fraction <= 1.0:
+            raise ValueError("minimum fraction must be in [0, 1]")
+        return self.remaining_fraction >= minimum_fraction
+
+
+@dataclass
+class EnergyBudgetEstimator(ThermalBudgetEstimator):
+    """The paper's activity-based estimator: count joules since sprint start.
+
+    The budget is the heat the package can absorb before the junction
+    reaches its limit (latent heat of the PCM plus sensible headroom), minus
+    the heat that leaks to ambient during the sprint, with a safety margin
+    because the estimate is approximate.
+    """
+
+    package: PcmPackage
+    #: Fraction of the theoretical budget held back as a guard band.
+    safety_margin: float = 0.05
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.safety_margin < 1.0:
+            raise ValueError("safety margin must be in [0, 1)")
+        self._budget_j = 0.0
+        self._consumed_j = 0.0
+        self._leak_w = 0.0
+        self._elapsed_s = 0.0
+        self._started = False
+
+    def start_sprint(self, sprint_power_w: float) -> None:
+        if sprint_power_w <= 0:
+            raise ValueError("sprint power must be positive")
+        raw_budget = self.package.sprint_budget_j(sprint_power_w)
+        self._budget_j = raw_budget * (1.0 - self.safety_margin)
+        # Heat leaking from the PCM toward ambient during the sprint
+        # effectively extends the budget; credit it at the melt-plateau rate.
+        self._leak_w = (
+            self.package.melting_point_c - self.package.limits.ambient_c
+        ) / (self.package.pcm_to_case_k_w + self.package.case_to_ambient_k_w)
+        self._consumed_j = 0.0
+        self._elapsed_s = 0.0
+        self._started = True
+
+    def record(self, energy_j: float, dt_s: float, junction_c: float) -> None:
+        if not self._started:
+            raise RuntimeError("record() called before start_sprint()")
+        if energy_j < 0 or dt_s < 0:
+            raise ValueError("energy and time must be non-negative")
+        self._consumed_j += energy_j
+        self._elapsed_s += dt_s
+
+    @property
+    def budget_j(self) -> float:
+        """Usable sprint budget (joules), including the safety margin."""
+        return self._budget_j
+
+    @property
+    def consumed_j(self) -> float:
+        """Energy dissipated since sprint initiation."""
+        return self._consumed_j
+
+    @property
+    def effective_budget_j(self) -> float:
+        """Budget plus the heat leaked to ambient so far."""
+        return self._budget_j + self._leak_w * self._elapsed_s
+
+    @property
+    def exhausted(self) -> bool:
+        if not self._started:
+            return False
+        return self._consumed_j >= self.effective_budget_j
+
+    @property
+    def remaining_fraction(self) -> float:
+        if not self._started or self._budget_j == 0.0:
+            return 1.0
+        remaining = max(0.0, self.effective_budget_j - self._consumed_j)
+        return min(1.0, remaining / self.effective_budget_j)
+
+
+@dataclass
+class OracleBudgetEstimator(ThermalBudgetEstimator):
+    """Ablation: terminate exactly when the junction nears its limit.
+
+    Uses the simulated junction temperature (perfect knowledge), stopping
+    ``guard_band_c`` below the maximum so the quantum granularity cannot
+    overshoot the limit.
+    """
+
+    package: PcmPackage
+    guard_band_c: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.guard_band_c < 0:
+            raise ValueError("guard band must be non-negative")
+        self._junction_c = self.package.limits.ambient_c
+        self._started = False
+
+    def start_sprint(self, sprint_power_w: float) -> None:
+        if sprint_power_w <= 0:
+            raise ValueError("sprint power must be positive")
+        self._started = True
+
+    def record(self, energy_j: float, dt_s: float, junction_c: float) -> None:
+        if not self._started:
+            raise RuntimeError("record() called before start_sprint()")
+        self._junction_c = junction_c
+
+    @property
+    def threshold_c(self) -> float:
+        """Junction temperature at which the sprint terminates."""
+        return self.package.limits.max_junction_c - self.guard_band_c
+
+    @property
+    def exhausted(self) -> bool:
+        if not self._started:
+            return False
+        return self._junction_c >= self.threshold_c
+
+    @property
+    def remaining_fraction(self) -> float:
+        limits = self.package.limits
+        span = self.threshold_c - limits.ambient_c
+        if span <= 0:
+            return 0.0
+        remaining = max(0.0, self.threshold_c - self._junction_c)
+        return min(1.0, remaining / span)

@@ -1,0 +1,116 @@
+"""System configuration: the complete description of a sprint-enabled platform.
+
+:class:`SystemConfig` ties together every substrate the simulation needs —
+the many-core machine, the PCM-augmented thermal package, the per-core power
+model, the power-delivery network and activation schedule, the off-chip
+power source, and the sprint policy.  :meth:`SystemConfig.paper_default`
+reproduces the design point evaluated in the paper: a 16-core chip whose
+package sustains ~1 W but can sprint at ~16 W for about a second thanks to
+150 mg of phase change material.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.arch.machine import MachineConfig, PAPER_MACHINE
+from repro.core.policy import PAPER_POLICY, SprintPolicy
+from repro.energy.core import CorePowerModel
+from repro.power.activation import ActivationSchedule, PAPER_SLOW_RAMP
+from repro.power.pdn import PdnConfig
+from repro.power.sources import PHONE_HYBRID, PowerSource
+from repro.thermal.package import FULL_PCM_PACKAGE, PcmPackage, SMALL_PCM_PACKAGE
+
+
+@dataclass(frozen=True)
+class SystemConfig:
+    """Everything needed to simulate sprinting on one platform."""
+
+    machine: MachineConfig = PAPER_MACHINE
+    package: PcmPackage = FULL_PCM_PACKAGE
+    core_power: CorePowerModel = field(default_factory=CorePowerModel)
+    policy: SprintPolicy = PAPER_POLICY
+    activation: ActivationSchedule = PAPER_SLOW_RAMP
+    pdn: PdnConfig = field(default_factory=PdnConfig)
+    power_source: PowerSource = PHONE_HYBRID
+    #: Simulation quantum; the paper samples energy every 1000 cycles (1 µs at
+    #: 1 GHz) but a 1 ms quantum resolves the thermal transients of interest.
+    quantum_s: float = 1e-3
+
+    def __post_init__(self) -> None:
+        if self.quantum_s <= 0:
+            raise ValueError("quantum must be positive")
+        if self.policy.sprint_cores > self.machine.n_cores:
+            raise ValueError(
+                "policy sprints with more cores than the machine has "
+                f"({self.policy.sprint_cores} > {self.machine.n_cores})"
+            )
+
+    # -- derived quantities -------------------------------------------------------
+
+    @property
+    def sprint_power_w(self) -> float:
+        """Chip power during a full parallel sprint."""
+        return self.policy.sprint_power_w(self.core_power.active_power_w)
+
+    @property
+    def sustainable_power_w(self) -> float:
+        """Thermal design power of the package."""
+        return self.package.sustainable_power_w
+
+    @property
+    def power_headroom(self) -> float:
+        """Sprint power relative to the sustainable power."""
+        return self.sprint_power_w / self.sustainable_power_w
+
+    def activation_delay_s(self) -> float:
+        """Time before sprint cores may compute (the 128 µs ramp of Section 5.3)."""
+        return self.activation.duration_s(self.policy.sprint_cores)
+
+    def power_source_feasible(self, sprint_duration_s: float | None = None) -> bool:
+        """Whether the configured power source can deliver the sprint current."""
+        duration = (
+            self.policy.max_sprint_duration_s
+            if sprint_duration_s is None
+            else sprint_duration_s
+        )
+        return self.power_source.can_supply(self.sprint_power_w, duration)
+
+    # -- canonical configurations -----------------------------------------------------
+
+    @classmethod
+    def paper_default(cls) -> "SystemConfig":
+        """The paper's fully provisioned design: 16 cores, 150 mg of PCM."""
+        return cls()
+
+    @classmethod
+    def small_pcm(cls) -> "SystemConfig":
+        """The constrained design of Section 8.3: 100x less PCM (1.5 mg)."""
+        return cls(package=SMALL_PCM_PACKAGE)
+
+    # -- variants ------------------------------------------------------------------------
+
+    def with_package(self, package: PcmPackage) -> "SystemConfig":
+        """Copy with a different thermal package."""
+        return replace(self, package=package)
+
+    def with_policy(self, policy: SprintPolicy) -> "SystemConfig":
+        """Copy with a different sprint policy."""
+        return replace(self, policy=policy)
+
+    def with_sprint_cores(self, cores: int) -> "SystemConfig":
+        """Copy sprinting with a different core count (Figure 10)."""
+        machine = self.machine
+        if cores > machine.n_cores:
+            machine = machine.with_cores(cores)
+        return replace(
+            self, machine=machine, policy=self.policy.with_sprint_cores(cores)
+        )
+
+    def with_memory_bandwidth_scale(self, factor: float) -> "SystemConfig":
+        """Copy with scaled memory bandwidth (Section 8.5)."""
+        return replace(self, machine=self.machine.with_memory_bandwidth_scale(factor))
+
+    def with_quantum(self, quantum_s: float) -> "SystemConfig":
+        """Copy with a different simulation quantum."""
+        return replace(self, quantum_s=quantum_s)

@@ -1,0 +1,203 @@
+"""The sprint controller: the runtime state machine of Section 7.
+
+The controller decides how a task begins executing (sprint or not, how many
+cores, which operating point), watches the thermal budget as energy samples
+arrive each quantum, and when the budget nears exhaustion terminates the
+sprint — migrating threads to a single core in the common case, or throttling
+the clock as the hardware's last resort.  It also enforces the hard junction
+limit as a backstop in case the energy-based estimate is optimistic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.budget import EnergyBudgetEstimator, ThermalBudgetEstimator
+from repro.core.config import SystemConfig
+from repro.core.modes import ExecutionMode, SprintMode, TerminationAction
+from repro.energy.dvfs import OperatingPoint
+
+
+@dataclass(frozen=True)
+class SprintDecision:
+    """How the controller wants the chip configured right now."""
+
+    mode: SprintMode
+    cores: int
+    operating_point: OperatingPoint
+    #: Delay before the cores may execute (the gradual-activation ramp).
+    activation_delay_s: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.cores < 1:
+            raise ValueError("at least one core must be active")
+        if self.activation_delay_s < 0:
+            raise ValueError("activation delay must be non-negative")
+
+
+@dataclass
+class _Transition:
+    """Record of one mode change (for the result's mode timeline)."""
+
+    time_s: float
+    mode: SprintMode
+    cores: int
+
+
+class SprintController:
+    """Tracks sprint state and issues reconfiguration decisions."""
+
+    def __init__(
+        self,
+        config: SystemConfig,
+        budget: ThermalBudgetEstimator | None = None,
+    ) -> None:
+        self.config = config
+        self.policy = config.policy
+        self.budget = budget or EnergyBudgetEstimator(config.package)
+        self._mode = SprintMode.IDLE
+        self._cores = 0
+        self._operating_point = config.machine.nominal
+        self._time_s = 0.0
+        self._sprint_started_at_s: float | None = None
+        self._sprint_exhausted_at_s: float | None = None
+        self._transitions: list[_Transition] = []
+
+    # -- queries -----------------------------------------------------------------
+
+    @property
+    def mode(self) -> SprintMode:
+        """Current operating mode."""
+        return self._mode
+
+    @property
+    def active_cores(self) -> int:
+        """Currently powered core count."""
+        return self._cores
+
+    @property
+    def operating_point(self) -> OperatingPoint:
+        """Current voltage/frequency point."""
+        return self._operating_point
+
+    @property
+    def sprint_exhausted_at_s(self) -> float | None:
+        """Time at which the sprint budget ran out, if it did."""
+        return self._sprint_exhausted_at_s
+
+    @property
+    def transitions(self) -> list[_Transition]:
+        """All mode changes so far (time, mode, cores)."""
+        return list(self._transitions)
+
+    @property
+    def is_sprinting(self) -> bool:
+        """True while the chip exceeds its sustainable budget."""
+        return self._mode is SprintMode.SPRINT
+
+    # -- task lifecycle -----------------------------------------------------------
+
+    def begin_task(
+        self, runnable_threads: int, execution_mode: ExecutionMode
+    ) -> SprintDecision:
+        """Configure the chip for a new task and return the initial decision."""
+        if runnable_threads < 1:
+            raise ValueError("a task needs at least one runnable thread")
+        if self._mode not in (SprintMode.IDLE, SprintMode.COOLDOWN):
+            raise RuntimeError(f"cannot begin a task while in mode {self._mode}")
+
+        if execution_mode is ExecutionMode.SUSTAINED_SINGLE_CORE:
+            decision = SprintDecision(
+                mode=SprintMode.SUSTAINED,
+                cores=self.policy.sustainable_cores,
+                operating_point=self.config.machine.nominal,
+            )
+        elif execution_mode is ExecutionMode.DVFS_SPRINT:
+            point = self.policy.dvfs_sprint_point()
+            self.budget.start_sprint(self.config.sprint_power_w)
+            decision = SprintDecision(
+                mode=SprintMode.SPRINT,
+                cores=self.policy.sustainable_cores,
+                operating_point=point,
+            )
+        else:
+            cores = self.policy.cores_to_activate(runnable_threads)
+            sprinting = self.policy.should_sprint(
+                runnable_threads, self.budget.remaining_fraction
+            )
+            if sprinting and cores > self.policy.sustainable_cores:
+                self.budget.start_sprint(
+                    cores * self.config.core_power.active_power_w
+                )
+                decision = SprintDecision(
+                    mode=SprintMode.SPRINT,
+                    cores=cores,
+                    operating_point=self.config.machine.nominal,
+                    activation_delay_s=self.config.activation.duration_s(cores),
+                )
+            else:
+                decision = SprintDecision(
+                    mode=SprintMode.SUSTAINED,
+                    cores=self.policy.sustainable_cores,
+                    operating_point=self.config.machine.nominal,
+                )
+
+        self._apply(decision)
+        if decision.mode is SprintMode.SPRINT:
+            self._sprint_started_at_s = self._time_s
+        return decision
+
+    def on_quantum(
+        self, energy_j: float, dt_s: float, junction_c: float
+    ) -> SprintDecision | None:
+        """Account one quantum; returns a new decision if the chip must reconfigure."""
+        if dt_s < 0 or energy_j < 0:
+            raise ValueError("time and energy must be non-negative")
+        self._time_s += dt_s
+        if self._mode is not SprintMode.SPRINT:
+            return None
+
+        self.budget.record(energy_j, dt_s, junction_c)
+        sprint_elapsed = self._time_s - (self._sprint_started_at_s or 0.0)
+        over_duration = (
+            self.policy.enforce_max_duration
+            and sprint_elapsed >= self.policy.max_sprint_duration_s
+        )
+        over_temperature = junction_c >= self.config.package.limits.max_junction_c
+        if self.budget.exhausted or over_duration or over_temperature:
+            return self._terminate_sprint()
+        return None
+
+    def finish_task(self) -> None:
+        """The workload completed: all cores idle and the package cools."""
+        self._mode = SprintMode.COOLDOWN
+        self._cores = 0
+        self._transitions.append(_Transition(self._time_s, self._mode, 0))
+
+    # -- internals ----------------------------------------------------------------------
+
+    def _terminate_sprint(self) -> SprintDecision:
+        """Budget exhausted: migrate to one core or throttle the clock."""
+        self._sprint_exhausted_at_s = self._time_s
+        if self.policy.termination is TerminationAction.MIGRATE_TO_SINGLE_CORE:
+            decision = SprintDecision(
+                mode=SprintMode.SUSTAINED,
+                cores=self.policy.sustainable_cores,
+                operating_point=self.config.machine.nominal,
+            )
+        else:
+            decision = SprintDecision(
+                mode=SprintMode.THROTTLED,
+                cores=self._cores,
+                operating_point=self.policy.throttled_point(self._cores),
+            )
+        self._apply(decision)
+        return decision
+
+    def _apply(self, decision: SprintDecision) -> None:
+        self._mode = decision.mode
+        self._cores = decision.cores
+        self._operating_point = decision.operating_point
+        self._transitions.append(
+            _Transition(self._time_s, decision.mode, decision.cores)
+        )

@@ -1,0 +1,133 @@
+"""Result containers for sprint simulations."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.arch.simulator import ExecutionTrace
+from repro.core.modes import ExecutionMode, SprintMode
+
+
+@dataclass(frozen=True)
+class ModeInterval:
+    """One contiguous interval spent in a single sprint mode."""
+
+    mode: SprintMode
+    start_s: float
+    end_s: float
+    active_cores: int
+
+    def __post_init__(self) -> None:
+        if self.end_s < self.start_s:
+            raise ValueError("interval end must not precede its start")
+        if self.active_cores < 0:
+            raise ValueError("active core count must be non-negative")
+
+    @property
+    def duration_s(self) -> float:
+        """Length of the interval."""
+        return self.end_s - self.start_s
+
+
+@dataclass
+class SprintMetrics:
+    """Aggregated quantities accumulated while a simulation runs."""
+
+    total_energy_j: float = 0.0
+    peak_junction_c: float = float("-inf")
+    peak_power_w: float = 0.0
+    dram_bytes: float = 0.0
+    instructions: float = 0.0
+    time_by_mode_s: dict[SprintMode, float] = field(default_factory=dict)
+    energy_by_mode_j: dict[SprintMode, float] = field(default_factory=dict)
+
+    def record_quantum(
+        self,
+        mode: SprintMode,
+        dt_s: float,
+        energy_j: float,
+        junction_c: float,
+        instructions: float,
+        dram_bytes: float,
+    ) -> None:
+        """Fold one quantum's observations into the aggregates."""
+        if dt_s < 0 or energy_j < 0:
+            raise ValueError("time and energy must be non-negative")
+        self.total_energy_j += energy_j
+        self.instructions += instructions
+        self.dram_bytes += dram_bytes
+        self.peak_junction_c = max(self.peak_junction_c, junction_c)
+        if dt_s > 0:
+            self.peak_power_w = max(self.peak_power_w, energy_j / dt_s)
+        self.time_by_mode_s[mode] = self.time_by_mode_s.get(mode, 0.0) + dt_s
+        self.energy_by_mode_j[mode] = self.energy_by_mode_j.get(mode, 0.0) + energy_j
+
+    def time_in(self, mode: SprintMode) -> float:
+        """Total time spent in one mode."""
+        return self.time_by_mode_s.get(mode, 0.0)
+
+    def energy_in(self, mode: SprintMode) -> float:
+        """Total energy dissipated in one mode."""
+        return self.energy_by_mode_j.get(mode, 0.0)
+
+
+@dataclass
+class SprintResult:
+    """Outcome of executing one task under one execution mode."""
+
+    workload_name: str
+    input_label: str
+    execution_mode: ExecutionMode
+    completed: bool
+    total_time_s: float
+    metrics: SprintMetrics
+    mode_timeline: list[ModeInterval]
+    #: Fraction of the task's instructions retired while sprinting.
+    sprint_completion_fraction: float
+    #: Simulated time at which the sprint terminated (None if it covered the task).
+    sprint_exhausted_at_s: float | None
+    #: Junction temperature trace sampled once per quantum.
+    junction_trace_c: np.ndarray
+    trace_times_s: np.ndarray
+    execution_trace: ExecutionTrace
+
+    @property
+    def total_energy_j(self) -> float:
+        """Total dynamic energy of the task."""
+        return self.metrics.total_energy_j
+
+    @property
+    def peak_junction_c(self) -> float:
+        """Hottest junction temperature observed."""
+        return self.metrics.peak_junction_c
+
+    @property
+    def average_power_w(self) -> float:
+        """Average chip power over the task."""
+        if self.total_time_s == 0:
+            return 0.0
+        return self.total_energy_j / self.total_time_s
+
+    @property
+    def sprint_duration_s(self) -> float:
+        """Time spent in sprint mode."""
+        return self.metrics.time_in(SprintMode.SPRINT)
+
+    @property
+    def sprint_was_truncated(self) -> bool:
+        """True when the thermal budget ran out before the task finished."""
+        return self.sprint_exhausted_at_s is not None
+
+    def speedup_over(self, baseline: "SprintResult") -> float:
+        """Responsiveness improvement over another result for the same task."""
+        if self.total_time_s <= 0:
+            raise ZeroDivisionError("result has zero duration")
+        return baseline.total_time_s / self.total_time_s
+
+    def energy_ratio_over(self, baseline: "SprintResult") -> float:
+        """Dynamic energy normalised to another result (Figure 11)."""
+        if baseline.total_energy_j <= 0:
+            raise ZeroDivisionError("baseline consumed no energy")
+        return self.total_energy_j / baseline.total_energy_j

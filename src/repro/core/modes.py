@@ -1,0 +1,41 @@
+"""Operating modes of a sprint-enabled system."""
+
+from __future__ import annotations
+
+from enum import Enum
+
+
+class SprintMode(Enum):
+    """Thermal/operational state of the chip (Figure 2's three regimes)."""
+
+    #: All cores dark; the system waits for work at ambient temperature.
+    IDLE = "idle"
+    #: Single-core operation within the sustainable thermal budget.
+    SUSTAINED = "sustained"
+    #: Many cores (or a boosted core) active above the sustainable budget.
+    SPRINT = "sprint"
+    #: Sprint capacity exhausted and the hardware throttled frequency because
+    #: software did not deactivate cores in time (Section 7's last resort).
+    THROTTLED = "throttled"
+    #: Computation finished; the package is dissipating stored heat.
+    COOLDOWN = "cooldown"
+
+
+class ExecutionMode(Enum):
+    """How a task is executed for the Section 8 comparisons."""
+
+    #: Single core at the nominal operating point (the non-sprint baseline).
+    SUSTAINED_SINGLE_CORE = "sustained"
+    #: Parallel sprint: activate all sprint cores at nominal V/f.
+    PARALLEL_SPRINT = "parallel"
+    #: DVFS sprint: one core boosted to use the same power headroom.
+    DVFS_SPRINT = "dvfs"
+
+
+class TerminationAction(Enum):
+    """What happens when the sprint budget is exhausted (Section 7)."""
+
+    #: Software migrates all threads to one core and powers the rest down.
+    MIGRATE_TO_SINGLE_CORE = "migrate"
+    #: Hardware divides the clock by the active-core count as a last resort.
+    HARDWARE_THROTTLE = "throttle"

@@ -1,0 +1,121 @@
+"""Sprint policy: when to sprint, with what, and how to stop.
+
+Section 7 describes the software side of sprinting: sprint whenever there is
+enough thread-level parallelism, watch the thermal budget, and when it nears
+exhaustion migrate every thread to one core (with a hardware frequency
+throttle as the last resort).  :class:`SprintPolicy` encodes those choices
+as data so experiments and ablations can vary them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.core.modes import ExecutionMode, TerminationAction
+from repro.energy.dvfs import DvfsModel, OperatingPoint, PAPER_DVFS
+
+
+@dataclass(frozen=True)
+class SprintPolicy:
+    """Tunable decisions of the sprint runtime."""
+
+    #: Cores activated for a parallel sprint (16 in the paper's design).
+    sprint_cores: int = 16
+    #: Cores that can run within the sustainable budget (1 in the paper).
+    sustainable_cores: int = 1
+    #: Maximum sprint duration the design targets (1 second in Section 3).
+    #: This is the duration the thermal design is sized for; the runtime
+    #: terminates sprints on budget exhaustion, and only enforces this as a
+    #: hard cutoff when ``enforce_max_duration`` is set (an ablation knob).
+    max_sprint_duration_s: float = 1.0
+    enforce_max_duration: bool = False
+    #: Minimum fraction of the thermal budget required to start a sprint.
+    min_budget_fraction: float = 0.05
+    #: What to do when the budget is exhausted mid-computation.
+    termination: TerminationAction = TerminationAction.MIGRATE_TO_SINGLE_CORE
+    #: DVFS rules used when sprinting by voltage boosting instead.
+    dvfs: DvfsModel = PAPER_DVFS
+
+    def __post_init__(self) -> None:
+        if self.sprint_cores < 1:
+            raise ValueError("sprint core count must be positive")
+        if self.sustainable_cores < 1:
+            raise ValueError("sustainable core count must be positive")
+        if self.sprint_cores < self.sustainable_cores:
+            raise ValueError("sprint cores must be at least the sustainable cores")
+        if self.max_sprint_duration_s <= 0:
+            raise ValueError("maximum sprint duration must be positive")
+        if not 0.0 <= self.min_budget_fraction <= 1.0:
+            raise ValueError("minimum budget fraction must be in [0, 1]")
+
+    # -- derived quantities ---------------------------------------------------------
+
+    @property
+    def power_headroom(self) -> float:
+        """Sprint power as a multiple of the sustainable power (16x in the paper)."""
+        return self.sprint_cores / self.sustainable_cores
+
+    def sprint_power_w(self, core_power_w: float) -> float:
+        """Chip power during a parallel sprint with every core active."""
+        if core_power_w <= 0:
+            raise ValueError("core power must be positive")
+        return self.sprint_cores * core_power_w
+
+    # -- decisions --------------------------------------------------------------------
+
+    def cores_to_activate(self, runnable_threads: int) -> int:
+        """How many cores a sprint should wake for a given thread count.
+
+        Software sprints only when there are more runnable threads than
+        powered cores (Section 7); it never wakes more cores than threads.
+        """
+        if runnable_threads < 1:
+            raise ValueError("thread count must be positive")
+        return max(self.sustainable_cores, min(self.sprint_cores, runnable_threads))
+
+    def should_sprint(self, runnable_threads: int, budget_fraction: float) -> bool:
+        """Sprint iff there is parallelism to exploit and budget to spend."""
+        if not 0.0 <= budget_fraction <= 1.0:
+            raise ValueError("budget fraction must be in [0, 1]")
+        return (
+            runnable_threads > self.sustainable_cores
+            and budget_fraction >= self.min_budget_fraction
+        )
+
+    def dvfs_sprint_point(self) -> OperatingPoint:
+        """Operating point of a single-core DVFS sprint using the same headroom.
+
+        The paper's cube-root rule: a 16x power headroom buys roughly a
+        2.5x frequency boost (Section 8.4).
+        """
+        return self.dvfs.boosted_point_for_headroom(self.power_headroom)
+
+    def throttled_point(self, active_cores: int) -> OperatingPoint:
+        """Emergency operating point when cores stay active past exhaustion."""
+        return self.dvfs.throttled_point(active_cores, self.sustainable_cores)
+
+    def post_sprint_cores(self, active_cores: int) -> int:
+        """Cores that remain powered after the sprint terminates."""
+        if self.termination is TerminationAction.MIGRATE_TO_SINGLE_CORE:
+            return self.sustainable_cores
+        return active_cores
+
+    def execution_cores(self, mode: ExecutionMode) -> int:
+        """Cores used at the start of a task under each execution mode."""
+        if mode is ExecutionMode.PARALLEL_SPRINT:
+            return self.sprint_cores
+        return self.sustainable_cores
+
+    # -- variants for ablations --------------------------------------------------------
+
+    def with_sprint_cores(self, cores: int) -> "SprintPolicy":
+        """Copy with a different sprint intensity (Figure 10's 1/4/16/64)."""
+        return replace(self, sprint_cores=cores)
+
+    def with_termination(self, action: TerminationAction) -> "SprintPolicy":
+        """Copy with a different exhaustion response (ablation)."""
+        return replace(self, termination=action)
+
+
+#: The paper's design point: sprint with 16 cores, sustain 1, migrate on exhaustion.
+PAPER_POLICY = SprintPolicy()

@@ -1,0 +1,38 @@
+"""Energy substrate: instruction energy tables, core power states, DVFS.
+
+Implements the McPAT-derived per-instruction energy accounting of Section
+8.1, the 10%-power sleep state used on PAUSE, and the voltage/frequency
+scaling rules behind the DVFS-sprinting comparison of Sections 8.4 and 8.6.
+"""
+
+from repro.energy.core import (
+    ChipPowerAccount,
+    CorePowerModel,
+    CoreState,
+    DEFAULT_INSTRUCTION_MIX,
+)
+from repro.energy.dvfs import PAPER_DVFS, DvfsModel, OperatingPoint
+from repro.energy.instruction import (
+    DEFAULT_MIX,
+    EnergyTable,
+    InstructionClass,
+    InstructionEnergyModel,
+    InstructionMix,
+    PAPER_22NM_LOP,
+)
+
+__all__ = [
+    "ChipPowerAccount",
+    "CorePowerModel",
+    "CoreState",
+    "DEFAULT_INSTRUCTION_MIX",
+    "DEFAULT_MIX",
+    "DvfsModel",
+    "EnergyTable",
+    "InstructionClass",
+    "InstructionEnergyModel",
+    "InstructionMix",
+    "OperatingPoint",
+    "PAPER_22NM_LOP",
+    "PAPER_DVFS",
+]

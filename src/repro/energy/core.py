@@ -1,0 +1,179 @@
+"""Core-level power states and power accounting.
+
+The paper's evaluation uses a simple core power model layered on the
+per-instruction energy table:
+
+* an **active** core at nominal voltage/frequency dissipates ~1 W,
+* a core sleeping after a PAUSE instruction dissipates 10% of an active
+  core (Section 8.1),
+* a power-gated ("dark") core dissipates essentially nothing.
+
+Frequency and voltage scaling are handled by :mod:`repro.energy.dvfs`; this
+module multiplies the resulting scale factors into per-state power numbers
+and accumulates per-core energy for the thermal coupling.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+from repro.energy.dvfs import OperatingPoint
+from repro.energy.instruction import (
+    DEFAULT_MIX,
+    InstructionEnergyModel,
+    InstructionMix,
+)
+
+
+class CoreState(Enum):
+    """Power state of a single core."""
+
+    OFF = "off"
+    SLEEP = "sleep"
+    ACTIVE = "active"
+
+
+@dataclass(frozen=True)
+class CorePowerModel:
+    """Power of one core in each state, with voltage/frequency scaling.
+
+    Parameters
+    ----------
+    nominal:
+        The nominal operating point (1 GHz at 1.0 V in the paper's design).
+    active_power_w:
+        Peak power of an active core at the nominal operating point.
+    sleep_fraction:
+        Power of a sleeping core relative to an active one (0.1 in the paper).
+    off_power_w:
+        Residual power of a power-gated core (assumed negligible).
+    """
+
+    nominal: OperatingPoint = field(
+        default_factory=lambda: OperatingPoint(frequency_hz=1e9, voltage_v=1.0)
+    )
+    active_power_w: float = 1.0
+    sleep_fraction: float = 0.1
+    off_power_w: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.active_power_w <= 0:
+            raise ValueError("active power must be positive")
+        if not 0 <= self.sleep_fraction <= 1:
+            raise ValueError("sleep fraction must be in [0, 1]")
+        if self.off_power_w < 0:
+            raise ValueError("off power must be non-negative")
+
+    def power_w(
+        self, state: CoreState, operating_point: OperatingPoint | None = None
+    ) -> float:
+        """Power of a core in ``state`` at the given operating point."""
+        if state is CoreState.OFF:
+            return self.off_power_w
+        point = operating_point or self.nominal
+        scale = point.dynamic_power_scale(self.nominal)
+        active = self.active_power_w * scale
+        if state is CoreState.SLEEP:
+            return active * self.sleep_fraction
+        return active
+
+    def energy_j(
+        self,
+        state: CoreState,
+        duration_s: float,
+        operating_point: OperatingPoint | None = None,
+    ) -> float:
+        """Energy consumed by a core held in ``state`` for ``duration_s``."""
+        if duration_s < 0:
+            raise ValueError("duration must be non-negative")
+        return self.power_w(state, operating_point) * duration_s
+
+    def calibrated_energy_model(
+        self, mix: InstructionMix | None = None
+    ) -> InstructionEnergyModel:
+        """Instruction energy model consistent with ``active_power_w``.
+
+        The default table is already calibrated for ~1 W at 1 GHz; this
+        helper exists so callers can sanity-check the two views agree.
+        """
+        return InstructionEnergyModel()
+
+    def sleep_power_w(self, operating_point: OperatingPoint | None = None) -> float:
+        """Convenience accessor for the sleeping-core power."""
+        return self.power_w(CoreState.SLEEP, operating_point)
+
+
+@dataclass
+class ChipPowerAccount:
+    """Accumulates energy consumed by every core of the chip over time.
+
+    The sprint runtime (Section 7) estimates the remaining thermal budget
+    from dissipated energy; this account is the bookkeeping it relies on.
+    """
+
+    model: CorePowerModel
+    n_cores: int
+    energy_j_per_core: list[float] = field(default_factory=list)
+    elapsed_s: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.n_cores <= 0:
+            raise ValueError("n_cores must be positive")
+        if not self.energy_j_per_core:
+            self.energy_j_per_core = [0.0] * self.n_cores
+        elif len(self.energy_j_per_core) != self.n_cores:
+            raise ValueError("energy_j_per_core length must equal n_cores")
+
+    def charge(
+        self,
+        core_states: list[CoreState],
+        duration_s: float,
+        operating_point: OperatingPoint | None = None,
+    ) -> float:
+        """Charge each core for ``duration_s`` in its current state.
+
+        Returns the total energy added in this interval (joules).
+        """
+        if len(core_states) != self.n_cores:
+            raise ValueError(
+                f"expected {self.n_cores} core states, got {len(core_states)}"
+            )
+        if duration_s < 0:
+            raise ValueError("duration must be non-negative")
+        added = 0.0
+        for index, state in enumerate(core_states):
+            energy = self.model.energy_j(state, duration_s, operating_point)
+            self.energy_j_per_core[index] += energy
+            added += energy
+        self.elapsed_s += duration_s
+        return added
+
+    def charge_energy(self, core_index: int, energy_j: float) -> None:
+        """Directly add measured energy (e.g. from instruction counts) to a core."""
+        if not 0 <= core_index < self.n_cores:
+            raise ValueError(f"core index {core_index} out of range")
+        if energy_j < 0:
+            raise ValueError("energy must be non-negative")
+        self.energy_j_per_core[core_index] += energy_j
+
+    @property
+    def total_energy_j(self) -> float:
+        """Total energy consumed by all cores since the account was opened."""
+        return sum(self.energy_j_per_core)
+
+    @property
+    def average_power_w(self) -> float:
+        """Average chip power over the elapsed interval (0 if no time elapsed)."""
+        if self.elapsed_s == 0.0:
+            return 0.0
+        return self.total_energy_j / self.elapsed_s
+
+    def reset(self) -> None:
+        """Zero the account (e.g. at sprint start)."""
+        self.energy_j_per_core = [0.0] * self.n_cores
+        self.elapsed_s = 0.0
+
+
+#: Default mix re-exported for convenience alongside the power model.
+DEFAULT_INSTRUCTION_MIX = DEFAULT_MIX

@@ -1,0 +1,182 @@
+"""Per-instruction dynamic energy model (McPAT substitute).
+
+The paper derives per-instruction energy estimates from McPAT configured for
+a 1 GHz, 1 W core in a 22 nm low-operating-power (LOP) process, and samples
+the energy consumed by each core every 1000 cycles to drive the thermal
+model (Section 8.1).  McPAT itself is not available, so this module provides
+a table-driven equivalent: each instruction class carries a dynamic energy
+cost, memory-hierarchy events carry their own costs, and the table is
+calibrated so that a fully active core executing a typical instruction mix
+at 1 GHz dissipates approximately 1 W.
+
+The absolute values matter less than the constraints they encode:
+
+* an active core is ~1 W at nominal frequency and voltage,
+* a sleeping core (executing PAUSE) consumes 10% of an active core,
+* memory accesses are significantly more expensive than ALU operations, so
+  memory-bound workloads burn energy in the uncore as well.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, fields
+from enum import Enum
+
+
+class InstructionClass(Enum):
+    """Coarse instruction classes distinguished by the energy model."""
+
+    INT_ALU = "int_alu"
+    INT_MUL = "int_mul"
+    FP = "fp"
+    LOAD = "load"
+    STORE = "store"
+    BRANCH = "branch"
+    PAUSE = "pause"
+
+
+@dataclass(frozen=True)
+class EnergyTable:
+    """Dynamic energy per event, in picojoules.
+
+    ``base_cycle_pj`` is charged for every executed cycle (clock tree,
+    fetch/decode, register file) on top of the per-instruction cost.
+    """
+
+    base_cycle_pj: float = 600.0
+    int_alu_pj: float = 250.0
+    int_mul_pj: float = 500.0
+    fp_pj: float = 700.0
+    load_pj: float = 450.0
+    store_pj: float = 500.0
+    branch_pj: float = 200.0
+    pause_pj: float = 95.0
+    l1_hit_pj: float = 100.0
+    l2_hit_pj: float = 800.0
+    dram_access_pj: float = 8000.0
+
+    def __post_init__(self) -> None:
+        for item in fields(self):
+            value = getattr(self, item.name)
+            if value < 0:
+                raise ValueError(f"{item.name} must be non-negative, got {value}")
+
+    def instruction_pj(self, kind: InstructionClass) -> float:
+        """Dynamic energy of one instruction of the given class (pJ)."""
+        return {
+            InstructionClass.INT_ALU: self.int_alu_pj,
+            InstructionClass.INT_MUL: self.int_mul_pj,
+            InstructionClass.FP: self.fp_pj,
+            InstructionClass.LOAD: self.load_pj,
+            InstructionClass.STORE: self.store_pj,
+            InstructionClass.BRANCH: self.branch_pj,
+            InstructionClass.PAUSE: self.pause_pj,
+        }[kind]
+
+
+#: Energy table calibrated so a 1 GHz in-order core running a typical mix is ~1 W.
+PAPER_22NM_LOP = EnergyTable()
+
+
+@dataclass(frozen=True)
+class InstructionMix:
+    """Fractional breakdown of a workload's dynamic instruction stream.
+
+    Fractions must be non-negative and sum to 1 (PAUSE instructions are
+    accounted separately by the runtime, not as part of the mix).
+    """
+
+    int_alu: float = 0.45
+    int_mul: float = 0.05
+    fp: float = 0.10
+    load: float = 0.22
+    store: float = 0.10
+    branch: float = 0.08
+
+    def __post_init__(self) -> None:
+        values = self.as_dict().values()
+        if any(v < 0 for v in values):
+            raise ValueError("instruction mix fractions must be non-negative")
+        total = sum(values)
+        if abs(total - 1.0) > 1e-6:
+            raise ValueError(f"instruction mix fractions must sum to 1, got {total}")
+
+    def as_dict(self) -> dict[str, float]:
+        """Mapping from field name to fraction."""
+        return {
+            "int_alu": self.int_alu,
+            "int_mul": self.int_mul,
+            "fp": self.fp,
+            "load": self.load,
+            "store": self.store,
+            "branch": self.branch,
+        }
+
+    @property
+    def memory_fraction(self) -> float:
+        """Fraction of instructions that access memory (loads + stores)."""
+        return self.load + self.store
+
+
+class InstructionEnergyModel:
+    """Computes dynamic energy from instruction counts and cache events."""
+
+    def __init__(self, table: EnergyTable | None = None) -> None:
+        self.table = table or PAPER_22NM_LOP
+
+    def average_instruction_pj(self, mix: InstructionMix) -> float:
+        """Average per-instruction energy (pJ) for a mix, excluding caches."""
+        table = self.table
+        return (
+            table.base_cycle_pj
+            + mix.int_alu * table.int_alu_pj
+            + mix.int_mul * table.int_mul_pj
+            + mix.fp * table.fp_pj
+            + mix.load * table.load_pj
+            + mix.store * table.store_pj
+            + mix.branch * table.branch_pj
+        )
+
+    def instructions_energy_j(self, instructions: float, mix: InstructionMix) -> float:
+        """Dynamic energy (J) of executing ``instructions`` with the given mix."""
+        if instructions < 0:
+            raise ValueError("instruction count must be non-negative")
+        return instructions * self.average_instruction_pj(mix) * 1e-12
+
+    def memory_energy_j(
+        self, l1_hits: float, l2_hits: float, dram_accesses: float
+    ) -> float:
+        """Dynamic energy (J) of the memory hierarchy events."""
+        if min(l1_hits, l2_hits, dram_accesses) < 0:
+            raise ValueError("event counts must be non-negative")
+        table = self.table
+        return (
+            l1_hits * table.l1_hit_pj
+            + l2_hits * table.l2_hit_pj
+            + dram_accesses * table.dram_access_pj
+        ) * 1e-12
+
+    def pause_energy_j(self, pause_cycles: float) -> float:
+        """Energy (J) of cycles spent asleep after a PAUSE instruction."""
+        if pause_cycles < 0:
+            raise ValueError("pause cycle count must be non-negative")
+        return pause_cycles * self.table.pause_pj * 1e-12
+
+    def core_power_w(
+        self, mix: InstructionMix, frequency_hz: float, ipc: float = 1.0
+    ) -> float:
+        """Average core power (W) running flat out at the given frequency.
+
+        Assumes the in-order pipeline of the paper: one instruction per cycle
+        unless stalled, so power = energy/instruction x IPC x frequency.
+        """
+        if frequency_hz <= 0:
+            raise ValueError("frequency must be positive")
+        if not 0 < ipc <= 1.0:
+            raise ValueError("ipc must be in (0, 1] for the in-order core model")
+        per_instruction_j = self.average_instruction_pj(mix) * 1e-12
+        return per_instruction_j * ipc * frequency_hz
+
+
+#: Default instruction mix used when a workload does not provide its own.
+DEFAULT_MIX = InstructionMix()

@@ -1,0 +1,53 @@
+"""Experiment harnesses: one module per table/figure of the paper.
+
+Every module exposes a ``run(...)`` function returning plain dataclasses
+with the same rows/series the paper plots, so the benchmarks, the examples
+and EXPERIMENTS.md all draw from one implementation:
+
+==================  =========================================================
+Module              Paper content
+==================  =========================================================
+``fig01_trends``    power density and dark-silicon fraction vs process node
+``fig02_modes``     cores/compute/temperature traces for the three regimes
+``fig04_thermal``   sprint-initiation and cooldown transients
+``fig06_activation`` supply voltage for abrupt / 1.28 µs / 128 µs ramps
+``table1_kernels``  the six-kernel workload suite
+``fig07_speedup``   16-core parallel vs DVFS sprints, both PCM sizes
+``fig08_sobel``     sobel speedup vs input megapixels
+``fig09_inputs``    speedup across input classes A-D
+``fig10_cores``     speedup vs core count (1/4/16/64)
+``fig11_energy``    normalised dynamic energy vs core count
+``sec4_sizing``     heat-store sizing numbers of Sections 4.1-4.3
+``sec6_sources``    power-source feasibility of Section 6
+==================  =========================================================
+"""
+
+from repro.experiments import (
+    fig01_trends,
+    fig02_modes,
+    fig04_thermal,
+    fig06_activation,
+    fig07_speedup,
+    fig08_sobel,
+    fig09_inputs,
+    fig10_cores,
+    fig11_energy,
+    sec4_sizing,
+    sec6_sources,
+    table1_kernels,
+)
+
+__all__ = [
+    "fig01_trends",
+    "fig02_modes",
+    "fig04_thermal",
+    "fig06_activation",
+    "fig07_speedup",
+    "fig08_sobel",
+    "fig09_inputs",
+    "fig10_cores",
+    "fig11_energy",
+    "sec4_sizing",
+    "sec6_sources",
+    "table1_kernels",
+]

@@ -1,0 +1,66 @@
+"""Figure 1: power density and dark-silicon projections per process node."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.trends.scaling import (
+    PAPER_NODES_NM,
+    PAPER_SCENARIOS,
+    ScalingScenario,
+    power_density_trend,
+)
+
+
+@dataclass(frozen=True)
+class TrendSeries:
+    """One scenario's series for both panels of Figure 1."""
+
+    scenario: str
+    nodes_nm: tuple[int, ...]
+    power_density: tuple[float, ...]
+    dark_percent: tuple[float, ...]
+
+
+@dataclass(frozen=True)
+class Fig01Result:
+    """All three scenario series."""
+
+    series: tuple[TrendSeries, ...]
+
+    def by_scenario(self, name: str) -> TrendSeries:
+        """Look a series up by scenario name."""
+        for entry in self.series:
+            if entry.scenario == name:
+                return entry
+        raise KeyError(f"no scenario named {name!r}")
+
+
+def run(
+    scenarios: tuple[ScalingScenario, ...] = PAPER_SCENARIOS,
+    nodes_nm: tuple[int, ...] = PAPER_NODES_NM,
+) -> Fig01Result:
+    """Regenerate both panels of Figure 1."""
+    series = []
+    for scenario in scenarios:
+        points = power_density_trend(scenario, nodes_nm)
+        series.append(
+            TrendSeries(
+                scenario=scenario.name,
+                nodes_nm=tuple(p.node_nm for p in points),
+                power_density=tuple(p.power_density for p in points),
+                dark_percent=tuple(p.dark_percent for p in points),
+            )
+        )
+    return Fig01Result(series=tuple(series))
+
+
+def format_table(result: Fig01Result) -> str:
+    """Human-readable table of the Figure 1 series."""
+    lines = ["scenario | node (nm) | power density | dark silicon (%)"]
+    for series in result.series:
+        for node, density, dark in zip(
+            series.nodes_nm, series.power_density, series.dark_percent
+        ):
+            lines.append(f"{series.scenario} | {node} | {density:.2f} | {dark:.1f}")
+    return "\n".join(lines)

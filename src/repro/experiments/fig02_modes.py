@@ -1,0 +1,105 @@
+"""Figure 2: cores-active, cumulative computation and temperature over time.
+
+The paper's Figure 2 contrasts three execution regimes for the same burst of
+computation: (a) sustained single-core execution, (b) a bare sprint whose
+temperature ramps quickly to the limit, and (c) a sprint augmented with
+phase change material whose melt plateau extends the sprint.  This
+experiment reproduces those three columns by running one workload under
+each regime and reporting the three traces the figure plots.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.config import SystemConfig
+from repro.core.modes import ExecutionMode
+from repro.core.simulation import SprintSimulation
+from repro.thermal.package import PcmPackage
+from repro.workloads.descriptor import WorkloadDescriptor
+from repro.workloads.suite import kernel_suite
+
+
+@dataclass(frozen=True)
+class ModeTrace:
+    """The three Figure 2 rows for one execution regime."""
+
+    label: str
+    time_s: np.ndarray
+    active_cores: np.ndarray
+    cumulative_instructions: np.ndarray
+    junction_c: np.ndarray
+    total_time_s: float
+
+    @property
+    def final_temperature_c(self) -> float:
+        """Junction temperature when the computation finishes."""
+        return float(self.junction_c[-1])
+
+
+@dataclass(frozen=True)
+class Fig02Result:
+    """Traces for the sustained, bare-sprint and PCM-augmented regimes."""
+
+    sustained: ModeTrace
+    sprint_without_pcm: ModeTrace
+    sprint_with_pcm: ModeTrace
+
+    @property
+    def sprint_speedup(self) -> float:
+        """Responsiveness of the PCM-augmented sprint over sustained execution."""
+        return self.sustained.total_time_s / self.sprint_with_pcm.total_time_s
+
+    @property
+    def pcm_extends_sprint(self) -> bool:
+        """True when the PCM-augmented sprint completes more work while sprinting."""
+        return (
+            self.sprint_with_pcm.total_time_s <= self.sprint_without_pcm.total_time_s
+        )
+
+
+def _trace(simulation: SprintSimulation, workload, mode: ExecutionMode, label: str) -> ModeTrace:
+    result = simulation.run(workload, execution_mode=mode)
+    trace = result.execution_trace
+    times = trace.times_s()
+    return ModeTrace(
+        label=label,
+        time_s=times,
+        active_cores=trace.active_cores(),
+        cumulative_instructions=trace.cumulative_instructions(),
+        junction_c=result.junction_trace_c[1 : len(times) + 1],
+        total_time_s=result.total_time_s,
+    )
+
+
+def run(
+    workload: WorkloadDescriptor | None = None,
+    config: SystemConfig | None = None,
+) -> Fig02Result:
+    """Regenerate the three columns of Figure 2 for one workload."""
+    config = config or SystemConfig.paper_default()
+    if workload is None:
+        workload = kernel_suite()["sobel"].workload("B")
+
+    pcm_sim = SprintSimulation(config)
+    # "Without PCM": shrink the PCM to a sliver so only sensible heat remains,
+    # mirroring Figure 2(b)'s un-augmented sprint.
+    bare_package: PcmPackage = config.package.with_pcm_mass(config.package.pcm_mass_g / 100.0)
+    bare_sim = SprintSimulation(config.with_package(bare_package))
+
+    sustained = _trace(
+        pcm_sim, workload, ExecutionMode.SUSTAINED_SINGLE_CORE, "sustained"
+    )
+    sprint_bare = _trace(
+        bare_sim, workload, ExecutionMode.PARALLEL_SPRINT, "sprint (no PCM)"
+    )
+    sprint_pcm = _trace(
+        pcm_sim, workload, ExecutionMode.PARALLEL_SPRINT, "sprint (PCM)"
+    )
+    return Fig02Result(
+        sustained=sustained,
+        sprint_without_pcm=sprint_bare,
+        sprint_with_pcm=sprint_pcm,
+    )

@@ -1,0 +1,101 @@
+"""Figure 8: sobel speedup versus input size (megapixels).
+
+Sweeps the sobel kernel from sub-megapixel images to 12 MP and reports the
+speedup over the single-core baseline for four configurations: a 16-core
+parallel sprint with the full 150 mg PCM, the same with 1.5 mg, a DVFS
+sprint with 1.5 mg, and the single-core baseline itself (1.0 by
+definition).  The paper's shape: the full design sustains ~linear 16-core
+speedup at every resolution, while the constrained design's speedup falls
+away as a fixed-size sprint covers less of a growing computation, and DVFS
+collapses even sooner.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.config import SystemConfig
+from repro.core.simulation import SprintSimulation
+from repro.workloads.suite import kernel_suite
+
+#: Image sizes on the x-axis (megapixels).
+PAPER_MEGAPIXELS: tuple[float, ...] = (0.5, 1.0, 2.0, 4.0, 6.0, 8.0, 10.0, 12.0)
+
+
+@dataclass(frozen=True)
+class SobelPoint:
+    """Speedups at one image size."""
+
+    megapixels: float
+    parallel_full_pcm: float
+    parallel_small_pcm: float
+    dvfs_small_pcm: float
+    single_core: float
+    baseline_time_s: float
+    small_pcm_truncated: bool
+
+
+@dataclass(frozen=True)
+class Fig08Result:
+    """The full sweep."""
+
+    points: tuple[SobelPoint, ...]
+
+    @property
+    def megapixels(self) -> tuple[float, ...]:
+        """The x-axis values."""
+        return tuple(p.megapixels for p in self.points)
+
+    @property
+    def full_pcm_sustains_all_sizes(self) -> bool:
+        """Paper: the 150 mg design sustains the sprint at every resolution."""
+        speedups = [p.parallel_full_pcm for p in self.points]
+        return min(speedups) >= 0.75 * max(speedups)
+
+    @property
+    def small_pcm_drops_off(self) -> bool:
+        """Paper: the 1.5 mg design's speedup falls as the input grows."""
+        return self.points[-1].parallel_small_pcm < self.points[0].parallel_small_pcm
+
+
+def run(
+    megapixels: tuple[float, ...] = PAPER_MEGAPIXELS,
+    baseline_quantum_s: float = 2e-3,
+) -> Fig08Result:
+    """Regenerate Figure 8."""
+    if not megapixels:
+        raise ValueError("at least one image size is required")
+    family = kernel_suite()["sobel"]
+    full_sim = SprintSimulation(SystemConfig.paper_default())
+    small_sim = SprintSimulation(SystemConfig.small_pcm())
+
+    points = []
+    for mp in megapixels:
+        workload = family.workload_for_megapixels(mp)
+        baseline = full_sim.run_baseline(workload, quantum_s=baseline_quantum_s)
+        parallel_full = full_sim.run(workload)
+        parallel_small = small_sim.run(workload)
+        dvfs_small = small_sim.run_dvfs_sprint(workload)
+        points.append(
+            SobelPoint(
+                megapixels=mp,
+                parallel_full_pcm=parallel_full.speedup_over(baseline),
+                parallel_small_pcm=parallel_small.speedup_over(baseline),
+                dvfs_small_pcm=dvfs_small.speedup_over(baseline),
+                single_core=1.0,
+                baseline_time_s=baseline.total_time_s,
+                small_pcm_truncated=parallel_small.sprint_was_truncated,
+            )
+        )
+    return Fig08Result(points=tuple(points))
+
+
+def format_table(result: Fig08Result) -> str:
+    """Human-readable Figure 8 series."""
+    lines = ["MP | parallel 150mg | parallel 1.5mg | DVFS 1.5mg"]
+    for p in result.points:
+        lines.append(
+            f"{p.megapixels:g} | {p.parallel_full_pcm:.1f}x | "
+            f"{p.parallel_small_pcm:.1f}x | {p.dvfs_small_pcm:.1f}x"
+        )
+    return "\n".join(lines)

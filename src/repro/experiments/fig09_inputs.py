@@ -1,0 +1,92 @@
+"""Figure 9: 16-core speedup across input-size classes for both PCM sizes.
+
+For every kernel and every input class (A-D where available), report the
+parallel-sprint speedup with the fully provisioned (150 mg) and constrained
+(1.5 mg) packages.  The paper's trend: larger inputs exhibit higher parallel
+speedup but need more thermal capacitance to finish inside the sprint, so
+the gap between the two PCM sizes widens with input size.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.config import SystemConfig
+from repro.core.simulation import SprintSimulation
+from repro.workloads.suite import kernel_suite
+
+
+@dataclass(frozen=True)
+class InputSizePoint:
+    """One (kernel, input class) bar pair of Figure 9."""
+
+    kernel: str
+    input_label: str
+    megapixels: float
+    parallel_full_pcm: float
+    parallel_small_pcm: float
+    baseline_time_s: float
+    small_pcm_truncated: bool
+
+
+@dataclass(frozen=True)
+class Fig09Result:
+    """All bars of Figure 9."""
+
+    points: tuple[InputSizePoint, ...]
+
+    def kernel_series(self, kernel: str) -> tuple[InputSizePoint, ...]:
+        """All input classes of one kernel, smallest first."""
+        series = tuple(p for p in self.points if p.kernel == kernel)
+        if not series:
+            raise KeyError(f"no kernel named {kernel!r}")
+        return tuple(sorted(series, key=lambda p: p.input_label))
+
+    def speedup_grows_with_input(self, kernel: str) -> bool:
+        """Paper trend: larger inputs see equal-or-higher full-PCM speedups."""
+        series = self.kernel_series(kernel)
+        return series[-1].parallel_full_pcm >= series[0].parallel_full_pcm * 0.9
+
+
+def run(
+    kernels: tuple[str, ...] | None = None,
+    baseline_quantum_s: float = 2e-3,
+) -> Fig09Result:
+    """Regenerate Figure 9."""
+    suite = kernel_suite()
+    names = kernels or ("feature", "disparity", "sobel", "texture", "segment", "kmeans")
+    full_sim = SprintSimulation(SystemConfig.paper_default())
+    small_sim = SprintSimulation(SystemConfig.small_pcm())
+
+    points = []
+    for name in names:
+        family = suite[name]
+        for label in family.input_labels:
+            entry = family.entry(label)
+            workload = entry.workload
+            baseline = full_sim.run_baseline(workload, quantum_s=baseline_quantum_s)
+            parallel_full = full_sim.run(workload)
+            parallel_small = small_sim.run(workload)
+            points.append(
+                InputSizePoint(
+                    kernel=name,
+                    input_label=label,
+                    megapixels=entry.megapixels,
+                    parallel_full_pcm=parallel_full.speedup_over(baseline),
+                    parallel_small_pcm=parallel_small.speedup_over(baseline),
+                    baseline_time_s=baseline.total_time_s,
+                    small_pcm_truncated=parallel_small.sprint_was_truncated,
+                )
+            )
+    return Fig09Result(points=tuple(points))
+
+
+def format_table(result: Fig09Result) -> str:
+    """Human-readable Figure 9 series."""
+    lines = ["kernel | class | MP | parallel 150mg | parallel 1.5mg"]
+    for p in result.points:
+        lines.append(
+            f"{p.kernel} | {p.input_label} | {p.megapixels:g} | "
+            f"{p.parallel_full_pcm:.1f}x | {p.parallel_small_pcm:.1f}x"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,109 @@
+"""Figure 10: parallel speedup versus core count at fixed voltage/frequency.
+
+Sweeps 1, 4, 16 and 64 sprinting cores for every kernel at its largest
+input, without thermal constraints (the paper evaluates raw scaling here).
+Also reproduces the Section 8.5 observation that doubling the per-channel
+memory bandwidth lifts the bandwidth-limited kernels (feature, disparity)
+at 64 cores.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.arch.machine import MachineConfig, PAPER_MACHINE
+from repro.arch.simulator import ManyCoreSimulator
+from repro.workloads.suite import kernel_suite
+
+#: Core counts on the x-axis of Figure 10.
+PAPER_CORE_COUNTS: tuple[int, ...] = (1, 4, 16, 64)
+
+
+@dataclass(frozen=True)
+class CoreScalingRow:
+    """Speedups of one kernel across core counts."""
+
+    kernel: str
+    input_label: str
+    core_counts: tuple[int, ...]
+    speedups: tuple[float, ...]
+    #: Speedup at the largest core count with doubled memory bandwidth.
+    speedup_max_cores_2x_bandwidth: float
+
+    def speedup_at(self, cores: int) -> float:
+        """Speedup at one core count."""
+        try:
+            return self.speedups[self.core_counts.index(cores)]
+        except ValueError as error:
+            raise KeyError(f"core count {cores} was not simulated") from error
+
+    @property
+    def scales_to_max_cores(self) -> bool:
+        """Whether the kernel keeps gaining from the last doubling of cores."""
+        return self.speedups[-1] > 1.3 * self.speedups[-2]
+
+
+@dataclass(frozen=True)
+class Fig10Result:
+    """All kernels' scaling rows."""
+
+    rows: tuple[CoreScalingRow, ...]
+    core_counts: tuple[int, ...]
+
+    def by_kernel(self, name: str) -> CoreScalingRow:
+        """Look up one kernel's row."""
+        for row in self.rows:
+            if row.kernel == name:
+                return row
+        raise KeyError(f"no kernel named {name!r}")
+
+
+def run(
+    core_counts: tuple[int, ...] = PAPER_CORE_COUNTS,
+    machine: MachineConfig = PAPER_MACHINE,
+    kernels: tuple[str, ...] | None = None,
+    quantum_s: float = 1e-3,
+) -> Fig10Result:
+    """Regenerate Figure 10 (plus the 2x-bandwidth study)."""
+    if not core_counts or core_counts[0] < 1:
+        raise ValueError("core counts must start at 1 or more")
+    suite = kernel_suite()
+    names = kernels or ("feature", "disparity", "sobel", "texture", "segment", "kmeans")
+    simulator = ManyCoreSimulator(machine)
+    doubled = ManyCoreSimulator(machine.with_memory_bandwidth_scale(2.0))
+
+    rows = []
+    for name in names:
+        family = suite[name]
+        workload = family.workload(family.largest_label)
+        baseline = simulator.run(workload, cores=1, quantum_s=5 * quantum_s)
+        speedups = []
+        for cores in core_counts:
+            if cores == 1:
+                speedups.append(1.0)
+                continue
+            run_result = simulator.run(workload, cores=cores, quantum_s=quantum_s)
+            speedups.append(run_result.speedup_over(baseline))
+        doubled_result = doubled.run(workload, cores=core_counts[-1], quantum_s=quantum_s)
+        rows.append(
+            CoreScalingRow(
+                kernel=name,
+                input_label=family.largest_label,
+                core_counts=tuple(core_counts),
+                speedups=tuple(speedups),
+                speedup_max_cores_2x_bandwidth=doubled_result.speedup_over(baseline),
+            )
+        )
+    return Fig10Result(rows=tuple(rows), core_counts=tuple(core_counts))
+
+
+def format_table(result: Fig10Result) -> str:
+    """Human-readable Figure 10 table."""
+    header = "kernel | " + " | ".join(f"{c} cores" for c in result.core_counts)
+    lines = [header + " | 64 cores (2x BW)"]
+    for row in result.rows:
+        cells = " | ".join(f"{s:.1f}x" for s in row.speedups)
+        lines.append(
+            f"{row.kernel} | {cells} | {row.speedup_max_cores_2x_bandwidth:.1f}x"
+        )
+    return "\n".join(lines)

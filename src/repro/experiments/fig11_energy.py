@@ -1,0 +1,110 @@
+"""Figure 11: normalised dynamic energy versus core count.
+
+For every kernel at its largest input, report the dynamic energy of the
+parallel execution on 1, 4, 16 and 64 cores normalised to the single-core
+execution, plus the energy of a DVFS sprint using the full power headroom.
+The paper's observations: in the linear-scaling regime parallel energy
+matches single-core energy; on 16 cores the overhead is under 10% for five
+of six kernels and 12% on average; beyond 16 cores overheads grow (up to
+~1.8x at 64); and voltage-boost sprinting costs ~6x more energy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.arch.machine import MachineConfig, PAPER_MACHINE
+from repro.arch.simulator import ManyCoreSimulator
+from repro.energy.dvfs import PAPER_DVFS
+from repro.workloads.suite import kernel_suite
+from repro.experiments.fig10_cores import PAPER_CORE_COUNTS
+
+
+@dataclass(frozen=True)
+class EnergyRow:
+    """Normalised energy of one kernel across core counts."""
+
+    kernel: str
+    input_label: str
+    core_counts: tuple[int, ...]
+    normalized_energy: tuple[float, ...]
+    dvfs_energy_ratio: float
+
+    def energy_at(self, cores: int) -> float:
+        """Normalised energy at one core count."""
+        try:
+            return self.normalized_energy[self.core_counts.index(cores)]
+        except ValueError as error:
+            raise KeyError(f"core count {cores} was not simulated") from error
+
+
+@dataclass(frozen=True)
+class Fig11Result:
+    """All kernels' energy rows."""
+
+    rows: tuple[EnergyRow, ...]
+    core_counts: tuple[int, ...]
+
+    def by_kernel(self, name: str) -> EnergyRow:
+        """Look up one kernel's row."""
+        for row in self.rows:
+            if row.kernel == name:
+                return row
+        raise KeyError(f"no kernel named {name!r}")
+
+    def average_overhead_at(self, cores: int) -> float:
+        """Average normalised energy across kernels at one core count."""
+        values = [row.energy_at(cores) for row in self.rows]
+        return sum(values) / len(values)
+
+
+def run(
+    core_counts: tuple[int, ...] = PAPER_CORE_COUNTS,
+    machine: MachineConfig = PAPER_MACHINE,
+    kernels: tuple[str, ...] | None = None,
+    quantum_s: float = 1e-3,
+) -> Fig11Result:
+    """Regenerate Figure 11 (plus the DVFS energy comparison of Section 8.6)."""
+    suite = kernel_suite()
+    names = kernels or ("feature", "disparity", "sobel", "texture", "segment", "kmeans")
+    simulator = ManyCoreSimulator(machine)
+    dvfs_point = PAPER_DVFS.boosted_point_for_headroom(16.0)
+
+    rows = []
+    for name in names:
+        family = suite[name]
+        workload = family.workload(family.largest_label)
+        baseline = simulator.run(workload, cores=1, quantum_s=5 * quantum_s)
+        energies = []
+        for cores in core_counts:
+            if cores == 1:
+                energies.append(1.0)
+                continue
+            result = simulator.run(workload, cores=cores, quantum_s=quantum_s)
+            energies.append(result.energy_ratio_over(baseline))
+        dvfs_run = simulator.run(
+            workload, cores=1, operating_point=dvfs_point, quantum_s=quantum_s
+        )
+        rows.append(
+            EnergyRow(
+                kernel=name,
+                input_label=family.largest_label,
+                core_counts=tuple(core_counts),
+                normalized_energy=tuple(energies),
+                dvfs_energy_ratio=dvfs_run.energy_ratio_over(baseline),
+            )
+        )
+    return Fig11Result(rows=tuple(rows), core_counts=tuple(core_counts))
+
+
+def format_table(result: Fig11Result) -> str:
+    """Human-readable Figure 11 table."""
+    header = "kernel | " + " | ".join(f"{c} cores" for c in result.core_counts)
+    lines = [header + " | DVFS (16x headroom)"]
+    for row in result.rows:
+        cells = " | ".join(f"{e:.2f}" for e in row.normalized_energy)
+        lines.append(f"{row.kernel} | {cells} | {row.dvfs_energy_ratio:.1f}")
+    lines.append(
+        f"average at 16 cores: {result.average_overhead_at(16):.2f} (paper: ~1.12)"
+    )
+    return "\n".join(lines)

@@ -1,0 +1,89 @@
+"""Sections 4.1-4.3: heat-store sizing and heat-flux numbers.
+
+Reproduces the paper's back-of-envelope design calculations:
+
+* absorbing 16 J over a 64 mm^2 die with a 10 C rise needs a 7.2 mm copper
+  block or a 10.3 mm aluminium block (Section 4.1),
+* a PCM with 100 J/g latent heat and 1 g/cm^3 density needs about 150 mg —
+  a 2.3 mm thick layer — to absorb the same 16 J (Section 4.2),
+* the peak heat flux of a 16 W sprint over 64 mm^2 is 25 W/cm^2, below the
+  range typical of high-end processors (Section 4.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.thermal.materials import ALUMINIUM, COPPER, GENERIC_PCM, Material
+from repro.thermal.sizing import (
+    heat_flux_w_cm2,
+    pcm_mass_g_for_heat,
+    pcm_thickness_mm,
+    solid_block_thickness_mm,
+    sprint_heat_j,
+)
+
+
+@dataclass(frozen=True)
+class SizingResult:
+    """The Section 4 design numbers."""
+
+    sprint_heat_j: float
+    copper_thickness_mm: float
+    aluminium_thickness_mm: float
+    pcm_mass_g: float
+    pcm_thickness_mm: float
+    peak_heat_flux_w_cm2: float
+
+    #: The values the paper reports, for side-by-side comparison.
+    paper_copper_mm: float = 7.2
+    paper_aluminium_mm: float = 10.3
+    paper_pcm_mass_g: float = 0.150
+    paper_pcm_thickness_mm: float = 2.3
+    paper_heat_flux_w_cm2: float = 25.0
+
+    def within_percent(self, measured: float, expected: float, tolerance: float = 15.0) -> bool:
+        """Whether a measured value is within ``tolerance`` percent of the paper's."""
+        if expected == 0:
+            raise ValueError("expected value must be non-zero")
+        return abs(measured - expected) / abs(expected) * 100.0 <= tolerance
+
+
+def run(
+    sprint_power_w: float = 16.0,
+    sprint_duration_s: float = 1.0,
+    die_area_mm2: float = 64.0,
+    allowed_rise_c: float = 10.0,
+    copper: Material = COPPER,
+    aluminium: Material = ALUMINIUM,
+    pcm: Material = GENERIC_PCM,
+) -> SizingResult:
+    """Regenerate the Section 4 sizing calculations."""
+    heat = sprint_heat_j(sprint_power_w, sprint_duration_s)
+    return SizingResult(
+        sprint_heat_j=heat,
+        copper_thickness_mm=solid_block_thickness_mm(
+            copper, heat, die_area_mm2, allowed_rise_c
+        ),
+        aluminium_thickness_mm=solid_block_thickness_mm(
+            aluminium, heat, die_area_mm2, allowed_rise_c
+        ),
+        pcm_mass_g=pcm_mass_g_for_heat(pcm, heat),
+        pcm_thickness_mm=pcm_thickness_mm(pcm, heat, die_area_mm2),
+        peak_heat_flux_w_cm2=heat_flux_w_cm2(sprint_power_w, die_area_mm2),
+    )
+
+
+def format_table(result: SizingResult) -> str:
+    """Human-readable sizing comparison."""
+    rows = [
+        ("copper thickness (mm)", result.copper_thickness_mm, result.paper_copper_mm),
+        ("aluminium thickness (mm)", result.aluminium_thickness_mm, result.paper_aluminium_mm),
+        ("PCM mass (g)", result.pcm_mass_g, result.paper_pcm_mass_g),
+        ("PCM thickness (mm)", result.pcm_thickness_mm, result.paper_pcm_thickness_mm),
+        ("peak heat flux (W/cm^2)", result.peak_heat_flux_w_cm2, result.paper_heat_flux_w_cm2),
+    ]
+    lines = ["quantity | this repo | paper"]
+    for label, measured, expected in rows:
+        lines.append(f"{label} | {measured:.2f} | {expected:.2f}")
+    return "\n".join(lines)

@@ -1,0 +1,102 @@
+"""Section 6: can the power source deliver the sprint current?
+
+Reproduces the paper's power-source analysis for a 16 x 1 W sprint lasting
+up to a second: a conventional phone Li-ion battery (bursts of ~10 W) cannot
+power all sixteen cores, a high-discharge Li-polymer pack or an
+ultracapacitor can, and delivering ~16 A over the package pins at 1 V would
+need on the order of 320 power/ground pins.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.power.sources import (
+    LI_POLYMER_HIGH_DISCHARGE,
+    NESSCAP_25F,
+    PHONE_HYBRID,
+    PHONE_LI_ION,
+    PowerSource,
+    SourceAssessment,
+    assess_sources,
+    pins_required,
+)
+
+#: The candidate sources the paper discusses, in presentation order.
+PAPER_SOURCES: tuple[PowerSource, ...] = (
+    PHONE_LI_ION,
+    LI_POLYMER_HIGH_DISCHARGE,
+    NESSCAP_25F,
+    PHONE_HYBRID,
+)
+
+
+@dataclass(frozen=True)
+class SourcesResult:
+    """Assessments of every candidate source plus the pin-count estimate."""
+
+    assessments: tuple[SourceAssessment, ...]
+    sprint_power_w: float
+    sprint_duration_s: float
+    core_power_w: float
+    pins_for_sprint_current: int
+
+    def by_name(self, name: str) -> SourceAssessment:
+        """Look up one source's assessment by name."""
+        for assessment in self.assessments:
+            if assessment.source_name == name:
+                return assessment
+        raise KeyError(f"no source named {name!r}")
+
+    @property
+    def phone_battery_sufficient(self) -> bool:
+        """Paper: a standard phone Li-ion battery cannot power 16 x 1 W."""
+        return self.by_name(PHONE_LI_ION.name).feasible
+
+    @property
+    def feasible_sources(self) -> tuple[str, ...]:
+        """Names of the sources able to deliver the full sprint."""
+        return tuple(a.source_name for a in self.assessments if a.feasible)
+
+
+def run(
+    sprint_cores: int = 16,
+    core_power_w: float = 1.0,
+    sprint_duration_s: float = 1.0,
+    supply_voltage_v: float = 1.0,
+    sources: tuple[PowerSource, ...] = PAPER_SOURCES,
+) -> SourcesResult:
+    """Regenerate the Section 6 feasibility analysis."""
+    if sprint_cores < 1:
+        raise ValueError("sprint core count must be positive")
+    if core_power_w <= 0 or sprint_duration_s <= 0 or supply_voltage_v <= 0:
+        raise ValueError("power, duration and voltage must be positive")
+    sprint_power = sprint_cores * core_power_w
+    assessments = assess_sources(
+        list(sources),
+        sprint_power_w=sprint_power,
+        sprint_duration_s=sprint_duration_s,
+        core_power_w=core_power_w,
+    )
+    return SourcesResult(
+        assessments=tuple(assessments),
+        sprint_power_w=sprint_power,
+        sprint_duration_s=sprint_duration_s,
+        core_power_w=core_power_w,
+        pins_for_sprint_current=pins_required(sprint_power / supply_voltage_v),
+    )
+
+
+def format_table(result: SourcesResult) -> str:
+    """Human-readable Section 6 summary."""
+    lines = [
+        f"sprint: {result.sprint_power_w:.0f} W for {result.sprint_duration_s:.1f} s, "
+        f"{result.pins_for_sprint_current} power/ground pins (paper: ~320)",
+        "source | max sprint cores | sufficient",
+    ]
+    for assessment in result.assessments:
+        lines.append(
+            f"{assessment.source_name} | {assessment.max_cores} | "
+            f"{'yes' if assessment.feasible else 'NO'}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,56 @@
+"""Vision and image-analysis kernels of Table 1.
+
+The paper evaluates sprinting on six parallel kernels "inspired by
+camera-based search": sobel edge detection, SURF feature extraction,
+k-means clustering, stereo disparity, texture/image composition, and image
+segmentation/classification.  The originals are OpenMP programs from
+SD-VBS and MEVBench; here each kernel is
+
+* a **real numpy implementation** that runs on synthetic images (used by the
+  examples and to validate the analytic characterisation), and
+* an **analytic operation-count model** (:class:`OperationCounts`) describing
+  the work a scalar in-order core would perform, which the workload
+  characteriser converts into the descriptors consumed by the many-core
+  simulator.
+"""
+
+from repro.kernels.base import (
+    ImageKernel,
+    KernelOutput,
+    OperationCounts,
+)
+from repro.kernels.disparity import DisparityKernel
+from repro.kernels.feature import FeatureExtractionKernel
+from repro.kernels.images import (
+    synthetic_image,
+    synthetic_stereo_pair,
+)
+from repro.kernels.kmeans import KMeansKernel
+from repro.kernels.segment import SegmentKernel
+from repro.kernels.sobel import SobelKernel
+from repro.kernels.texture import TextureKernel
+
+#: All Table 1 kernels keyed by their paper name.
+ALL_KERNELS = {
+    "sobel": SobelKernel,
+    "feature": FeatureExtractionKernel,
+    "kmeans": KMeansKernel,
+    "disparity": DisparityKernel,
+    "texture": TextureKernel,
+    "segment": SegmentKernel,
+}
+
+__all__ = [
+    "ALL_KERNELS",
+    "DisparityKernel",
+    "FeatureExtractionKernel",
+    "ImageKernel",
+    "KMeansKernel",
+    "KernelOutput",
+    "OperationCounts",
+    "SegmentKernel",
+    "SobelKernel",
+    "TextureKernel",
+    "synthetic_image",
+    "synthetic_stereo_pair",
+]

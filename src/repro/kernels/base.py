@@ -1,0 +1,173 @@
+"""Shared kernel abstractions: outputs and scalar operation counts.
+
+The characterisation pipeline needs to know, for a given input size, how
+many instructions of each class a scalar in-order core would execute.  Each
+kernel provides that analytically via :meth:`ImageKernel.operation_counts`;
+the numbers are derived from the arithmetic the numpy implementation
+actually performs (so the two views stay consistent), expressed per pixel
+or per element.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, fields
+
+import numpy as np
+
+from repro.energy.instruction import InstructionMix
+
+
+@dataclass(frozen=True)
+class OperationCounts:
+    """Scalar operation counts of one kernel invocation."""
+
+    int_alu: float = 0.0
+    int_mul: float = 0.0
+    fp: float = 0.0
+    load: float = 0.0
+    store: float = 0.0
+    branch: float = 0.0
+
+    def __post_init__(self) -> None:
+        for item in fields(self):
+            if getattr(self, item.name) < 0:
+                raise ValueError(f"{item.name} must be non-negative")
+
+    @property
+    def total(self) -> float:
+        """Total dynamic instruction count."""
+        return self.int_alu + self.int_mul + self.fp + self.load + self.store + self.branch
+
+    def __add__(self, other: "OperationCounts") -> "OperationCounts":
+        return OperationCounts(
+            int_alu=self.int_alu + other.int_alu,
+            int_mul=self.int_mul + other.int_mul,
+            fp=self.fp + other.fp,
+            load=self.load + other.load,
+            store=self.store + other.store,
+            branch=self.branch + other.branch,
+        )
+
+    def scaled(self, factor: float) -> "OperationCounts":
+        """Counts multiplied by a constant factor."""
+        if factor < 0:
+            raise ValueError("scale factor must be non-negative")
+        return OperationCounts(
+            int_alu=self.int_alu * factor,
+            int_mul=self.int_mul * factor,
+            fp=self.fp * factor,
+            load=self.load * factor,
+            store=self.store * factor,
+            branch=self.branch * factor,
+        )
+
+    def instruction_mix(self) -> InstructionMix:
+        """Normalise the counts into an :class:`InstructionMix`."""
+        total = self.total
+        if total <= 0:
+            raise ValueError("cannot build a mix from zero operations")
+        return InstructionMix(
+            int_alu=self.int_alu / total,
+            int_mul=self.int_mul / total,
+            fp=self.fp / total,
+            load=self.load / total,
+            store=self.store / total,
+            branch=self.branch / total,
+        )
+
+
+@dataclass(frozen=True)
+class KernelOutput:
+    """Result of actually running a kernel on an input image."""
+
+    name: str
+    data: np.ndarray
+    #: Auxiliary outputs (keypoints, labels, cluster centres, ...).
+    extras: dict | None = None
+
+    @property
+    def shape(self) -> tuple[int, ...]:
+        """Shape of the primary output array."""
+        return tuple(self.data.shape)
+
+
+class ImageKernel(abc.ABC):
+    """Base class for the Table 1 kernels.
+
+    Subclasses implement the real computation (:meth:`run`) and the analytic
+    cost model (:meth:`operation_counts`, :meth:`working_set_bytes`) plus the
+    parallel-structure hints the characteriser needs
+    (:meth:`parallel_fraction`, :meth:`max_parallelism`, ...).
+    """
+
+    #: Name used in Table 1 and throughout the evaluation.
+    name: str = "kernel"
+
+    # -- real execution -----------------------------------------------------------
+
+    @abc.abstractmethod
+    def run(self, image: np.ndarray) -> KernelOutput:
+        """Execute the kernel on an image and return its output."""
+
+    # -- analytic cost model --------------------------------------------------------
+
+    @abc.abstractmethod
+    def operation_counts(self, shape: tuple[int, int]) -> OperationCounts:
+        """Scalar operations a single in-order core executes for this input."""
+
+    def working_set_bytes(self, shape: tuple[int, int]) -> float:
+        """Bytes of data the kernel touches repeatedly (default: the image)."""
+        rows, cols = self._validate_shape(shape)
+        return float(rows * cols * 4)
+
+    # -- parallel structure ----------------------------------------------------------
+
+    def parallel_fraction(self) -> float:
+        """Amdahl parallel fraction of the kernel (most are embarrassingly parallel)."""
+        return 0.99
+
+    def max_parallelism(self, shape: tuple[int, int]) -> int:
+        """Upper bound on useful concurrency (rows, tiles, clusters, ...)."""
+        rows, _ = self._validate_shape(shape)
+        return rows
+
+    def load_imbalance(self) -> float:
+        """Ratio of slowest to average worker in the parallel phase."""
+        return 1.05
+
+    def coherence_miss_fraction(self) -> float:
+        """Fraction of L1 misses caused by sharing between workers."""
+        return 0.02
+
+    def streaming_intensity(self) -> float:
+        """Intrinsic L1 miss rate per memory instruction (streaming kernels are higher)."""
+        return 0.03
+
+    def l2_miss_rate(self) -> float:
+        """Intrinsic L2 miss rate conditional on an L1 miss."""
+        return 0.3
+
+    def bytes_per_l2_miss(self) -> float:
+        """DRAM traffic per L2 miss (one line, more for streaming write-allocate)."""
+        return 64.0
+
+    # -- helpers ---------------------------------------------------------------------
+
+    @staticmethod
+    def _validate_shape(shape: tuple[int, int]) -> tuple[int, int]:
+        if len(shape) != 2:
+            raise ValueError(f"expected a 2-D shape, got {shape}")
+        rows, cols = int(shape[0]), int(shape[1])
+        if rows <= 0 or cols <= 0:
+            raise ValueError(f"image dimensions must be positive, got {shape}")
+        return rows, cols
+
+    @staticmethod
+    def _as_grayscale(image: np.ndarray) -> np.ndarray:
+        """Coerce an input image to 2-D float32 grayscale."""
+        if image.ndim == 3:
+            image = image.mean(axis=2)
+        if image.ndim != 2:
+            raise ValueError(f"expected a 2-D or 3-D image, got shape {image.shape}")
+        return np.asarray(image, dtype=np.float32)

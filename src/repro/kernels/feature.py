@@ -1,0 +1,190 @@
+"""SURF-style feature extraction (Table 1: "feature", from MEVBench).
+
+This is the kernel that motivates the paper's camera-based-search scenario:
+extract robust local features from a high-resolution photo so only a
+compact descriptor vector needs to be transmitted.  The implementation
+follows the SURF recipe at reduced fidelity:
+
+1. integral image,
+2. box-filter approximations of the Hessian determinant at several scales,
+3. non-maximum suppression to pick keypoints,
+4. a small orientation-binned gradient descriptor per keypoint.
+
+The analytic cost model mirrors those stages.  Feature extraction is
+memory-bandwidth hungry (it sweeps the full-resolution image repeatedly at
+multiple scales), which is why the paper finds it bandwidth-limited at high
+core counts (Section 8.5).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.kernels.base import ImageKernel, KernelOutput, OperationCounts
+
+
+class FeatureExtractionKernel(ImageKernel):
+    """Box-filter Hessian keypoint detector with small patch descriptors."""
+
+    name = "feature"
+
+    scalar_overhead = 10.0
+
+    def __init__(
+        self,
+        scales: tuple[int, ...] = (3, 5, 7, 9),
+        max_keypoints: int = 256,
+        descriptor_bins: int = 16,
+    ) -> None:
+        if not scales or any(s < 3 or s % 2 == 0 for s in scales):
+            raise ValueError("scales must be odd integers of at least 3")
+        if max_keypoints < 1:
+            raise ValueError("max keypoints must be positive")
+        if descriptor_bins < 1:
+            raise ValueError("descriptor bins must be positive")
+        self.scales = tuple(scales)
+        self.max_keypoints = max_keypoints
+        self.descriptor_bins = descriptor_bins
+
+    # -- real execution ------------------------------------------------------------
+
+    def run(self, image: np.ndarray) -> KernelOutput:
+        """Detect keypoints and compute descriptors; returns the response map."""
+        gray = self._as_grayscale(image)
+        integral = self._integral_image(gray)
+        best_response = np.zeros_like(gray, dtype=np.float32)
+        for scale in self.scales:
+            if scale + 2 >= min(gray.shape):
+                continue
+            response = self._hessian_response(integral, scale)
+            best_response = np.maximum(best_response, response)
+        keypoints = self._select_keypoints(best_response)
+        descriptors = self._descriptors(gray, keypoints)
+        return KernelOutput(
+            name=self.name,
+            data=best_response,
+            extras={"keypoints": keypoints, "descriptors": descriptors},
+        )
+
+    @staticmethod
+    def _integral_image(image: np.ndarray) -> np.ndarray:
+        return np.cumsum(np.cumsum(image.astype(np.float64), axis=0), axis=1)
+
+    @staticmethod
+    def _box_sum(integral: np.ndarray, half: int) -> np.ndarray:
+        """Sum of each (2*half+1)^2 box, for interior pixels (zero elsewhere)."""
+        rows, cols = integral.shape
+        out = np.zeros((rows, cols), dtype=np.float64)
+        size = 2 * half + 1
+        if rows <= size or cols <= size:
+            return out
+        padded = np.zeros((rows + 1, cols + 1), dtype=np.float64)
+        padded[1:, 1:] = integral
+        a = padded[size:, size:]
+        b = padded[:-size, size:]
+        c = padded[size:, :-size]
+        d = padded[:-size, :-size]
+        sums = a - b - c + d
+        out[half : half + sums.shape[0], half : half + sums.shape[1]] = sums
+        return out
+
+    def _hessian_response(self, integral: np.ndarray, scale: int) -> np.ndarray:
+        half = scale // 2
+        quarter = max(1, half // 2)
+        full = self._box_sum(integral, half)
+        inner = self._box_sum(integral, quarter)
+        # Difference-of-boxes approximates the Laplacian/Hessian response.
+        area_full = (2 * half + 1) ** 2
+        area_inner = (2 * quarter + 1) ** 2
+        response = np.abs(inner / area_inner - full / area_full).astype(np.float32)
+        # Only keep pixels where both boxes fit entirely inside the image;
+        # nearer the border the two sums cover different areas and the
+        # difference is a boundary artefact, not image structure.
+        border = half + 1
+        mask = np.zeros_like(response)
+        if response.shape[0] > 2 * border and response.shape[1] > 2 * border:
+            mask[border:-border, border:-border] = 1.0
+        return response * mask
+
+    def _select_keypoints(self, response: np.ndarray) -> np.ndarray:
+        flat = response.ravel()
+        count = min(self.max_keypoints, flat.size)
+        if count == 0:
+            return np.empty((0, 2), dtype=np.int64)
+        indices = np.argpartition(flat, -count)[-count:]
+        rows, cols = np.unravel_index(indices, response.shape)
+        order = np.argsort(-flat[indices])
+        return np.stack([rows[order], cols[order]], axis=1)
+
+    def _descriptors(self, gray: np.ndarray, keypoints: np.ndarray) -> np.ndarray:
+        if keypoints.size == 0:
+            return np.empty((0, self.descriptor_bins), dtype=np.float32)
+        gy, gx = np.gradient(gray)
+        angles = np.arctan2(gy, gx)
+        magnitude = np.hypot(gx, gy)
+        bins = (
+            (angles + np.pi) / (2 * np.pi + 1e-9) * self.descriptor_bins
+        ).astype(np.int64)
+        bins = np.clip(bins, 0, self.descriptor_bins - 1)
+        descriptors = np.zeros((len(keypoints), self.descriptor_bins), dtype=np.float32)
+        half = 4
+        rows, cols = gray.shape
+        for index, (r, c) in enumerate(keypoints):
+            r0, r1 = max(0, r - half), min(rows, r + half + 1)
+            c0, c1 = max(0, c - half), min(cols, c + half + 1)
+            patch_bins = bins[r0:r1, c0:c1].ravel()
+            patch_mag = magnitude[r0:r1, c0:c1].ravel()
+            descriptors[index] = np.bincount(
+                patch_bins, weights=patch_mag, minlength=self.descriptor_bins
+            )
+            norm = float(np.linalg.norm(descriptors[index]))
+            if norm > 0:
+                descriptors[index] /= norm
+        return descriptors
+
+    # -- analytic model --------------------------------------------------------------
+
+    def operation_counts(self, shape: tuple[int, int]) -> OperationCounts:
+        rows, cols = self._validate_shape(shape)
+        pixels = rows * cols
+        n_scales = len(self.scales)
+        # Integral image: 2 adds + 2 loads + 1 store per pixel (two passes).
+        integral = OperationCounts(fp=4.0, load=4.0, store=2.0, int_alu=4.0, branch=1.0)
+        # Per scale: two box sums (4 loads + 3 adds each), normalisation and max.
+        per_scale = OperationCounts(
+            fp=12.0, load=10.0, store=2.0, int_alu=10.0, int_mul=2.0, branch=2.0
+        )
+        # Gradient + orientation for the descriptor pass over the whole image.
+        gradient = OperationCounts(fp=10.0, load=6.0, store=3.0, int_alu=6.0, branch=1.0)
+        per_pixel = integral + per_scale.scaled(n_scales) + gradient
+        # Per keypoint: a 9x9 descriptor accumulation plus normalisation.
+        per_keypoint = OperationCounts(
+            fp=81 * 3.0, load=81 * 2.0, store=81.0, int_alu=81 * 2.0, branch=81.0
+        )
+        total = per_pixel.scaled(pixels) + per_keypoint.scaled(self.max_keypoints)
+        return total.scaled(self.scalar_overhead)
+
+    def working_set_bytes(self, shape: tuple[int, int]) -> float:
+        rows, cols = self._validate_shape(shape)
+        # Image + integral image (double) + response map: streamed repeatedly.
+        return float(rows * cols * (4 + 8 + 4))
+
+    def parallel_fraction(self) -> float:
+        return 0.985
+
+    def load_imbalance(self) -> float:
+        return 1.08
+
+    def streaming_intensity(self) -> float:
+        # Multi-scale sweeps over a footprint far larger than the L1.
+        return 0.085
+
+    def l2_miss_rate(self) -> float:
+        return 0.8
+
+    def bytes_per_l2_miss(self) -> float:
+        # The integral image is double precision and written back as it is built.
+        return 80.0
+
+    def coherence_miss_fraction(self) -> float:
+        return 0.03

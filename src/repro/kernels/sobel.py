@@ -1,0 +1,102 @@
+"""Sobel edge detection (Table 1: "Edge detection filter").
+
+The real implementation convolves the image with the two 3x3 Sobel kernels
+and produces the gradient magnitude.  The analytic model counts the scalar
+work of the naive OpenMP loop nest the paper's version parallelises: for
+every interior pixel, two 3x3 stencils (shared loads), a magnitude, and a
+threshold test.
+
+Sobel is embarrassingly parallel (rows are independent), streams the image
+once, and is the kernel the paper uses for the input-size sweep of
+Figure 8.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.kernels.base import ImageKernel, KernelOutput, OperationCounts
+
+
+class SobelKernel(ImageKernel):
+    """3x3 Sobel gradient-magnitude edge detector."""
+
+    name = "sobel"
+
+    #: Ratio of dynamic instructions in the paper's scalar in-order binary to
+    #: the idealised per-pixel operation count (loop/index/addressing
+    #: overhead of the SD-VBS-style C code; see DESIGN.md calibration note).
+    scalar_overhead = 25.0
+
+    def __init__(self, threshold: float | None = None) -> None:
+        if threshold is not None and not 0.0 <= threshold <= 1.0:
+            raise ValueError("threshold must be in [0, 1]")
+        self.threshold = threshold
+
+    # -- real execution ------------------------------------------------------------
+
+    def run(self, image: np.ndarray) -> KernelOutput:
+        """Compute the Sobel gradient magnitude (and edge mask if thresholding)."""
+        gray = self._as_grayscale(image)
+        if gray.shape[0] < 3 or gray.shape[1] < 3:
+            raise ValueError("image must be at least 3x3 for a Sobel stencil")
+        gx = self._convolve3x3(gray, np.array([[-1, 0, 1], [-2, 0, 2], [-1, 0, 1]]))
+        gy = self._convolve3x3(gray, np.array([[-1, -2, -1], [0, 0, 0], [1, 2, 1]]))
+        magnitude = np.sqrt(gx**2 + gy**2)
+        peak = float(magnitude.max())
+        if peak > 0:
+            magnitude = magnitude / peak
+        extras = None
+        if self.threshold is not None:
+            extras = {"edges": magnitude >= self.threshold}
+        return KernelOutput(name=self.name, data=magnitude.astype(np.float32), extras=extras)
+
+    @staticmethod
+    def _convolve3x3(image: np.ndarray, kernel: np.ndarray) -> np.ndarray:
+        rows, cols = image.shape
+        out = np.zeros_like(image, dtype=np.float32)
+        acc = np.zeros((rows - 2, cols - 2), dtype=np.float32)
+        for dy in range(3):
+            for dx in range(3):
+                weight = float(kernel[dy, dx])
+                if weight == 0.0:
+                    continue
+                acc += weight * image[dy : dy + rows - 2, dx : dx + cols - 2]
+        out[1:-1, 1:-1] = acc
+        return out
+
+    # -- analytic model --------------------------------------------------------------
+
+    def operation_counts(self, shape: tuple[int, int]) -> OperationCounts:
+        rows, cols = self._validate_shape(shape)
+        pixels = rows * cols
+        # Per interior pixel: 9 pixel loads shared by both stencils, 12
+        # multiply-accumulates (the non-zero taps of both kernels), the
+        # magnitude (2 squares, 1 add, 1 sqrt), normalisation and a compare.
+        per_pixel = OperationCounts(
+            int_alu=14.0,
+            int_mul=2.0,
+            fp=10.0,
+            load=10.0,
+            store=1.0,
+            branch=3.0,
+        )
+        return per_pixel.scaled(pixels * self.scalar_overhead)
+
+    def working_set_bytes(self, shape: tuple[int, int]) -> float:
+        rows, cols = self._validate_shape(shape)
+        # Input image plus the gradient output, single precision.
+        return float(rows * cols * 4 * 2)
+
+    def parallel_fraction(self) -> float:
+        return 0.995
+
+    def load_imbalance(self) -> float:
+        return 1.02
+
+    def streaming_intensity(self) -> float:
+        # Streaming stencil: roughly one compulsory miss per line of new data.
+        return 0.02
+
+    def l2_miss_rate(self) -> float:
+        return 0.85

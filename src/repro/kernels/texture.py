@@ -1,0 +1,163 @@
+"""Texture / image composition (Table 1: "texture", adapted from SD-VBS).
+
+Composites a multi-level Laplacian pyramid of the input with a synthetic
+texture layer: build Gaussian and Laplacian pyramids, blend each level with
+a smooth mask, and collapse the pyramid back into a full-resolution image
+(the core of panoramic stitching and seamless composition workloads the
+paper's introduction motivates).
+
+Because pyramid levels shrink geometrically and the collapse is inherently
+level-by-level, the useful parallelism is bounded — the paper finds texture
+limited by available parallelism rather than bandwidth (Section 8.5).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.kernels.base import ImageKernel, KernelOutput, OperationCounts
+
+
+class TextureKernel(ImageKernel):
+    """Laplacian-pyramid blend of the image with a generated texture layer."""
+
+    name = "texture"
+
+    scalar_overhead = 15.0
+
+    def __init__(self, levels: int = 4, seed: int = 0) -> None:
+        if levels < 1:
+            raise ValueError("pyramid must have at least one level")
+        self.levels = levels
+        self.seed = seed
+
+    # -- real execution ------------------------------------------------------------
+
+    def run(self, image: np.ndarray) -> KernelOutput:
+        """Blend the image with a procedural texture using a Laplacian pyramid."""
+        gray = self._as_grayscale(image)
+        rng = np.random.default_rng(self.seed)
+        texture = self._procedural_texture(gray.shape, rng)
+        mask = self._blend_mask(gray.shape)
+
+        pyramid_a = self._laplacian_pyramid(gray)
+        pyramid_b = self._laplacian_pyramid(texture)
+        mask_pyramid = self._gaussian_pyramid(mask, len(pyramid_a))
+
+        blended = [
+            m * a + (1.0 - m) * b
+            for a, b, m in zip(pyramid_a, pyramid_b, mask_pyramid)
+        ]
+        result = self._collapse(blended)
+        return KernelOutput(
+            name=self.name,
+            data=np.clip(result, 0.0, 1.0).astype(np.float32),
+            extras={"levels": len(blended)},
+        )
+
+    @staticmethod
+    def _procedural_texture(shape: tuple[int, int], rng: np.random.Generator) -> np.ndarray:
+        rows, cols = shape
+        yy, xx = np.mgrid[0:rows, 0:cols]
+        base = 0.5 + 0.25 * np.sin(xx / 7.0) * np.cos(yy / 11.0)
+        noise = rng.normal(0.0, 0.05, size=shape)
+        return np.clip(base + noise, 0.0, 1.0).astype(np.float32)
+
+    @staticmethod
+    def _blend_mask(shape: tuple[int, int]) -> np.ndarray:
+        rows, cols = shape
+        xx = np.linspace(0.0, 1.0, cols, dtype=np.float32)
+        return np.tile(xx, (rows, 1))
+
+    @staticmethod
+    def _downsample(image: np.ndarray) -> np.ndarray:
+        blurred = TextureKernel._blur(image)
+        return blurred[::2, ::2]
+
+    @staticmethod
+    def _upsample(image: np.ndarray, shape: tuple[int, int]) -> np.ndarray:
+        rows, cols = shape
+        upsampled = np.zeros(shape, dtype=np.float32)
+        upsampled[: image.shape[0] * 2 : 2, : image.shape[1] * 2 : 2] = image
+        upsampled = TextureKernel._blur(upsampled) * 4.0
+        return upsampled[:rows, :cols]
+
+    @staticmethod
+    def _blur(image: np.ndarray) -> np.ndarray:
+        kernel = np.array([0.25, 0.5, 0.25], dtype=np.float32)
+        padded = np.pad(image, 1, mode="edge")
+        horizontal = (
+            kernel[0] * padded[1:-1, :-2]
+            + kernel[1] * padded[1:-1, 1:-1]
+            + kernel[2] * padded[1:-1, 2:]
+        )
+        padded = np.pad(horizontal, 1, mode="edge")
+        return (
+            kernel[0] * padded[:-2, 1:-1]
+            + kernel[1] * padded[1:-1, 1:-1]
+            + kernel[2] * padded[2:, 1:-1]
+        ).astype(np.float32)
+
+    def _gaussian_pyramid(self, image: np.ndarray, levels: int) -> list[np.ndarray]:
+        pyramid = [image.astype(np.float32)]
+        for _ in range(levels - 1):
+            if min(pyramid[-1].shape) < 4:
+                break
+            pyramid.append(self._downsample(pyramid[-1]))
+        while len(pyramid) < levels:
+            pyramid.append(pyramid[-1])
+        return pyramid
+
+    def _laplacian_pyramid(self, image: np.ndarray) -> list[np.ndarray]:
+        gaussian = self._gaussian_pyramid(image, self.levels)
+        laplacian = []
+        for level in range(len(gaussian) - 1):
+            upsampled = self._upsample(gaussian[level + 1], gaussian[level].shape)
+            laplacian.append(gaussian[level] - upsampled)
+        laplacian.append(gaussian[-1])
+        return laplacian
+
+    def _collapse(self, pyramid: list[np.ndarray]) -> np.ndarray:
+        result = pyramid[-1]
+        for level in range(len(pyramid) - 2, -1, -1):
+            result = pyramid[level] + self._upsample(result, pyramid[level].shape)
+        return result
+
+    # -- analytic model --------------------------------------------------------------
+
+    def operation_counts(self, shape: tuple[int, int]) -> OperationCounts:
+        rows, cols = self._validate_shape(shape)
+        pixels = rows * cols
+        # Pyramid work is a geometric series: sum over levels of (1/4)^level.
+        series = sum(0.25**level for level in range(self.levels))
+        # Per pixel per pyramid pass: separable 3-tap blur (6 MACs), the
+        # difference/up-sample, and the blend.  Three pyramids are built and
+        # one collapsed, so charge four sweeps.
+        per_pixel = OperationCounts(
+            fp=30.0, load=20.0, store=6.0, int_alu=16.0, int_mul=4.0, branch=4.0
+        )
+        return per_pixel.scaled(pixels * series * self.scalar_overhead)
+
+    def working_set_bytes(self, shape: tuple[int, int]) -> float:
+        rows, cols = self._validate_shape(shape)
+        # Three pyramids (image, texture, mask) at ~4/3 of the base footprint.
+        return float(rows * cols * 4 * 4)
+
+    def parallel_fraction(self) -> float:
+        # Level-by-level dependencies and the small upper levels serialise a
+        # noticeable share of the work.
+        return 0.95
+
+    def max_parallelism(self, shape: tuple[int, int]) -> int:
+        rows, _ = self._validate_shape(shape)
+        # Rows of the coarsest pyramid level bound useful concurrency.
+        return max(1, min(rows // (2 ** (self.levels - 1)), 24))
+
+    def load_imbalance(self) -> float:
+        return 1.12
+
+    def streaming_intensity(self) -> float:
+        return 0.04
+
+    def l2_miss_rate(self) -> float:
+        return 0.6

@@ -1,0 +1,65 @@
+"""Electrical substrate: RLC circuit solver, PDN model, activation, sources.
+
+Implements Sections 5 and 6 of the paper: the power-delivery network whose
+supply integrity constrains how quickly cores may be activated (Figures 5
+and 6), and the battery / ultracapacitor sources able to deliver the sprint
+current.
+"""
+
+from repro.power.activation import (
+    PAPER_ABRUPT,
+    PAPER_FAST_RAMP,
+    PAPER_SLOW_RAMP,
+    AbruptActivation,
+    ActivationSchedule,
+    LinearRampActivation,
+    StaggeredActivation,
+)
+from repro.power.circuit import GROUND, Circuit, TransientResult
+from repro.power.pdn import (
+    ActivationAnalysis,
+    PdnConfig,
+    PowerDeliveryNetwork,
+    core_node,
+)
+from repro.power.sources import (
+    LI_POLYMER_HIGH_DISCHARGE,
+    NESSCAP_25F,
+    PHONE_HYBRID,
+    PHONE_LI_ION,
+    Battery,
+    HybridSource,
+    PowerSource,
+    SourceAssessment,
+    Ultracapacitor,
+    assess_sources,
+    pins_required,
+)
+
+__all__ = [
+    "ActivationAnalysis",
+    "ActivationSchedule",
+    "AbruptActivation",
+    "Battery",
+    "Circuit",
+    "GROUND",
+    "HybridSource",
+    "LI_POLYMER_HIGH_DISCHARGE",
+    "LinearRampActivation",
+    "NESSCAP_25F",
+    "PAPER_ABRUPT",
+    "PAPER_FAST_RAMP",
+    "PAPER_SLOW_RAMP",
+    "PHONE_HYBRID",
+    "PHONE_LI_ION",
+    "PdnConfig",
+    "PowerDeliveryNetwork",
+    "PowerSource",
+    "SourceAssessment",
+    "StaggeredActivation",
+    "TransientResult",
+    "Ultracapacitor",
+    "assess_sources",
+    "core_node",
+    "pins_required",
+]

@@ -1,0 +1,149 @@
+"""Core activation schedules for sprint initiation (Section 5).
+
+When a sprint starts, the chip must bring many power-gated cores online.
+Doing so abruptly causes a large dI/dt that bounces the supply rails outside
+tolerance; spreading activation over a longer ramp keeps the grid stable at
+the cost of a (negligible) delay before full parallelism is available.
+
+Three schedules are provided, matching the three cases of Figure 6:
+
+* :class:`AbruptActivation` — all cores at once (within one time step).
+* :class:`LinearRampActivation` — cores activated uniformly over a ramp
+  (the paper studies 1.28 us and 128 us ramps).
+* :class:`StaggeredActivation` — explicit per-core activation times, for
+  ablation studies of non-uniform schedules.
+
+Each schedule can answer "how many cores are active at time t" and can
+produce per-core current waveforms for the PDN circuit simulation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+
+def _smoothstep(t: float, start: float, rise: float) -> float:
+    """Fraction of a single core's current drawn at time ``t``.
+
+    Current rises linearly over ``rise`` seconds starting at ``start``; a
+    zero rise time gives an ideal step.
+    """
+    if t <= start:
+        return 0.0
+    if rise <= 0.0 or t >= start + rise:
+        return 1.0
+    return (t - start) / rise
+
+
+@dataclass(frozen=True)
+class ActivationSchedule:
+    """Base class for activation schedules.
+
+    Subclasses must implement :meth:`activation_times`.
+    ``core_rise_s`` is the time a single core takes to go from zero to full
+    current once it is switched on (an ideal step when zero).
+    """
+
+    start_s: float = 0.0
+    core_rise_s: float = 0.0
+
+    def activation_times(self, n_cores: int) -> list[float]:
+        """Per-core activation instants (seconds), one per core."""
+        raise NotImplementedError
+
+    # -- derived queries ---------------------------------------------------------
+
+    def duration_s(self, n_cores: int) -> float:
+        """Time from the first to the last core activation (plus core rise)."""
+        times = self.activation_times(n_cores)
+        return (max(times) - min(times)) + self.core_rise_s
+
+    def active_cores(self, t: float, n_cores: int) -> int:
+        """Number of cores switched on at time ``t`` (ignores partial rise)."""
+        return sum(1 for at in self.activation_times(n_cores) if t >= at)
+
+    def total_current_a(self, t: float, n_cores: int, core_current_a: float) -> float:
+        """Total current drawn by all cores at time ``t``."""
+        self._validate(n_cores, core_current_a)
+        return core_current_a * sum(
+            _smoothstep(t, at, self.core_rise_s)
+            for at in self.activation_times(n_cores)
+        )
+
+    def core_current_waveform(
+        self, core_index: int, n_cores: int, core_current_a: float
+    ) -> Callable[[float], float]:
+        """Current waveform (A vs seconds) for one core, for the PDN model."""
+        self._validate(n_cores, core_current_a)
+        if not 0 <= core_index < n_cores:
+            raise ValueError(f"core index {core_index} out of range for {n_cores} cores")
+        at = self.activation_times(n_cores)[core_index]
+        rise = self.core_rise_s
+
+        def waveform(t: float) -> float:
+            return core_current_a * _smoothstep(t, at, rise)
+
+        return waveform
+
+    def _validate(self, n_cores: int, core_current_a: float) -> None:
+        if n_cores <= 0:
+            raise ValueError("n_cores must be positive")
+        if core_current_a < 0:
+            raise ValueError("core current must be non-negative")
+
+
+@dataclass(frozen=True)
+class AbruptActivation(ActivationSchedule):
+    """All cores activated simultaneously (Figure 6(a))."""
+
+    def activation_times(self, n_cores: int) -> list[float]:
+        if n_cores <= 0:
+            raise ValueError("n_cores must be positive")
+        return [self.start_s] * n_cores
+
+
+@dataclass(frozen=True)
+class LinearRampActivation(ActivationSchedule):
+    """Cores activated uniformly over ``ramp_s`` seconds (Figure 6(b)/(c)).
+
+    Core ``k`` of ``n`` activates at ``start + k * ramp / (n - 1)``, so the
+    first core starts immediately and the last exactly ``ramp_s`` later.
+    """
+
+    ramp_s: float = 128e-6
+
+    def __post_init__(self) -> None:
+        if self.ramp_s < 0:
+            raise ValueError("ramp must be non-negative")
+
+    def activation_times(self, n_cores: int) -> list[float]:
+        if n_cores <= 0:
+            raise ValueError("n_cores must be positive")
+        if n_cores == 1:
+            return [self.start_s]
+        spacing = self.ramp_s / (n_cores - 1)
+        return [self.start_s + k * spacing for k in range(n_cores)]
+
+
+@dataclass(frozen=True)
+class StaggeredActivation(ActivationSchedule):
+    """Explicit per-core activation times (for custom schedules)."""
+
+    times_s: Sequence[float] = ()
+
+    def activation_times(self, n_cores: int) -> list[float]:
+        if n_cores <= 0:
+            raise ValueError("n_cores must be positive")
+        if len(self.times_s) != n_cores:
+            raise ValueError(
+                f"schedule provides {len(self.times_s)} activation times "
+                f"but {n_cores} cores were requested"
+            )
+        return [self.start_s + t for t in self.times_s]
+
+
+#: The three activation cases studied in Figure 6.
+PAPER_ABRUPT = AbruptActivation(core_rise_s=1e-9)
+PAPER_FAST_RAMP = LinearRampActivation(ramp_s=1.28e-6)
+PAPER_SLOW_RAMP = LinearRampActivation(ramp_s=128e-6)

@@ -1,0 +1,477 @@
+"""Transient RLC circuit simulation via modified nodal analysis (MNA).
+
+Section 5 of the paper models the sprint-enabled processor's power
+distribution network as an RLC circuit (Figure 5) and uses SPICE to study
+supply-voltage bounce when cores are activated.  SPICE is not available
+here, so this module implements the small subset needed: linear resistors,
+capacitors, inductors, ideal DC voltage sources, and time-varying current
+sources, integrated with the trapezoidal rule or backward Euler.
+
+The circuit sizes involved (tens of nodes) make a dense numpy formulation
+perfectly adequate: the MNA matrix is assembled and LU-factorised once per
+run (the step size is fixed), and each time step is a single
+back-substitution plus companion-model updates.
+
+Sign conventions
+----------------
+* Node ``GROUND`` ("0") is the reference; its voltage is identically zero.
+* A current source ``add_current_source(n_plus, n_minus, i)`` draws ``i``
+  amperes *out of* ``n_plus`` and returns it into ``n_minus`` — i.e. it
+  models a load connected between the supply rail (``n_plus``) and ground
+  (``n_minus``), which is the natural orientation for power-grid loads.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+import numpy as np
+from scipy.linalg import lu_factor, lu_solve
+
+#: Name of the reference node.
+GROUND = "0"
+
+CurrentWaveform = Callable[[float], float]
+
+
+@dataclass(frozen=True)
+class _Resistor:
+    name: str
+    n1: str
+    n2: str
+    ohms: float
+
+
+@dataclass(frozen=True)
+class _Capacitor:
+    name: str
+    n1: str
+    n2: str
+    farads: float
+    initial_voltage: float
+
+
+@dataclass(frozen=True)
+class _Inductor:
+    name: str
+    n1: str
+    n2: str
+    henries: float
+    initial_current: float
+
+
+@dataclass(frozen=True)
+class _VoltageSource:
+    name: str
+    n_plus: str
+    n_minus: str
+    volts: float
+
+
+@dataclass(frozen=True)
+class _CurrentSource:
+    name: str
+    n_plus: str
+    n_minus: str
+    waveform: CurrentWaveform
+
+
+@dataclass
+class TransientResult:
+    """Node voltages (and branch currents) sampled over a transient run."""
+
+    time_s: np.ndarray
+    node_voltages: dict[str, np.ndarray]
+    source_currents: dict[str, np.ndarray] = field(default_factory=dict)
+
+    def voltage(self, node: str) -> np.ndarray:
+        """Voltage waveform of a node (volts)."""
+        try:
+            return self.node_voltages[node]
+        except KeyError:
+            known = ", ".join(sorted(self.node_voltages))
+            raise KeyError(f"unknown node {node!r}; known nodes: {known}") from None
+
+    def min_voltage(self, node: str) -> float:
+        """Minimum voltage seen at a node over the run."""
+        return float(np.min(self.voltage(node)))
+
+    def max_voltage(self, node: str) -> float:
+        """Maximum voltage seen at a node over the run."""
+        return float(np.max(self.voltage(node)))
+
+    def final_voltage(self, node: str) -> float:
+        """Voltage at the last sample (used as the settling voltage)."""
+        return float(self.voltage(node)[-1])
+
+    def settling_time(self, node: str, tolerance: float) -> float | None:
+        """Time after which the node stays within ``tolerance`` (absolute volts)
+        of its final value.  ``None`` if it never settles inside the window."""
+        waveform = self.voltage(node)
+        final = waveform[-1]
+        inside = np.abs(waveform - final) <= tolerance
+        for idx in range(len(inside)):
+            if inside[idx] and bool(np.all(inside[idx:])):
+                return float(self.time_s[idx])
+        return None
+
+
+class Circuit:
+    """A linear circuit assembled from R, L, C, V and I elements."""
+
+    def __init__(self) -> None:
+        self._resistors: list[_Resistor] = []
+        self._capacitors: list[_Capacitor] = []
+        self._inductors: list[_Inductor] = []
+        self._voltage_sources: list[_VoltageSource] = []
+        self._current_sources: list[_CurrentSource] = []
+        self._names: set[str] = set()
+        self._nodes: set[str] = set()
+
+    # -- element construction ---------------------------------------------------
+
+    def _register(self, name: str, *nodes: str) -> None:
+        if not name:
+            raise ValueError("element name must be non-empty")
+        if name in self._names:
+            raise ValueError(f"element {name!r} already exists")
+        self._names.add(name)
+        for node in nodes:
+            if not node:
+                raise ValueError("node name must be non-empty")
+            self._nodes.add(node)
+
+    def add_resistor(self, name: str, n1: str, n2: str, ohms: float) -> None:
+        """Add a resistor of ``ohms`` between two nodes."""
+        if ohms <= 0:
+            raise ValueError(f"resistance must be positive, got {ohms}")
+        self._register(name, n1, n2)
+        self._resistors.append(_Resistor(name, n1, n2, ohms))
+
+    def add_capacitor(
+        self, name: str, n1: str, n2: str, farads: float, initial_voltage: float = 0.0
+    ) -> None:
+        """Add a capacitor; ``initial_voltage`` is v(n1) - v(n2) at t=0."""
+        if farads <= 0:
+            raise ValueError(f"capacitance must be positive, got {farads}")
+        self._register(name, n1, n2)
+        self._capacitors.append(_Capacitor(name, n1, n2, farads, initial_voltage))
+
+    def add_inductor(
+        self, name: str, n1: str, n2: str, henries: float, initial_current: float = 0.0
+    ) -> None:
+        """Add an inductor; ``initial_current`` flows from n1 to n2 at t=0."""
+        if henries <= 0:
+            raise ValueError(f"inductance must be positive, got {henries}")
+        self._register(name, n1, n2)
+        self._inductors.append(_Inductor(name, n1, n2, henries, initial_current))
+
+    def add_voltage_source(
+        self, name: str, n_plus: str, n_minus: str, volts: float
+    ) -> None:
+        """Add an ideal DC voltage source (n_plus held ``volts`` above n_minus)."""
+        self._register(name, n_plus, n_minus)
+        self._voltage_sources.append(_VoltageSource(name, n_plus, n_minus, volts))
+
+    def add_current_source(
+        self,
+        name: str,
+        n_plus: str,
+        n_minus: str,
+        waveform: CurrentWaveform | float,
+    ) -> None:
+        """Add a load current source drawing current out of ``n_plus``.
+
+        ``waveform`` is either a constant (amperes) or a callable of time.
+        """
+        self._register(name, n_plus, n_minus)
+        if callable(waveform):
+            func = waveform
+        else:
+            amps = float(waveform)
+
+            def func(_t: float, _amps: float = amps) -> float:
+                return _amps
+
+        self._current_sources.append(_CurrentSource(name, n_plus, n_minus, func))
+
+    # -- introspection ------------------------------------------------------------
+
+    @property
+    def node_names(self) -> list[str]:
+        """All node names excluding ground, sorted."""
+        return sorted(self._nodes - {GROUND})
+
+    @property
+    def element_count(self) -> int:
+        """Total number of circuit elements."""
+        return (
+            len(self._resistors)
+            + len(self._capacitors)
+            + len(self._inductors)
+            + len(self._voltage_sources)
+            + len(self._current_sources)
+        )
+
+    # -- simulation ---------------------------------------------------------------
+
+    def dc_operating_point(self) -> dict[str, float]:
+        """Solve the DC operating point (capacitors open, inductors short).
+
+        Inductors are replaced by 0-volt sources (shorts) and capacitors are
+        simply omitted.  Returns node voltages including ground.
+        """
+        voltages, _ = self._solve_dc()
+        return voltages
+
+    def transient(
+        self,
+        duration_s: float,
+        dt_s: float,
+        method: str = "trapezoidal",
+        record_nodes: Sequence[str] | None = None,
+        start_from_dc: bool = False,
+    ) -> TransientResult:
+        """Run a fixed-step transient simulation.
+
+        Parameters
+        ----------
+        duration_s, dt_s:
+            Total simulated time and the (fixed) step size.
+        method:
+            ``"trapezoidal"`` (second order, slight ringing on unresolved
+            modes) or ``"backward_euler"`` (first order, numerically damped).
+        record_nodes:
+            Node names to record; defaults to every non-ground node.
+        start_from_dc:
+            When true, capacitor voltages and inductor currents are
+            initialised from the DC operating point with all current sources
+            evaluated at ``t=0`` (useful to start a ramp study from a settled
+            grid rather than from an all-zero state).
+        """
+        if duration_s <= 0:
+            raise ValueError("duration must be positive")
+        if dt_s <= 0 or dt_s > duration_s:
+            raise ValueError("dt must be positive and no larger than the duration")
+        if method not in ("trapezoidal", "backward_euler"):
+            raise ValueError(f"unknown integration method {method!r}")
+        if not self._voltage_sources and not self._current_sources:
+            raise ValueError("circuit has no sources")
+
+        nodes = self.node_names
+        node_index = {name: i for i, name in enumerate(nodes)}
+        n_nodes = len(nodes)
+        n_vsrc = len(self._voltage_sources)
+        n_ind = len(self._inductors)
+        size = n_nodes + n_vsrc + n_ind
+
+        def idx(node: str) -> int | None:
+            return None if node == GROUND else node_index[node]
+
+        # --- constant part of the MNA matrix -----------------------------------
+        matrix = np.zeros((size, size))
+
+        def stamp_conductance(n1: str, n2: str, conductance: float) -> None:
+            i, j = idx(n1), idx(n2)
+            if i is not None:
+                matrix[i, i] += conductance
+            if j is not None:
+                matrix[j, j] += conductance
+            if i is not None and j is not None:
+                matrix[i, j] -= conductance
+                matrix[j, i] -= conductance
+
+        for res in self._resistors:
+            stamp_conductance(res.n1, res.n2, 1.0 / res.ohms)
+
+        # Capacitor companion conductances.
+        theta = 2.0 if method == "trapezoidal" else 1.0
+        cap_g = [theta * cap.farads / dt_s for cap in self._capacitors]
+        for cap, g in zip(self._capacitors, cap_g):
+            stamp_conductance(cap.n1, cap.n2, g)
+
+        # Voltage source rows/columns.
+        for k, src in enumerate(self._voltage_sources):
+            row = n_nodes + k
+            for node, sign in ((src.n_plus, 1.0), (src.n_minus, -1.0)):
+                i = idx(node)
+                if i is not None:
+                    matrix[row, i] += sign
+                    matrix[i, row] += sign
+
+        # Inductor rows/columns: branch current is an unknown.
+        ind_coeff = [
+            (theta * ind.henries / dt_s) for ind in self._inductors
+        ]
+        for k, (ind, coeff) in enumerate(zip(self._inductors, ind_coeff)):
+            row = n_nodes + n_vsrc + k
+            for node, sign in ((ind.n1, 1.0), (ind.n2, -1.0)):
+                i = idx(node)
+                if i is not None:
+                    matrix[row, i] += sign
+                    matrix[i, row] += sign
+            matrix[row, row] -= coeff
+
+        lu = lu_factor(matrix)
+
+        # --- state ---------------------------------------------------------------
+        cap_voltage = np.array([c.initial_voltage for c in self._capacitors])
+        cap_current = np.zeros(len(self._capacitors))
+        ind_current = np.array([l.initial_current for l in self._inductors])
+        ind_voltage = np.zeros(len(self._inductors))
+
+        if start_from_dc:
+            dc_voltages, dc_ind_currents = self._solve_dc()
+            cap_voltage = np.array(
+                [dc_voltages[c.n1] - dc_voltages[c.n2] for c in self._capacitors]
+            )
+            ind_current = dc_ind_currents
+            ind_voltage = np.zeros(len(self._inductors))
+
+        recorded = list(record_nodes) if record_nodes is not None else nodes
+        for node in recorded:
+            if node != GROUND and node not in node_index:
+                raise KeyError(f"unknown node {node!r}")
+
+        steps = int(round(duration_s / dt_s))
+        times = np.linspace(0.0, steps * dt_s, steps + 1)
+        traces = {node: np.zeros(steps + 1) for node in recorded}
+        source_traces = {src.name: np.zeros(steps + 1) for src in self._current_sources}
+
+        # Record initial condition (node voltages unknown before the first
+        # solve; approximate with the DC solution when requested, else zero).
+        if start_from_dc:
+            initial_voltages, _ = self._solve_dc()
+        else:
+            initial_voltages = {name: 0.0 for name in nodes}
+            initial_voltages[GROUND] = 0.0
+        for node in recorded:
+            traces[node][0] = initial_voltages.get(node, 0.0)
+        for src in self._current_sources:
+            source_traces[src.name][0] = src.waveform(0.0)
+
+        solution = np.zeros(size)
+        for step in range(1, steps + 1):
+            t = times[step]
+            rhs = np.zeros(size)
+
+            for src in self._current_sources:
+                amps = src.waveform(t)
+                source_traces[src.name][step] = amps
+                i, j = idx(src.n_plus), idx(src.n_minus)
+                if i is not None:
+                    rhs[i] -= amps
+                if j is not None:
+                    rhs[j] += amps
+
+            for cap, g, v_prev, i_prev in zip(
+                self._capacitors, cap_g, cap_voltage, cap_current
+            ):
+                if method == "trapezoidal":
+                    ieq = g * v_prev + i_prev
+                else:
+                    ieq = g * v_prev
+                i, j = idx(cap.n1), idx(cap.n2)
+                if i is not None:
+                    rhs[i] += ieq
+                if j is not None:
+                    rhs[j] -= ieq
+
+            for k, src in enumerate(self._voltage_sources):
+                rhs[n_nodes + k] = src.volts
+
+            for k, (ind, coeff) in enumerate(zip(self._inductors, ind_coeff)):
+                row = n_nodes + n_vsrc + k
+                if method == "trapezoidal":
+                    rhs[row] = -ind_voltage[k] - coeff * ind_current[k]
+                else:
+                    rhs[row] = -coeff * ind_current[k]
+
+            solution = lu_solve(lu, rhs)
+
+            node_voltage = {GROUND: 0.0}
+            for name, i in node_index.items():
+                node_voltage[name] = solution[i]
+
+            # Update companion-model state.
+            for k, (cap, g) in enumerate(zip(self._capacitors, cap_g)):
+                v_new = node_voltage[cap.n1] - node_voltage[cap.n2]
+                if method == "trapezoidal":
+                    i_new = g * (v_new - cap_voltage[k]) - cap_current[k]
+                else:
+                    i_new = g * (v_new - cap_voltage[k])
+                cap_voltage[k] = v_new
+                cap_current[k] = i_new
+            for k, ind in enumerate(self._inductors):
+                ind_current[k] = solution[n_nodes + n_vsrc + k]
+                ind_voltage[k] = node_voltage[ind.n1] - node_voltage[ind.n2]
+
+            for node in recorded:
+                traces[node][step] = node_voltage[node]
+
+        return TransientResult(
+            time_s=times, node_voltages=traces, source_currents=source_traces
+        )
+
+    # -- internals ------------------------------------------------------------------
+
+    def _solve_dc(self) -> tuple[dict[str, float], np.ndarray]:
+        """DC solution: caps open, inductors short (0 V sources)."""
+        nodes = self.node_names
+        node_index = {name: i for i, name in enumerate(nodes)}
+        n_nodes = len(nodes)
+        n_vsrc = len(self._voltage_sources)
+        n_ind = len(self._inductors)
+        size = n_nodes + n_vsrc + n_ind
+        if size == 0:
+            return {GROUND: 0.0}, np.zeros(0)
+        matrix = np.zeros((size, size))
+        rhs = np.zeros(size)
+
+        def idx(node: str) -> int | None:
+            return None if node == GROUND else node_index[node]
+
+        for res in self._resistors:
+            g = 1.0 / res.ohms
+            i, j = idx(res.n1), idx(res.n2)
+            if i is not None:
+                matrix[i, i] += g
+            if j is not None:
+                matrix[j, j] += g
+            if i is not None and j is not None:
+                matrix[i, j] -= g
+                matrix[j, i] -= g
+
+        for k, src in enumerate(self._voltage_sources):
+            row = n_nodes + k
+            for node, sign in ((src.n_plus, 1.0), (src.n_minus, -1.0)):
+                i = idx(node)
+                if i is not None:
+                    matrix[row, i] += sign
+                    matrix[i, row] += sign
+            rhs[row] = src.volts
+
+        for k, ind in enumerate(self._inductors):
+            row = n_nodes + n_vsrc + k
+            for node, sign in ((ind.n1, 1.0), (ind.n2, -1.0)):
+                i = idx(node)
+                if i is not None:
+                    matrix[row, i] += sign
+                    matrix[i, row] += sign
+            # Branch equation: v(n1) - v(n2) = 0 (short).
+
+        for src in self._current_sources:
+            amps = src.waveform(0.0)
+            i, j = idx(src.n_plus), idx(src.n_minus)
+            if i is not None:
+                rhs[i] -= amps
+            if j is not None:
+                rhs[j] += amps
+
+        solution = np.linalg.solve(matrix, rhs)
+        voltages = {GROUND: 0.0}
+        for name, i in node_index.items():
+            voltages[name] = float(solution[i])
+        ind_currents = solution[n_nodes + n_vsrc:]
+        return voltages, ind_currents

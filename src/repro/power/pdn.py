@@ -1,0 +1,256 @@
+"""Power distribution network (PDN) model of the sprint-enabled chip.
+
+This module builds the RLC network of Figure 5 — voltage regulator, board,
+package, and an on-chip grid feeding the (power-gated) cores — and analyses
+the supply-voltage transients caused by core activation.  Cores are modelled
+as current sources, as in the paper.
+
+Simplifications relative to the SPICE netlist (documented in DESIGN.md):
+
+* The separate power and ground rails are lumped into a single path whose
+  series resistance and inductance are doubled, which preserves the loop
+  impedance seen by the load.
+* The 2-D on-chip mesh between adjacent cores is modelled as a 1-D chain.
+
+With the paper's component values this reproduces the qualitative result of
+Section 5: abrupt activation and a 1.28 us ramp violate a 2% supply
+tolerance, while a 128 us ramp stays within tolerance and settles roughly
+10 mV below nominal because of the resistive drop.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.power.activation import ActivationSchedule
+from repro.power.circuit import GROUND, Circuit, TransientResult
+
+#: Node name of the shared package rail.
+PACKAGE_NODE = "package"
+#: Node name of the board rail.
+BOARD_NODE = "board"
+#: Node name of the regulator output.
+REGULATOR_NODE = "regulator"
+
+
+def core_node(index: int) -> str:
+    """Name of the on-chip supply node of core ``index``."""
+    return f"core{index}"
+
+
+@dataclass(frozen=True)
+class PdnConfig:
+    """Component values of the power delivery network (Figure 5).
+
+    Resistances are in ohms, inductances in henries, capacitances in farads.
+    The ``*_r`` / ``*_l`` values are round-trip (power + ground) quantities,
+    i.e. twice the per-rail values printed in Figure 5.
+    """
+
+    n_cores: int = 16
+    supply_v: float = 1.2
+    #: Average current drawn by one active core (the paper uses 0.5 A).
+    core_average_current_a: float = 0.5
+    #: Peak current drawn by one active core (1 A in the paper).
+    core_peak_current_a: float = 1.0
+    #: Allowed supply fluctuation as a fraction of nominal (1-2% typical).
+    tolerance_fraction: float = 0.02
+
+    regulator_decap_f: float = 1e-3
+    board_r: float = 2 * 0.5e-3
+    board_l: float = 2 * 5e-9
+    board_decap_f: float = 30e-6
+    package_r: float = 2 * 150e-6
+    package_l: float = 2 * 0.1e-9
+    package_decap_f: float = 1e-6
+    #: Per-core feed from the package rail onto the die.
+    chip_feed_r: float = 2 * 3.2e-3
+    chip_feed_l: float = 2 * 32e-12
+    #: On-chip grid segment between adjacent cores.
+    grid_r: float = 2 * 1.6e-3
+    grid_l: float = 2 * 128e-15
+    core_decap_f: float = 16e-12
+    core_decap_esr: float = 90e-3
+
+    def __post_init__(self) -> None:
+        if self.n_cores <= 0:
+            raise ValueError("n_cores must be positive")
+        if self.supply_v <= 0:
+            raise ValueError("supply voltage must be positive")
+        if not 0 < self.tolerance_fraction < 1:
+            raise ValueError("tolerance fraction must be in (0, 1)")
+        if self.core_average_current_a < 0 or self.core_peak_current_a < 0:
+            raise ValueError("core currents must be non-negative")
+
+    @property
+    def tolerance_v(self) -> float:
+        """Allowed fluctuation in volts."""
+        return self.supply_v * self.tolerance_fraction
+
+    @property
+    def total_sprint_current_a(self) -> float:
+        """Average current when all cores are active."""
+        return self.n_cores * self.core_average_current_a
+
+
+@dataclass
+class ActivationAnalysis:
+    """Supply integrity metrics for one activation transient (Figure 6)."""
+
+    config: PdnConfig
+    schedule: ActivationSchedule
+    result: TransientResult
+    monitored_node: str
+    #: Minimum and maximum voltage observed at the monitored core node.
+    min_voltage_v: float = 0.0
+    max_voltage_v: float = 0.0
+    #: Voltage at the end of the run (the settled value).
+    settling_voltage_v: float = 0.0
+    #: Time to come (and stay) within tolerance of the settled value.
+    settling_time_s: float | None = None
+
+    def __post_init__(self) -> None:
+        waveform = self.result.voltage(self.monitored_node)
+        self.min_voltage_v = float(np.min(waveform))
+        self.max_voltage_v = float(np.max(waveform))
+        self.settling_voltage_v = float(waveform[-1])
+        self.settling_time_s = self.result.settling_time(
+            self.monitored_node, self.config.tolerance_v
+        )
+
+    @property
+    def worst_droop_v(self) -> float:
+        """Largest drop below the nominal supply voltage."""
+        return self.config.supply_v - self.min_voltage_v
+
+    @property
+    def worst_overshoot_v(self) -> float:
+        """Largest rise above the nominal supply voltage."""
+        return max(0.0, self.max_voltage_v - self.config.supply_v)
+
+    @property
+    def within_tolerance(self) -> bool:
+        """True when the supply never leaves the +-tolerance band around nominal."""
+        return (
+            self.worst_droop_v <= self.config.tolerance_v
+            and self.worst_overshoot_v <= self.config.tolerance_v
+        )
+
+    @property
+    def resistive_drop_v(self) -> float:
+        """Settled voltage reduction due to IR drop (Section 5.3's ~10 mV)."""
+        return self.config.supply_v - self.settling_voltage_v
+
+
+class PowerDeliveryNetwork:
+    """Builds and simulates the Figure 5 RLC network."""
+
+    def __init__(self, config: PdnConfig | None = None) -> None:
+        self.config = config or PdnConfig()
+
+    # -- circuit construction -----------------------------------------------------
+
+    def build_circuit(
+        self, schedule: ActivationSchedule, core_current_a: float | None = None
+    ) -> Circuit:
+        """Assemble the RLC circuit with per-core load current sources."""
+        cfg = self.config
+        current = (
+            cfg.core_average_current_a if core_current_a is None else core_current_a
+        )
+        circuit = Circuit()
+        circuit.add_voltage_source("vreg", REGULATOR_NODE, GROUND, cfg.supply_v)
+        circuit.add_capacitor("c_reg", REGULATOR_NODE, GROUND, cfg.regulator_decap_f)
+
+        circuit.add_resistor("r_board", REGULATOR_NODE, "board_mid", cfg.board_r)
+        circuit.add_inductor("l_board", "board_mid", BOARD_NODE, cfg.board_l)
+        circuit.add_capacitor("c_board", BOARD_NODE, GROUND, cfg.board_decap_f)
+
+        circuit.add_resistor("r_package", BOARD_NODE, "package_mid", cfg.package_r)
+        circuit.add_inductor("l_package", "package_mid", PACKAGE_NODE, cfg.package_l)
+        circuit.add_capacitor("c_package", PACKAGE_NODE, GROUND, cfg.package_decap_f)
+
+        for k in range(cfg.n_cores):
+            node = core_node(k)
+            circuit.add_resistor(f"r_feed{k}", PACKAGE_NODE, f"feed{k}", cfg.chip_feed_r)
+            circuit.add_inductor(f"l_feed{k}", f"feed{k}", node, cfg.chip_feed_l)
+            circuit.add_capacitor(f"c_core{k}", node, f"esr{k}", cfg.core_decap_f)
+            circuit.add_resistor(f"r_esr{k}", f"esr{k}", GROUND, cfg.core_decap_esr)
+            if k > 0:
+                circuit.add_resistor(
+                    f"r_grid{k}", core_node(k - 1), f"grid{k}", cfg.grid_r
+                )
+                circuit.add_inductor(f"l_grid{k}", f"grid{k}", node, cfg.grid_l)
+            circuit.add_current_source(
+                f"i_core{k}",
+                node,
+                GROUND,
+                schedule.core_current_waveform(k, cfg.n_cores, current),
+            )
+        return circuit
+
+    # -- analyses -------------------------------------------------------------------
+
+    def simulate_activation(
+        self,
+        schedule: ActivationSchedule,
+        duration_s: float | None = None,
+        dt_s: float | None = None,
+        monitored_core: int = 0,
+        method: str = "backward_euler",
+    ) -> ActivationAnalysis:
+        """Simulate a sprint activation transient and analyse supply integrity.
+
+        The monitored node is the supply node of ``monitored_core`` (core 0
+        by default — the core electrically farthest from the last ones to
+        activate in the chain layout, and the one the paper plots).
+        """
+        cfg = self.config
+        ramp = schedule.duration_s(cfg.n_cores)
+        if duration_s is None:
+            # Long enough for the ramp plus electrical settling of the board loop.
+            duration_s = max(4 * ramp, 50e-6) + 100e-6
+        if dt_s is None:
+            dt_s = self._default_dt(ramp, duration_s)
+        circuit = self.build_circuit(schedule)
+        node = core_node(monitored_core)
+        result = circuit.transient(
+            duration_s,
+            dt_s,
+            method=method,
+            record_nodes=[node, PACKAGE_NODE, BOARD_NODE],
+            start_from_dc=True,
+        )
+        return ActivationAnalysis(
+            config=cfg, schedule=schedule, result=result, monitored_node=node
+        )
+
+    def steady_state_voltage(self, active_cores: int) -> float:
+        """Settled core-0 supply voltage with ``active_cores`` cores drawing current.
+
+        Uses the DC operating point (inductors short, capacitors open); this
+        is the resistive-drop-only voltage the transient settles towards.
+        """
+        cfg = self.config
+        if not 0 <= active_cores <= cfg.n_cores:
+            raise ValueError(
+                f"active_cores must be between 0 and {cfg.n_cores}, got {active_cores}"
+            )
+        from repro.power.activation import StaggeredActivation
+
+        # Cores that should be on are given a negative activation time so the
+        # DC solve (which evaluates load waveforms at t=0) sees them active.
+        times = [-1.0 if k < active_cores else float("inf") for k in range(cfg.n_cores)]
+        schedule = StaggeredActivation(times_s=times)
+        circuit = self.build_circuit(schedule)
+        voltages = circuit.dc_operating_point()
+        return voltages[core_node(0)]
+
+    def _default_dt(self, ramp_s: float, duration_s: float) -> float:
+        """Pick a step small enough for the ramp but bounded for tractability."""
+        dt = min(50e-9, max(1e-9, ramp_s / 64.0)) if ramp_s > 0 else 10e-9
+        # Cap the number of steps to keep run times reasonable.
+        max_steps = 40_000
+        return max(dt, duration_s / max_steps)

@@ -1,0 +1,257 @@
+"""Sprint power sources: batteries, ultracapacitors, hybrids, and pins.
+
+Section 6 of the paper asks whether the *electrical* energy source of a
+phone can deliver a 16 W burst for a second:
+
+* A typical phone Li-Ion battery tops out around 10 W (2.7 A at 3.7 V) due to
+  internal thermal limits, which would cap sprint intensity below ten 1 W
+  cores.
+* High-discharge Li-polymer packs (e.g. the 51 g Dualsky GT 850 2s: 43 A at
+  7 V) easily meet the demand.
+* Ultracapacitors (e.g. a 25 F, 2.7 V, 6.5 g NESSCAP part storing 182 J with
+  a 20 A peak) can supply sprint current while the battery recharges them
+  between sprints.
+* Delivering ~16 A onto the die needs many power/ground pins: at 100 mA per
+  power/ground pair, 16 A at 1 V needs 320 pins.
+
+These models answer feasibility questions (can this source power N cores for
+T seconds?) used by the power-source benchmark and the examples.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from math import ceil, inf
+
+
+@dataclass(frozen=True)
+class PowerSource:
+    """Base class: anything that can deliver power for some duration."""
+
+    name: str
+
+    def max_power_w(self) -> float:
+        """Maximum instantaneous power the source can deliver."""
+        raise NotImplementedError
+
+    def max_burst_energy_j(self) -> float:
+        """Energy available for a single burst (infinite for batteries)."""
+        raise NotImplementedError
+
+    def can_supply(self, power_w: float, duration_s: float) -> bool:
+        """True when the source can sustain ``power_w`` for ``duration_s``."""
+        if power_w < 0 or duration_s < 0:
+            raise ValueError("power and duration must be non-negative")
+        if power_w > self.max_power_w():
+            return False
+        return power_w * duration_s <= self.max_burst_energy_j()
+
+    def max_sprint_cores(self, core_power_w: float, duration_s: float) -> int:
+        """Largest number of cores of ``core_power_w`` sustainable for the burst."""
+        if core_power_w <= 0:
+            raise ValueError("core power must be positive")
+        by_power = int(self.max_power_w() // core_power_w)
+        energy = self.max_burst_energy_j()
+        by_energy = (
+            by_power if energy == inf else int(energy // (core_power_w * duration_s))
+        )
+        return max(0, min(by_power, by_energy))
+
+
+@dataclass(frozen=True)
+class Battery(PowerSource):
+    """A battery characterised by voltage and maximum discharge current."""
+
+    voltage_v: float = 3.7
+    max_current_a: float = 2.7
+    capacity_wh: float = 5.0
+    mass_g: float = 40.0
+
+    def __post_init__(self) -> None:
+        if self.voltage_v <= 0 or self.max_current_a <= 0:
+            raise ValueError("voltage and max current must be positive")
+        if self.capacity_wh <= 0:
+            raise ValueError("capacity must be positive")
+
+    def max_power_w(self) -> float:
+        return self.voltage_v * self.max_current_a
+
+    def max_burst_energy_j(self) -> float:
+        # Battery capacity dwarfs any sub-second burst; treat as unlimited
+        # for burst feasibility (the limit is the discharge current).
+        return inf
+
+    @property
+    def stored_energy_j(self) -> float:
+        """Total stored energy in joules."""
+        return self.capacity_wh * 3600.0
+
+
+@dataclass(frozen=True)
+class Ultracapacitor(PowerSource):
+    """An ultracapacitor characterised by capacitance and rated voltage."""
+
+    capacitance_f: float = 25.0
+    rated_voltage_v: float = 2.7
+    max_current_a: float = 20.0
+    mass_g: float = 6.5
+    leakage_current_a: float = 0.1e-3
+    #: Fraction of stored energy usable before the terminal voltage is too
+    #: low for the downstream regulator (discharging to half voltage releases
+    #: 75% of the energy).
+    usable_fraction: float = 0.75
+
+    def __post_init__(self) -> None:
+        if self.capacitance_f <= 0 or self.rated_voltage_v <= 0:
+            raise ValueError("capacitance and rated voltage must be positive")
+        if not 0 < self.usable_fraction <= 1:
+            raise ValueError("usable fraction must be in (0, 1]")
+
+    def max_power_w(self) -> float:
+        return self.rated_voltage_v * self.max_current_a
+
+    @property
+    def stored_energy_j(self) -> float:
+        """Total stored energy at rated voltage (0.5 C V^2)."""
+        return 0.5 * self.capacitance_f * self.rated_voltage_v**2
+
+    def max_burst_energy_j(self) -> float:
+        return self.usable_fraction * self.stored_energy_j
+
+    def recharge_time_s(self, charge_power_w: float) -> float:
+        """Time to refill the usable energy at a given charging power."""
+        if charge_power_w <= 0:
+            raise ValueError("charge power must be positive")
+        return self.max_burst_energy_j() / charge_power_w
+
+    def self_discharge_w(self) -> float:
+        """Standby loss due to leakage at rated voltage."""
+        return self.leakage_current_a * self.rated_voltage_v
+
+
+@dataclass(frozen=True)
+class HybridSource(PowerSource):
+    """Battery + ultracapacitor hybrid (Section 6).
+
+    The ultracapacitor supplies the sprint burst; the battery covers
+    sustained load and recharges the capacitor between sprints.
+    """
+
+    battery: Battery = None  # type: ignore[assignment]
+    ultracap: Ultracapacitor = None  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        if self.battery is None or self.ultracap is None:
+            raise ValueError("hybrid source requires both a battery and an ultracap")
+
+    def max_power_w(self) -> float:
+        return self.battery.max_power_w() + self.ultracap.max_power_w()
+
+    def max_burst_energy_j(self) -> float:
+        # The battery contribution to a burst is limited by its power, not
+        # energy; model the burst budget as the ultracap's usable energy plus
+        # whatever the battery can add over the burst (handled in can_supply).
+        return inf
+
+    def can_supply(self, power_w: float, duration_s: float) -> bool:
+        if power_w < 0 or duration_s < 0:
+            raise ValueError("power and duration must be non-negative")
+        if power_w > self.max_power_w():
+            return False
+        battery_share = min(power_w, self.battery.max_power_w())
+        ultracap_energy_needed = (power_w - battery_share) * duration_s
+        return ultracap_energy_needed <= self.ultracap.max_burst_energy_j()
+
+    def max_sprint_cores(self, core_power_w: float, duration_s: float) -> int:
+        if core_power_w <= 0:
+            raise ValueError("core power must be positive")
+        if duration_s < 0:
+            raise ValueError("duration must be non-negative")
+        cores = 0
+        while self.can_supply(core_power_w * (cores + 1), duration_s):
+            cores += 1
+            if cores > 10_000:  # pragma: no cover - guard against runaway loops
+                break
+        return cores
+
+    def time_between_sprints_s(self, sprint_power_w: float, sprint_duration_s: float) -> float:
+        """Time for the battery to recharge the ultracap after a sprint."""
+        battery_share = min(sprint_power_w, self.battery.max_power_w())
+        drained_j = max(0.0, (sprint_power_w - battery_share) * sprint_duration_s)
+        if drained_j == 0.0:
+            return 0.0
+        return self.ultracap.recharge_time_s(self.battery.max_power_w())
+
+
+def pins_required(current_a: float, pin_pair_current_a: float = 0.1) -> int:
+    """Power/ground pins needed to deliver ``current_a`` onto the die.
+
+    Section 6: at 100 mA per power/ground pair, 16 A requires 320 pins (160
+    pairs).  The returned count includes both power and ground pins.
+    """
+    if current_a < 0:
+        raise ValueError("current must be non-negative")
+    if pin_pair_current_a <= 0:
+        raise ValueError("per-pair current must be positive")
+    pairs = ceil(current_a / pin_pair_current_a)
+    return 2 * pairs
+
+
+@dataclass(frozen=True)
+class SourceAssessment:
+    """Feasibility verdict of one source for a given sprint."""
+
+    source_name: str
+    sprint_power_w: float
+    sprint_duration_s: float
+    feasible: bool
+    max_cores: int
+
+
+def assess_sources(
+    sources: list[PowerSource],
+    sprint_power_w: float,
+    sprint_duration_s: float,
+    core_power_w: float = 1.0,
+) -> list[SourceAssessment]:
+    """Evaluate which sources can power the requested sprint (Section 6 table)."""
+    assessments = []
+    for source in sources:
+        assessments.append(
+            SourceAssessment(
+                source_name=source.name,
+                sprint_power_w=sprint_power_w,
+                sprint_duration_s=sprint_duration_s,
+                feasible=source.can_supply(sprint_power_w, sprint_duration_s),
+                max_cores=source.max_sprint_cores(core_power_w, sprint_duration_s),
+            )
+        )
+    return assessments
+
+
+#: Representative phone Li-Ion battery: 2.7 A at 3.7 V (~10 W burst limit).
+PHONE_LI_ION = Battery(name="phone-li-ion", voltage_v=3.7, max_current_a=2.7,
+                       capacity_wh=5.5, mass_g=40.0)
+
+#: High-discharge Li-polymer pack (Dualsky GT 850 2s): 43 A at 7 V, 51 g.
+LI_POLYMER_HIGH_DISCHARGE = Battery(
+    name="li-polymer-high-discharge",
+    voltage_v=7.0,
+    max_current_a=43.0,
+    capacity_wh=6.3,
+    mass_g=51.0,
+)
+
+#: 25 F NESSCAP ultracapacitor: 182 J, 20 A peak, 2.7 V, 6.5 g.
+NESSCAP_25F = Ultracapacitor(
+    name="nesscap-25f",
+    capacitance_f=25.0,
+    rated_voltage_v=2.7,
+    max_current_a=20.0,
+    mass_g=6.5,
+)
+
+#: Phone battery augmented with the ultracapacitor.
+PHONE_HYBRID = HybridSource(
+    name="phone-li-ion+ultracap", battery=PHONE_LI_ION, ultracap=NESSCAP_25F
+)

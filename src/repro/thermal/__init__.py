@@ -1,0 +1,93 @@
+"""Thermal substrate: materials, PCM storage, RC networks, packages, transients.
+
+This package implements the thermal design of Section 4 of the paper:
+an RC thermal-equivalent network of a smart-phone package, optionally
+augmented with a phase change material block close to the die, plus the
+transient drivers that regenerate Figure 4 and the heat-store sizing
+calculations of Sections 4.1-4.3.
+"""
+
+from repro.thermal.materials import (
+    ALUMINIUM,
+    COPPER,
+    GENERIC_PCM,
+    ICOSANE,
+    SILICON,
+    Material,
+    get_material,
+    list_materials,
+    register_material,
+)
+from repro.thermal.network import NetworkState, ThermalNetwork
+from repro.thermal.package import (
+    AMBIENT,
+    CASE,
+    CONVENTIONAL_PACKAGE,
+    FULL_PCM_PACKAGE,
+    JUNCTION,
+    PCM,
+    SMALL_PCM_PACKAGE,
+    ConventionalPackage,
+    PcmPackage,
+    ThermalLimits,
+)
+from repro.thermal.pcm import PhaseChangeBlock
+from repro.thermal.sizing import (
+    HeatStoreOption,
+    compare_heat_stores,
+    heat_flux_w_cm2,
+    pcm_mass_g_for_heat,
+    pcm_thickness_mm,
+    solid_block_thickness_mm,
+    sprint_heat_j,
+)
+from repro.thermal.transient import (
+    CooldownResult,
+    SprintThermalResult,
+    ThermalTrace,
+    max_sprint_duration_s,
+    simulate_constant_power,
+    simulate_cooldown,
+    simulate_sprint,
+    simulate_sprint_and_cooldown,
+)
+
+__all__ = [
+    "ALUMINIUM",
+    "AMBIENT",
+    "CASE",
+    "CONVENTIONAL_PACKAGE",
+    "COPPER",
+    "CooldownResult",
+    "ConventionalPackage",
+    "FULL_PCM_PACKAGE",
+    "GENERIC_PCM",
+    "HeatStoreOption",
+    "ICOSANE",
+    "JUNCTION",
+    "Material",
+    "NetworkState",
+    "PCM",
+    "PcmPackage",
+    "PhaseChangeBlock",
+    "SILICON",
+    "SMALL_PCM_PACKAGE",
+    "SprintThermalResult",
+    "ThermalLimits",
+    "ThermalNetwork",
+    "ThermalTrace",
+    "compare_heat_stores",
+    "get_material",
+    "heat_flux_w_cm2",
+    "list_materials",
+    "max_sprint_duration_s",
+    "pcm_mass_g_for_heat",
+    "pcm_thickness_mm",
+    "register_material",
+    "simulate_constant_power",
+    "simulate_cooldown",
+    "simulate_sprint",
+    "simulate_sprint_and_cooldown",
+    "solid_block_thickness_mm",
+    "sprint_heat_j",
+]

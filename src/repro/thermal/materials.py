@@ -1,0 +1,177 @@
+"""Material property database for thermal design.
+
+The thermal design chapter of the paper (Section 4) sizes heat-storage
+blocks made of copper, aluminium, or phase change material (PCM) placed
+close to the die.  This module provides the material constants used by the
+sizing calculators (:mod:`repro.thermal.sizing`) and by the package builders
+(:mod:`repro.thermal.package`).
+
+All quantities use SI-derived units convenient for package-scale work:
+
+* density               -- g / cm^3
+* specific heat         -- J / (g K)
+* volumetric heat       -- J / (cm^3 K)   (derived)
+* latent heat of fusion -- J / g          (zero for materials that never melt
+                                           in the operating range)
+* melting point         -- degrees Celsius
+* thermal conductivity  -- W / (m K)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Material:
+    """Thermophysical properties of a packaging or heat-storage material.
+
+    Parameters
+    ----------
+    name:
+        Human readable identifier.
+    density_g_cm3:
+        Mass density in grams per cubic centimetre.
+    specific_heat_j_gk:
+        Specific heat capacity in joules per gram-kelvin.
+    conductivity_w_mk:
+        Thermal conductivity in watts per metre-kelvin.
+    latent_heat_j_g:
+        Latent heat of fusion in joules per gram.  Zero for materials that do
+        not change phase at package temperatures.
+    melting_point_c:
+        Melting point in degrees Celsius.  ``None`` when the material does
+        not melt in the operating range (metals, silicon).
+    """
+
+    name: str
+    density_g_cm3: float
+    specific_heat_j_gk: float
+    conductivity_w_mk: float
+    latent_heat_j_g: float = 0.0
+    melting_point_c: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.density_g_cm3 <= 0:
+            raise ValueError(f"density must be positive, got {self.density_g_cm3}")
+        if self.specific_heat_j_gk <= 0:
+            raise ValueError(
+                f"specific heat must be positive, got {self.specific_heat_j_gk}"
+            )
+        if self.conductivity_w_mk <= 0:
+            raise ValueError(
+                f"conductivity must be positive, got {self.conductivity_w_mk}"
+            )
+        if self.latent_heat_j_g < 0:
+            raise ValueError(
+                f"latent heat must be non-negative, got {self.latent_heat_j_g}"
+            )
+
+    @property
+    def volumetric_heat_j_cm3k(self) -> float:
+        """Volumetric heat capacity in J/(cm^3 K)."""
+        return self.density_g_cm3 * self.specific_heat_j_gk
+
+    @property
+    def is_phase_change(self) -> bool:
+        """True when the material stores latent heat at a melting point."""
+        return self.latent_heat_j_g > 0 and self.melting_point_c is not None
+
+    def heat_capacity_j_k(self, mass_g: float) -> float:
+        """Sensible heat capacity (J/K) of ``mass_g`` grams of material."""
+        if mass_g < 0:
+            raise ValueError(f"mass must be non-negative, got {mass_g}")
+        return mass_g * self.specific_heat_j_gk
+
+    def latent_capacity_j(self, mass_g: float) -> float:
+        """Total latent heat (J) available from melting ``mass_g`` grams."""
+        if mass_g < 0:
+            raise ValueError(f"mass must be non-negative, got {mass_g}")
+        return mass_g * self.latent_heat_j_g
+
+    def mass_for_volume(self, volume_cm3: float) -> float:
+        """Mass (g) of a block of the given volume (cm^3)."""
+        if volume_cm3 < 0:
+            raise ValueError(f"volume must be non-negative, got {volume_cm3}")
+        return volume_cm3 * self.density_g_cm3
+
+
+# --- Reference materials -----------------------------------------------------
+#
+# Copper and aluminium volumetric heat capacities (3.45 and 2.42 J/cm^3 K) are
+# the values quoted in Section 4.1 of the paper.  Icosane is the candle-wax
+# PCM cited in Section 4.2 (melting point 36.8 C, latent heat 241 J/g).  The
+# "generic" PCM matches the paper's working assumption of 100 J/g latent heat,
+# 1 g/cm^3 density, and a 60 C melting point chosen to sit between the
+# sustained junction temperature and the 70 C junction limit.
+
+COPPER = Material(
+    name="copper",
+    density_g_cm3=8.96,
+    specific_heat_j_gk=0.385,
+    conductivity_w_mk=401.0,
+)
+
+ALUMINIUM = Material(
+    name="aluminium",
+    density_g_cm3=2.70,
+    specific_heat_j_gk=0.897,
+    conductivity_w_mk=237.0,
+)
+
+SILICON = Material(
+    name="silicon",
+    density_g_cm3=2.329,
+    specific_heat_j_gk=0.705,
+    conductivity_w_mk=149.0,
+)
+
+ICOSANE = Material(
+    name="icosane",
+    density_g_cm3=0.789,
+    specific_heat_j_gk=2.21,
+    conductivity_w_mk=0.25,
+    latent_heat_j_g=241.0,
+    melting_point_c=36.8,
+)
+
+GENERIC_PCM = Material(
+    name="generic-pcm",
+    density_g_cm3=1.0,
+    specific_heat_j_gk=0.5,
+    conductivity_w_mk=5.0,
+    latent_heat_j_g=100.0,
+    melting_point_c=60.0,
+)
+
+_REGISTRY: dict[str, Material] = {
+    material.name: material
+    for material in (COPPER, ALUMINIUM, SILICON, ICOSANE, GENERIC_PCM)
+}
+
+
+def get_material(name: str) -> Material:
+    """Look up a reference material by name.
+
+    Raises
+    ------
+    KeyError
+        If the material is unknown.  The error message lists the known names.
+    """
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY))
+        raise KeyError(f"unknown material {name!r}; known materials: {known}") from None
+
+
+def register_material(material: Material, *, overwrite: bool = False) -> None:
+    """Add a material to the registry so experiments can refer to it by name."""
+    if material.name in _REGISTRY and not overwrite:
+        raise ValueError(f"material {material.name!r} already registered")
+    _REGISTRY[material.name] = material
+
+
+def list_materials() -> list[str]:
+    """Names of all registered materials, sorted alphabetically."""
+    return sorted(_REGISTRY)

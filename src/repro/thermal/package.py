@@ -1,0 +1,260 @@
+"""Thermal package configurations for the sprinting system.
+
+Two package styles from Figure 3 of the paper:
+
+* :class:`ConventionalPackage` — die junction, case, and ambient (Figure
+  3(a)/(b)), sized so that sustained single-core (~1 W) operation keeps the
+  junction below its limit using passive convection only.
+* :class:`PcmPackage` — the same stack augmented with a phase change
+  material block adjacent to the die (Figure 3(c)/(d)).  The amount of
+  computation possible during a sprint is set primarily by the PCM's latent
+  capacity; the maximum sprint power by the resistance from junction into the
+  PCM; and the sustained power by the total resistance to ambient.
+
+Default component values are calibrated (see DESIGN.md) so that the package
+reproduces the paper's headline numbers: ~1 W sustained keeps the junction
+just below the 60 C PCM melting point with 25 C ambient, a 16 W sprint with
+150 mg of PCM lasts a little over one second with a ~0.95 s melt plateau,
+and cooling back to near ambient takes on the order of 24 seconds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.thermal.materials import GENERIC_PCM, Material
+from repro.thermal.network import ThermalNetwork
+from repro.thermal.pcm import PhaseChangeBlock
+
+#: Node names shared by all package builders.
+JUNCTION = "junction"
+PCM = "pcm"
+CASE = "case"
+AMBIENT = "ambient"
+
+
+@dataclass(frozen=True)
+class ThermalLimits:
+    """Operating temperature limits of the platform."""
+
+    ambient_c: float = 25.0
+    max_junction_c: float = 70.0
+
+    def __post_init__(self) -> None:
+        if self.max_junction_c <= self.ambient_c:
+            raise ValueError(
+                "max junction temperature must exceed ambient "
+                f"({self.max_junction_c} <= {self.ambient_c})"
+            )
+
+    @property
+    def headroom_c(self) -> float:
+        """Temperature headroom between ambient and the junction limit."""
+        return self.max_junction_c - self.ambient_c
+
+
+@dataclass(frozen=True)
+class ConventionalPackage:
+    """Package without dedicated sprint thermal storage (Figure 3(a)/(b)).
+
+    Parameters
+    ----------
+    junction_capacitance_j_k:
+        Lumped capacitance of the die and its immediate spreader.
+    case_capacitance_j_k:
+        Capacitance of the phone case / board mass.
+    junction_to_case_k_w:
+        Conduction resistance from die through package/PCB to the case.
+    case_to_ambient_k_w:
+        Passive convection resistance from case to ambient.
+    limits:
+        Ambient and maximum junction temperatures.
+    """
+
+    junction_capacitance_j_k: float = 0.03
+    case_capacitance_j_k: float = 60.0
+    junction_to_case_k_w: float = 25.5
+    case_to_ambient_k_w: float = 8.5
+    limits: ThermalLimits = field(default_factory=ThermalLimits)
+
+    @property
+    def total_resistance_k_w(self) -> float:
+        """Series resistance from junction to ambient."""
+        return self.junction_to_case_k_w + self.case_to_ambient_k_w
+
+    @property
+    def sustainable_power_w(self) -> float:
+        """Maximum steady-state power (TDP) that keeps the junction at its limit."""
+        return self.limits.headroom_c / self.total_resistance_k_w
+
+    def build(self, initial_temperature_c: float | None = None) -> ThermalNetwork:
+        """Construct the thermal network for this package."""
+        start = (
+            self.limits.ambient_c
+            if initial_temperature_c is None
+            else initial_temperature_c
+        )
+        net = ThermalNetwork(ambient_c=self.limits.ambient_c)
+        net.add_capacitance_node(
+            JUNCTION, self.junction_capacitance_j_k, initial_temperature_c=start
+        )
+        net.add_capacitance_node(
+            CASE, self.case_capacitance_j_k, initial_temperature_c=start
+        )
+        net.add_fixed_node(AMBIENT, temperature_c=self.limits.ambient_c)
+        net.connect(JUNCTION, CASE, self.junction_to_case_k_w)
+        net.connect(CASE, AMBIENT, self.case_to_ambient_k_w)
+        return net
+
+
+@dataclass(frozen=True)
+class PcmPackage:
+    """Package augmented with a PCM block close to the die (Figure 3(c)/(d)).
+
+    The three resistances map onto the circled quantities of Figure 3(d):
+
+    * ``junction_to_pcm_k_w`` (2) bounds the maximum sprint power,
+    * ``pcm_to_case_k_w`` + ``case_to_ambient_k_w`` (3) set how quickly the
+      system cools between sprints,
+    * their sum (2 + 3) sets the sustainable power.
+    """
+
+    pcm_mass_g: float = 0.150
+    pcm_material: Material = field(default_factory=lambda: GENERIC_PCM)
+    junction_capacitance_j_k: float = 0.03
+    case_capacitance_j_k: float = 60.0
+    junction_to_pcm_k_w: float = 0.5
+    pcm_to_case_k_w: float = 25.0
+    case_to_ambient_k_w: float = 8.5
+    limits: ThermalLimits = field(default_factory=ThermalLimits)
+
+    def __post_init__(self) -> None:
+        if self.pcm_mass_g <= 0:
+            raise ValueError("PCM mass must be positive")
+        melting = self.pcm_material.melting_point_c
+        if melting is None:
+            raise ValueError("PCM material must have a melting point")
+        if not (self.limits.ambient_c < melting < self.limits.max_junction_c):
+            raise ValueError(
+                "PCM melting point must lie between ambient and the junction limit, "
+                f"got {melting} with ambient {self.limits.ambient_c} and limit "
+                f"{self.limits.max_junction_c}"
+            )
+
+    # -- derived design quantities ------------------------------------------------
+
+    @property
+    def melting_point_c(self) -> float:
+        """Melting point of the installed PCM."""
+        assert self.pcm_material.melting_point_c is not None
+        return self.pcm_material.melting_point_c
+
+    @property
+    def total_resistance_k_w(self) -> float:
+        """Series resistance from junction to ambient."""
+        return (
+            self.junction_to_pcm_k_w + self.pcm_to_case_k_w + self.case_to_ambient_k_w
+        )
+
+    @property
+    def sustainable_power_w(self) -> float:
+        """Steady-state power that keeps the junction just at the PCM melting point.
+
+        The paper selects the sustained single-core budget so the PCM does not
+        melt during sustained operation (Section 4.4).
+        """
+        return (self.melting_point_c - self.limits.ambient_c) / self.total_resistance_k_w
+
+    @property
+    def max_sprint_power_w(self) -> float:
+        """Largest sprint power that keeps the junction below its limit while melting.
+
+        While the PCM is melting its temperature is pinned at the melting
+        point, so the junction sits at ``T_melt + P * R_junction_to_pcm``.
+        """
+        return (
+            self.limits.max_junction_c - self.melting_point_c
+        ) / self.junction_to_pcm_k_w
+
+    @property
+    def latent_capacity_j(self) -> float:
+        """Latent heat available from the PCM block in joules."""
+        return self.pcm_material.latent_capacity_j(self.pcm_mass_g)
+
+    def sprint_budget_j(self, sprint_power_w: float) -> float:
+        """Approximate heat (J) a sprint may deposit before hitting the limit.
+
+        This is the latent capacity plus the sensible headroom of the PCM and
+        junction between ambient and the junction limit; it is the quantity
+        the runtime's energy-based budget estimator tracks (Section 7).
+        """
+        if sprint_power_w <= 0:
+            raise ValueError("sprint power must be positive")
+        sensible = (
+            self.pcm_material.heat_capacity_j_k(self.pcm_mass_g)
+            + self.junction_capacitance_j_k
+        ) * self.limits.headroom_c
+        return self.latent_capacity_j + sensible
+
+    def estimated_sprint_duration_s(self, sprint_power_w: float) -> float:
+        """First-order estimate of how long a sprint at the given power lasts.
+
+        Assumes the net heat accumulating locally is the sprint power minus
+        what leaks toward ambient at the melt-plateau temperature.
+        """
+        leak_w = (self.melting_point_c - self.limits.ambient_c) / (
+            self.pcm_to_case_k_w + self.case_to_ambient_k_w
+        )
+        net_w = sprint_power_w - leak_w
+        if net_w <= 0:
+            return float("inf")
+        return self.sprint_budget_j(sprint_power_w) / net_w
+
+    def estimated_cooldown_s(self, sprint_duration_s: float, sprint_power_w: float) -> float:
+        """Paper's rule of thumb: cooldown = sprint duration x (sprint power / TDP)."""
+        if sprint_duration_s < 0 or sprint_power_w < 0:
+            raise ValueError("sprint duration and power must be non-negative")
+        return sprint_duration_s * sprint_power_w / self.sustainable_power_w
+
+    def with_pcm_mass(self, mass_g: float) -> "PcmPackage":
+        """Copy of this package with a different PCM mass (e.g. 1.5 mg vs 150 mg)."""
+        return replace(self, pcm_mass_g=mass_g)
+
+    def build(self, initial_temperature_c: float | None = None) -> ThermalNetwork:
+        """Construct the thermal network for this package."""
+        start = (
+            self.limits.ambient_c
+            if initial_temperature_c is None
+            else initial_temperature_c
+        )
+        net = ThermalNetwork(ambient_c=self.limits.ambient_c)
+        net.add_capacitance_node(
+            JUNCTION, self.junction_capacitance_j_k, initial_temperature_c=start
+        )
+        net.add_pcm_node(
+            PCM,
+            PhaseChangeBlock(
+                mass_g=self.pcm_mass_g,
+                material=self.pcm_material,
+                initial_temperature_c=start,
+            ),
+        )
+        net.add_capacitance_node(
+            CASE, self.case_capacitance_j_k, initial_temperature_c=start
+        )
+        net.add_fixed_node(AMBIENT, temperature_c=self.limits.ambient_c)
+        net.connect(JUNCTION, PCM, self.junction_to_pcm_k_w)
+        net.connect(PCM, CASE, self.pcm_to_case_k_w)
+        net.connect(CASE, AMBIENT, self.case_to_ambient_k_w)
+        return net
+
+
+#: The paper's fully provisioned design point: 150 mg of PCM.
+FULL_PCM_PACKAGE = PcmPackage(pcm_mass_g=0.150)
+
+#: The artificially constrained design point used to study truncated sprints:
+#: 100x less PCM (1.5 mg), as in Section 8.3.
+SMALL_PCM_PACKAGE = PcmPackage(pcm_mass_g=0.0015)
+
+#: Conventional package with no sprint-oriented heat storage.
+CONVENTIONAL_PACKAGE = ConventionalPackage()

@@ -1,0 +1,132 @@
+"""Back-of-envelope heat-storage sizing calculators (Sections 4.1-4.3).
+
+The paper sizes three candidate heat stores for a 16 J sprint over a
+64 mm^2 die:
+
+* a 7.2 mm thick copper block (volumetric heat capacity 3.45 J/cm^3 K,
+  allowing a 10 C temperature rise),
+* a 10.3 mm thick aluminium block (2.42 J/cm^3 K, same rise),
+* a 2.3 mm thick / ~150 mg block of PCM with 100 J/g latent heat and
+  1 g/cm^3 density.
+
+It also observes that the peak heat flux of a 16 W sprint over 64 mm^2 is
+25 W/cm^2, within the range handled by conventional thermal interface
+materials.  These helpers reproduce those calculations and are exercised by
+the ``sizing`` benchmark.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.thermal.materials import Material
+
+MM2_PER_CM2 = 100.0
+MM_PER_CM = 10.0
+
+
+def sprint_heat_j(power_w: float, duration_s: float) -> float:
+    """Total heat deposited by a sprint of the given power and duration."""
+    if power_w < 0 or duration_s < 0:
+        raise ValueError("power and duration must be non-negative")
+    return power_w * duration_s
+
+
+def heat_flux_w_cm2(power_w: float, die_area_mm2: float) -> float:
+    """Heat flux through the die footprint in W/cm^2."""
+    if die_area_mm2 <= 0:
+        raise ValueError("die area must be positive")
+    return power_w / (die_area_mm2 / MM2_PER_CM2)
+
+
+def solid_block_thickness_mm(
+    material: Material,
+    heat_j: float,
+    die_area_mm2: float,
+    allowed_rise_c: float,
+) -> float:
+    """Thickness of a solid block absorbing ``heat_j`` with a bounded rise.
+
+    Matches the Section 4.1 calculation: the block covers the die footprint
+    and stores heat in sensible form only.
+    """
+    if heat_j < 0:
+        raise ValueError("heat must be non-negative")
+    if allowed_rise_c <= 0:
+        raise ValueError("allowed temperature rise must be positive")
+    if die_area_mm2 <= 0:
+        raise ValueError("die area must be positive")
+    volume_cm3 = heat_j / (material.volumetric_heat_j_cm3k * allowed_rise_c)
+    area_cm2 = die_area_mm2 / MM2_PER_CM2
+    return volume_cm3 / area_cm2 * MM_PER_CM
+
+
+def pcm_mass_g_for_heat(material: Material, heat_j: float) -> float:
+    """Mass of PCM whose latent heat alone absorbs ``heat_j`` joules."""
+    if not material.is_phase_change:
+        raise ValueError(f"material {material.name!r} has no latent heat")
+    if heat_j < 0:
+        raise ValueError("heat must be non-negative")
+    return heat_j / material.latent_heat_j_g
+
+
+def pcm_thickness_mm(material: Material, heat_j: float, die_area_mm2: float) -> float:
+    """Thickness of a PCM block (covering the die) absorbing ``heat_j`` latently."""
+    mass_g = pcm_mass_g_for_heat(material, heat_j)
+    volume_cm3 = mass_g / material.density_g_cm3
+    area_cm2 = die_area_mm2 / MM2_PER_CM2
+    return volume_cm3 / area_cm2 * MM_PER_CM
+
+
+@dataclass(frozen=True)
+class HeatStoreOption:
+    """One candidate heat store compared in Section 4."""
+
+    material_name: str
+    kind: str  # "sensible" or "latent"
+    thickness_mm: float
+    mass_g: float
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"{self.material_name}: {self.thickness_mm:.1f} mm, "
+            f"{self.mass_g * 1000:.0f} mg ({self.kind})"
+        )
+
+
+def compare_heat_stores(
+    heat_j: float,
+    die_area_mm2: float,
+    allowed_rise_c: float,
+    solid_materials: list[Material],
+    pcm_materials: list[Material],
+) -> list[HeatStoreOption]:
+    """Compare solid and PCM heat stores for the same sprint energy.
+
+    Returns one :class:`HeatStoreOption` per material, in the order given
+    (solids first).  This reproduces the Section 4.1/4.2 comparison table.
+    """
+    options: list[HeatStoreOption] = []
+    area_cm2 = die_area_mm2 / MM2_PER_CM2
+    for material in solid_materials:
+        thickness = solid_block_thickness_mm(material, heat_j, die_area_mm2, allowed_rise_c)
+        volume_cm3 = thickness / MM_PER_CM * area_cm2
+        options.append(
+            HeatStoreOption(
+                material_name=material.name,
+                kind="sensible",
+                thickness_mm=thickness,
+                mass_g=material.mass_for_volume(volume_cm3),
+            )
+        )
+    for material in pcm_materials:
+        thickness = pcm_thickness_mm(material, heat_j, die_area_mm2)
+        options.append(
+            HeatStoreOption(
+                material_name=material.name,
+                kind="latent",
+                thickness_mm=thickness,
+                mass_g=pcm_mass_g_for_heat(material, heat_j),
+            )
+        )
+    return options

@@ -1,0 +1,275 @@
+"""Transient thermal simulation drivers.
+
+These helpers wrap :class:`~repro.thermal.network.ThermalNetwork` with the
+specific scenarios evaluated in the paper:
+
+* :func:`simulate_sprint` — Figure 4(a): apply sprint power from idle until
+  the junction reaches its maximum temperature (or the workload finishes).
+* :func:`simulate_cooldown` — Figure 4(b): let the package cool back toward
+  ambient after a sprint and report how long until it is "close to ambient".
+* :func:`simulate_sprint_and_cooldown` — the two chained together.
+
+Traces are returned as :class:`ThermalTrace` objects with numpy arrays, which
+the experiment modules turn directly into the series plotted in the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.thermal.network import ThermalNetwork
+from repro.thermal.package import AMBIENT, JUNCTION, PCM, PcmPackage
+
+
+@dataclass
+class ThermalTrace:
+    """Sampled temperatures over time for one transient scenario."""
+
+    time_s: np.ndarray
+    junction_c: np.ndarray
+    pcm_c: np.ndarray | None = None
+    melt_fraction: np.ndarray | None = None
+
+    def __post_init__(self) -> None:
+        if len(self.time_s) != len(self.junction_c):
+            raise ValueError("time and junction arrays must have equal length")
+        if len(self.time_s) == 0:
+            raise ValueError("trace must contain at least one sample")
+
+    @property
+    def duration_s(self) -> float:
+        """Total simulated time covered by the trace."""
+        return float(self.time_s[-1] - self.time_s[0])
+
+    @property
+    def peak_junction_c(self) -> float:
+        """Maximum junction temperature reached."""
+        return float(np.max(self.junction_c))
+
+    @property
+    def final_junction_c(self) -> float:
+        """Junction temperature at the end of the trace."""
+        return float(self.junction_c[-1])
+
+    def time_to_reach(self, temperature_c: float) -> float | None:
+        """First time (s, relative to trace start) the junction reaches a temperature.
+
+        Returns ``None`` if the temperature is never reached.
+        """
+        above = np.nonzero(self.junction_c >= temperature_c)[0]
+        if len(above) == 0:
+            return None
+        return float(self.time_s[above[0]] - self.time_s[0])
+
+    def time_above(self, temperature_c: float) -> float:
+        """Total time (s) the junction spends at or above a temperature."""
+        if len(self.time_s) < 2:
+            return 0.0
+        dt = np.diff(self.time_s)
+        mask = self.junction_c[:-1] >= temperature_c
+        return float(np.sum(dt[mask]))
+
+    def plateau_duration(self, temperature_c: float, tolerance_c: float = 1.0) -> float:
+        """Time the junction spends within ``tolerance_c`` of a temperature.
+
+        Used to measure the melt plateau of Figure 4(a) and the freeze
+        plateau of Figure 4(b).
+        """
+        if len(self.time_s) < 2:
+            return 0.0
+        dt = np.diff(self.time_s)
+        mask = np.abs(self.junction_c[:-1] - temperature_c) <= tolerance_c
+        return float(np.sum(dt[mask]))
+
+    def time_to_cool_within(self, ambient_c: float, tolerance_c: float) -> float | None:
+        """Time until the junction falls and stays within tolerance of ambient."""
+        within = self.junction_c <= ambient_c + tolerance_c
+        # Find the first index after which the trace never leaves the band.
+        for idx in range(len(within)):
+            if within[idx] and bool(np.all(within[idx:])):
+                return float(self.time_s[idx] - self.time_s[0])
+        return None
+
+
+@dataclass
+class SprintThermalResult:
+    """Outcome of a sprint transient (Figure 4(a))."""
+
+    trace: ThermalTrace
+    sprint_power_w: float
+    #: Time at which the junction first reached the maximum temperature, or
+    #: None if the sprint ran to its requested duration without overheating.
+    exhausted_at_s: float | None
+    #: Duration of the melt plateau (junction near the PCM melting point).
+    melt_plateau_s: float
+    #: Melt fraction of the PCM at the end of the sprint.
+    final_melt_fraction: float
+
+    @property
+    def sustainable(self) -> bool:
+        """True when the sprint never hit the junction limit."""
+        return self.exhausted_at_s is None
+
+    @property
+    def sprint_duration_s(self) -> float:
+        """Usable sprint time: until exhaustion or the end of the trace."""
+        if self.exhausted_at_s is not None:
+            return self.exhausted_at_s
+        return self.trace.duration_s
+
+
+@dataclass
+class CooldownResult:
+    """Outcome of a post-sprint cooldown transient (Figure 4(b))."""
+
+    trace: ThermalTrace
+    #: Time until the junction is within ``tolerance_c`` of ambient, if reached.
+    time_to_near_ambient_s: float | None
+    #: Duration of the freeze plateau (junction near the PCM melting point).
+    freeze_plateau_s: float
+    tolerance_c: float
+
+
+def _trace_from_states(states, has_pcm: bool) -> ThermalTrace:
+    time_s = np.array([s.time_s for s in states])
+    junction = np.array([s.temperatures_c[JUNCTION] for s in states])
+    pcm = None
+    melt = None
+    if has_pcm:
+        pcm = np.array([s.temperatures_c[PCM] for s in states])
+        melt = np.array([s.melt_fractions.get(PCM, 0.0) for s in states])
+    return ThermalTrace(time_s=time_s, junction_c=junction, pcm_c=pcm, melt_fraction=melt)
+
+
+def simulate_constant_power(
+    network: ThermalNetwork,
+    power_w: float,
+    duration_s: float,
+    sample_dt_s: float = 0.005,
+    stop_at_junction_c: float | None = None,
+) -> ThermalTrace:
+    """Apply constant power at the junction and record the response.
+
+    If ``stop_at_junction_c`` is given, the simulation terminates early once
+    the junction reaches that temperature.
+    """
+    has_pcm = PCM in network.node_names
+    states = [network.state()]
+    elapsed = 0.0
+    while elapsed < duration_s - 1e-12:
+        step = min(sample_dt_s, duration_s - elapsed)
+        network.step(step, {JUNCTION: power_w})
+        elapsed += step
+        states.append(network.state())
+        if (
+            stop_at_junction_c is not None
+            and states[-1].temperatures_c[JUNCTION] >= stop_at_junction_c
+        ):
+            break
+    return _trace_from_states(states, has_pcm)
+
+
+def simulate_sprint(
+    package: PcmPackage,
+    sprint_power_w: float,
+    max_duration_s: float = 3.0,
+    sample_dt_s: float = 0.005,
+    initial_temperature_c: float | None = None,
+) -> SprintThermalResult:
+    """Simulate a sprint from idle at constant power (Figure 4(a)).
+
+    The sprint runs until the junction reaches the package's maximum
+    temperature or ``max_duration_s`` elapses, whichever comes first.
+    """
+    if sprint_power_w <= 0:
+        raise ValueError("sprint power must be positive")
+    network = package.build(initial_temperature_c=initial_temperature_c)
+    trace = simulate_constant_power(
+        network,
+        power_w=sprint_power_w,
+        duration_s=max_duration_s,
+        sample_dt_s=sample_dt_s,
+        stop_at_junction_c=package.limits.max_junction_c,
+    )
+    exhausted_at = trace.time_to_reach(package.limits.max_junction_c)
+    plateau = trace.plateau_duration(package.melting_point_c, tolerance_c=1.5)
+    melt_fraction = (
+        float(trace.melt_fraction[-1]) if trace.melt_fraction is not None else 0.0
+    )
+    return SprintThermalResult(
+        trace=trace,
+        sprint_power_w=sprint_power_w,
+        exhausted_at_s=exhausted_at,
+        melt_plateau_s=plateau,
+        final_melt_fraction=melt_fraction,
+    )
+
+
+def simulate_cooldown(
+    network: ThermalNetwork,
+    package: PcmPackage,
+    duration_s: float = 30.0,
+    sample_dt_s: float = 0.02,
+    tolerance_c: float = 5.0,
+) -> CooldownResult:
+    """Let a (hot) network cool with no power applied (Figure 4(b))."""
+    has_pcm = PCM in network.node_names
+    states = network.run(duration_s, power_w={}, sample_dt_s=sample_dt_s)
+    trace = _trace_from_states(states, has_pcm)
+    time_to_ambient = trace.time_to_cool_within(package.limits.ambient_c, tolerance_c)
+    plateau = trace.plateau_duration(package.melting_point_c, tolerance_c=1.5)
+    return CooldownResult(
+        trace=trace,
+        time_to_near_ambient_s=time_to_ambient,
+        freeze_plateau_s=plateau,
+        tolerance_c=tolerance_c,
+    )
+
+
+def simulate_sprint_and_cooldown(
+    package: PcmPackage,
+    sprint_power_w: float,
+    max_sprint_s: float = 3.0,
+    cooldown_s: float = 30.0,
+    sample_dt_s: float = 0.005,
+) -> tuple[SprintThermalResult, CooldownResult]:
+    """Run a sprint to exhaustion followed by a cooldown on the same package."""
+    network = package.build()
+    sprint_trace = simulate_constant_power(
+        network,
+        power_w=sprint_power_w,
+        duration_s=max_sprint_s,
+        sample_dt_s=sample_dt_s,
+        stop_at_junction_c=package.limits.max_junction_c,
+    )
+    exhausted_at = sprint_trace.time_to_reach(package.limits.max_junction_c)
+    sprint_result = SprintThermalResult(
+        trace=sprint_trace,
+        sprint_power_w=sprint_power_w,
+        exhausted_at_s=exhausted_at,
+        melt_plateau_s=sprint_trace.plateau_duration(package.melting_point_c, 1.5),
+        final_melt_fraction=(
+            float(sprint_trace.melt_fraction[-1])
+            if sprint_trace.melt_fraction is not None
+            else 0.0
+        ),
+    )
+    cooldown_result = simulate_cooldown(
+        network, package, duration_s=cooldown_s, sample_dt_s=0.02
+    )
+    return sprint_result, cooldown_result
+
+
+def max_sprint_duration_s(
+    package: PcmPackage,
+    sprint_power_w: float,
+    max_duration_s: float = 10.0,
+    sample_dt_s: float = 0.005,
+) -> float:
+    """Measured (simulated) maximum sprint duration at the given power."""
+    result = simulate_sprint(
+        package, sprint_power_w, max_duration_s=max_duration_s, sample_dt_s=sample_dt_s
+    )
+    return result.sprint_duration_s

@@ -1,0 +1,23 @@
+"""Technology scaling projections behind the dark-silicon motivation (Figure 1)."""
+
+from repro.trends.scaling import (
+    BORKAR,
+    ITRS,
+    ITRS_BORKAR_VDD,
+    PAPER_NODES_NM,
+    ScalingScenario,
+    TrendPoint,
+    dark_silicon_trend,
+    power_density_trend,
+)
+
+__all__ = [
+    "BORKAR",
+    "ITRS",
+    "ITRS_BORKAR_VDD",
+    "PAPER_NODES_NM",
+    "ScalingScenario",
+    "TrendPoint",
+    "dark_silicon_trend",
+    "power_density_trend",
+]

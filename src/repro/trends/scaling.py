@@ -1,0 +1,148 @@
+"""Power-density and dark-silicon projections (Figure 1).
+
+Figure 1 plots, for a fixed-area chip across process nodes from 45 nm down
+to 6 nm, (a) the relative power density and (b) the fraction of the chip
+that must remain dark, under three sets of scaling assumptions: the ITRS
+roadmap, Borkar's projections, and ITRS density with Borkar's more
+pessimistic supply-voltage scaling.
+
+The underlying arithmetic is the standard dark-silicon argument
+(Borkar & Chien [5], Esmaeilzadeh et al. [13]):
+
+* transistor density roughly doubles per node,
+* per-device capacitance falls by ~25% per node (Borkar) or a little faster
+  (ITRS),
+* supply voltage falls slowly (ITRS) or barely at all (Borkar),
+* frequency is held flat (the paper's conservative assumption),
+
+so relative power density scales as ``density x capacitance x voltage^2``
+and the fraction of the chip that can be active at the 45 nm power budget
+is the reciprocal of that growth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: Process nodes on Figure 1's x-axis, in nanometres.
+PAPER_NODES_NM: tuple[int, ...] = (45, 32, 22, 16, 11, 8, 6)
+
+
+@dataclass(frozen=True)
+class ScalingScenario:
+    """Per-generation scaling factors for one set of assumptions.
+
+    Each factor is the multiplicative change *per process generation* (one
+    step along Figure 1's x-axis).
+    """
+
+    name: str
+    density_per_gen: float
+    capacitance_per_gen: float
+    voltage_per_gen: float
+    frequency_per_gen: float = 1.0
+
+    def __post_init__(self) -> None:
+        for field_name in (
+            "density_per_gen",
+            "capacitance_per_gen",
+            "voltage_per_gen",
+            "frequency_per_gen",
+        ):
+            if getattr(self, field_name) <= 0:
+                raise ValueError(f"{field_name} must be positive")
+
+    def power_density_after(self, generations: int) -> float:
+        """Relative power density after ``generations`` steps (1.0 at the start)."""
+        if generations < 0:
+            raise ValueError("generation count must be non-negative")
+        per_gen = (
+            self.density_per_gen
+            * self.capacitance_per_gen
+            * self.voltage_per_gen**2
+            * self.frequency_per_gen
+        )
+        return per_gen**generations
+
+    def active_fraction_after(self, generations: int) -> float:
+        """Fraction of the chip that can be powered at the original budget."""
+        return min(1.0, 1.0 / self.power_density_after(generations))
+
+    def dark_fraction_after(self, generations: int) -> float:
+        """Fraction of the chip that must stay dark."""
+        return 1.0 - self.active_fraction_after(generations)
+
+
+#: ITRS roadmap: modest capacitance and voltage scaling each generation.
+ITRS = ScalingScenario(
+    name="ITRS",
+    density_per_gen=2.0,
+    capacitance_per_gen=0.70,
+    voltage_per_gen=0.95,
+)
+
+#: Borkar's projections: 75% density increase, 25% capacitance reduction,
+#: essentially flat supply voltage.
+BORKAR = ScalingScenario(
+    name="Borkar",
+    density_per_gen=1.75,
+    capacitance_per_gen=0.75,
+    voltage_per_gen=0.985,
+)
+
+#: ITRS density/capacitance with Borkar's pessimistic voltage scaling —
+#: the worst of both, and the steepest curve in Figure 1.
+ITRS_BORKAR_VDD = ScalingScenario(
+    name="ITRS + Borkar Vdd scaling",
+    density_per_gen=2.0,
+    capacitance_per_gen=0.70,
+    voltage_per_gen=0.985,
+)
+
+#: The three scenarios in the order the paper's legend lists them.
+PAPER_SCENARIOS: tuple[ScalingScenario, ...] = (ITRS, BORKAR, ITRS_BORKAR_VDD)
+
+
+@dataclass(frozen=True)
+class TrendPoint:
+    """One point of a Figure 1 series."""
+
+    scenario: str
+    node_nm: int
+    power_density: float
+    dark_fraction: float
+
+    @property
+    def dark_percent(self) -> float:
+        """Dark-silicon percentage (the y-axis of Figure 1(b))."""
+        return 100.0 * self.dark_fraction
+
+
+def power_density_trend(
+    scenario: ScalingScenario, nodes_nm: tuple[int, ...] = PAPER_NODES_NM
+) -> list[TrendPoint]:
+    """The Figure 1(a) series for one scenario."""
+    if not nodes_nm:
+        raise ValueError("at least one process node is required")
+    return [
+        TrendPoint(
+            scenario=scenario.name,
+            node_nm=node,
+            power_density=scenario.power_density_after(generation),
+            dark_fraction=scenario.dark_fraction_after(generation),
+        )
+        for generation, node in enumerate(nodes_nm)
+    ]
+
+
+def dark_silicon_trend(
+    scenario: ScalingScenario, nodes_nm: tuple[int, ...] = PAPER_NODES_NM
+) -> list[TrendPoint]:
+    """The Figure 1(b) series for one scenario (same points, different axis)."""
+    return power_density_trend(scenario, nodes_nm)
+
+
+def dark_silicon_at_2019_prediction(scenario: ScalingScenario = ITRS_BORKAR_VDD) -> float:
+    """Active-silicon percentage at the last node — Mike Muller's "9% by 2019" claim."""
+    generations = len(PAPER_NODES_NM) - 1
+    return 100.0 * scenario.active_fraction_after(generations)

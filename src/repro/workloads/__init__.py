@@ -1,0 +1,39 @@
+"""Workload descriptors and the Table 1 kernel suite.
+
+The many-core simulator consumes :class:`WorkloadDescriptor` objects; this
+package produces them, either by characterising a kernel analytically
+(:mod:`repro.workloads.characterize`) or via the pre-packaged suite with the
+paper's input-size classes (:mod:`repro.workloads.suite`).
+"""
+
+from repro.workloads.characterize import (
+    characterize_kernel,
+    descriptor_from_counts,
+)
+from repro.workloads.descriptor import (
+    MemoryBehaviour,
+    ParallelBehaviour,
+    WorkloadDescriptor,
+)
+from repro.workloads.suite import (
+    INPUT_CLASSES,
+    KernelWorkloadFamily,
+    SuiteEntry,
+    default_workloads,
+    kernel_suite,
+    largest_workloads,
+)
+
+__all__ = [
+    "INPUT_CLASSES",
+    "KernelWorkloadFamily",
+    "MemoryBehaviour",
+    "ParallelBehaviour",
+    "SuiteEntry",
+    "WorkloadDescriptor",
+    "characterize_kernel",
+    "default_workloads",
+    "descriptor_from_counts",
+    "kernel_suite",
+    "largest_workloads",
+]

@@ -1,0 +1,76 @@
+"""Turn a kernel's analytic cost model into a workload descriptor.
+
+The paper drives its simulator with compiled OpenMP binaries; this
+repository replaces that step with characterisation: each kernel reports the
+scalar operations, memory footprint and parallel structure of a given input
+size (:class:`~repro.kernels.base.ImageKernel`), and this module assembles
+those numbers into the :class:`~repro.workloads.descriptor.WorkloadDescriptor`
+the execution engine consumes.
+"""
+
+from __future__ import annotations
+
+from repro.kernels.base import ImageKernel, OperationCounts
+from repro.workloads.descriptor import (
+    MemoryBehaviour,
+    ParallelBehaviour,
+    WorkloadDescriptor,
+)
+
+
+def descriptor_from_counts(
+    name: str,
+    counts: OperationCounts,
+    memory: MemoryBehaviour,
+    parallel: ParallelBehaviour,
+    input_label: str = "",
+) -> WorkloadDescriptor:
+    """Build a descriptor directly from operation counts and behaviours."""
+    if counts.total <= 0:
+        raise ValueError("operation counts must describe at least one instruction")
+    return WorkloadDescriptor(
+        name=name,
+        total_instructions=counts.total,
+        instruction_mix=counts.instruction_mix(),
+        memory=memory,
+        parallel=parallel,
+        input_label=input_label,
+    )
+
+
+def characterize_kernel(
+    kernel: ImageKernel,
+    shape: tuple[int, int],
+    input_label: str = "",
+    bytes_per_l2_miss: float | None = None,
+    sync_instructions_per_core: float = 150_000.0,
+) -> WorkloadDescriptor:
+    """Characterise one kernel at one input size.
+
+    The memory behaviour comes from the kernel's streaming hints; the
+    parallel behaviour from its structural hints (Amdahl fraction, useful
+    parallelism bound, imbalance).
+    """
+    counts = kernel.operation_counts(shape)
+    memory = MemoryBehaviour(
+        working_set_bytes=kernel.working_set_bytes(shape),
+        l1_miss_rate=kernel.streaming_intensity(),
+        l2_miss_rate=kernel.l2_miss_rate(),
+        bytes_per_l2_miss=(
+            kernel.bytes_per_l2_miss() if bytes_per_l2_miss is None else bytes_per_l2_miss
+        ),
+        coherence_miss_fraction=kernel.coherence_miss_fraction(),
+    )
+    parallel = ParallelBehaviour(
+        parallel_fraction=kernel.parallel_fraction(),
+        max_parallelism=kernel.max_parallelism(shape),
+        imbalance=kernel.load_imbalance(),
+        sync_instructions_per_core=sync_instructions_per_core,
+    )
+    return descriptor_from_counts(
+        name=kernel.name,
+        counts=counts,
+        memory=memory,
+        parallel=parallel,
+        input_label=input_label,
+    )

@@ -1,0 +1,150 @@
+"""Workload descriptors consumed by the many-core performance simulator.
+
+The paper drives its simulator with native OpenMP binaries; here a workload
+is summarised by the quantities that determine its performance and energy on
+the in-order many-core of Section 8.1:
+
+* how much work there is (dynamic instructions for a single-threaded run),
+* what the instructions are (instruction mix),
+* how it touches memory (working set, cache-miss behaviour, DRAM traffic),
+* how well it parallelises (parallel fraction, parallelism limit, load
+  imbalance, synchronisation cost).
+
+Descriptors are produced either analytically by the kernel suite
+(:mod:`repro.workloads.suite`) or by characterising a real kernel run
+(:mod:`repro.workloads.characterize`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.energy.instruction import DEFAULT_MIX, InstructionMix
+
+
+@dataclass(frozen=True)
+class MemoryBehaviour:
+    """Cache and memory-traffic behaviour of a workload.
+
+    ``l1_miss_rate`` and ``l2_miss_rate`` are per *memory instruction* (the
+    L2 rate is conditional on an L1 miss).  ``bytes_per_l2_miss`` is the DRAM
+    traffic per L2 miss (a cache line, possibly more for streaming writes).
+    """
+
+    working_set_bytes: float = 8 * 1024 * 1024
+    l1_miss_rate: float = 0.03
+    l2_miss_rate: float = 0.3
+    bytes_per_l2_miss: float = 64.0
+    #: Fraction of L1 misses caused by coherence (invalidations of shared
+    #: lines); these hit in the shared L2 rather than DRAM.
+    coherence_miss_fraction: float = 0.05
+
+    def __post_init__(self) -> None:
+        if self.working_set_bytes <= 0:
+            raise ValueError("working set must be positive")
+        for name in ("l1_miss_rate", "l2_miss_rate", "coherence_miss_fraction"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {value}")
+        if self.bytes_per_l2_miss <= 0:
+            raise ValueError("bytes per L2 miss must be positive")
+
+
+@dataclass(frozen=True)
+class ParallelBehaviour:
+    """How a workload divides across cores.
+
+    ``parallel_fraction`` is the Amdahl fraction of single-threaded work that
+    can run in parallel.  ``max_parallelism`` caps useful concurrency (e.g.
+    a pipeline stage count).  ``imbalance`` is the ratio of the slowest
+    thread's work to the average in the parallel phase (1.0 = perfectly
+    balanced).  ``sync_instructions_per_core`` models per-core barrier and
+    task-queue overhead added when running in parallel.
+    """
+
+    parallel_fraction: float = 0.97
+    max_parallelism: int = 1024
+    imbalance: float = 1.05
+    sync_instructions_per_core: float = 100_000.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.parallel_fraction <= 1.0:
+            raise ValueError("parallel fraction must be in [0, 1]")
+        if self.max_parallelism < 1:
+            raise ValueError("max parallelism must be at least 1")
+        if self.imbalance < 1.0:
+            raise ValueError("imbalance must be at least 1.0")
+        if self.sync_instructions_per_core < 0:
+            raise ValueError("sync instructions must be non-negative")
+
+    def usable_cores(self, cores: int) -> int:
+        """Number of cores the workload can actually keep busy."""
+        if cores < 1:
+            raise ValueError("cores must be at least 1")
+        return min(cores, self.max_parallelism)
+
+
+@dataclass(frozen=True)
+class WorkloadDescriptor:
+    """Complete description of one task for the performance simulator."""
+
+    name: str
+    total_instructions: float
+    instruction_mix: InstructionMix = field(default_factory=lambda: DEFAULT_MIX)
+    memory: MemoryBehaviour = field(default_factory=MemoryBehaviour)
+    parallel: ParallelBehaviour = field(default_factory=ParallelBehaviour)
+    #: Free-form label of the input size class (A-D in Figure 9).
+    input_label: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("workload name must be non-empty")
+        if self.total_instructions <= 0:
+            raise ValueError("total instructions must be positive")
+
+    # -- convenience -------------------------------------------------------------
+
+    @property
+    def memory_instructions(self) -> float:
+        """Number of load/store instructions in a single-threaded run."""
+        return self.total_instructions * self.instruction_mix.memory_fraction
+
+    @property
+    def dram_traffic_bytes(self) -> float:
+        """Approximate DRAM traffic of a single-threaded run."""
+        l2_misses = (
+            self.memory_instructions
+            * self.memory.l1_miss_rate
+            * (1.0 - self.memory.coherence_miss_fraction)
+            * self.memory.l2_miss_rate
+        )
+        return l2_misses * self.memory.bytes_per_l2_miss
+
+    def single_core_seconds(self, frequency_hz: float, cpi: float = 1.0) -> float:
+        """Back-of-envelope single-core runtime ignoring cache stalls."""
+        if frequency_hz <= 0:
+            raise ValueError("frequency must be positive")
+        if cpi <= 0:
+            raise ValueError("cpi must be positive")
+        return self.total_instructions * cpi / frequency_hz
+
+    def scaled(self, factor: float, input_label: str | None = None) -> "WorkloadDescriptor":
+        """A copy with ``factor`` times the work (e.g. a larger input image)."""
+        if factor <= 0:
+            raise ValueError("scale factor must be positive")
+        return replace(
+            self,
+            total_instructions=self.total_instructions * factor,
+            memory=replace(
+                self.memory, working_set_bytes=self.memory.working_set_bytes * factor
+            ),
+            input_label=self.input_label if input_label is None else input_label,
+        )
+
+    def with_parallel(self, parallel: ParallelBehaviour) -> "WorkloadDescriptor":
+        """A copy with different parallel behaviour (for ablations)."""
+        return replace(self, parallel=parallel)
+
+    def with_memory(self, memory: MemoryBehaviour) -> "WorkloadDescriptor":
+        """A copy with different memory behaviour (for ablations)."""
+        return replace(self, memory=memory)

@@ -1,0 +1,59 @@
+"""Tests for the directory coherence cost model."""
+
+import pytest
+
+from repro.arch.coherence import CoherenceConfig, DirectoryProtocol
+
+
+class TestCoherenceConfig:
+    def test_defaults_are_positive(self):
+        config = CoherenceConfig()
+        assert config.directory_lookup_cycles > 0
+        assert config.forward_latency_cycles > 0
+
+    def test_rejects_negative_costs(self):
+        with pytest.raises(ValueError):
+            CoherenceConfig(directory_lookup_cycles=-1)
+        with pytest.raises(ValueError):
+            CoherenceConfig(invalidation_cycles_per_sharer=-0.5)
+
+
+class TestDirectoryProtocol:
+    def setup_method(self):
+        self.protocol = DirectoryProtocol()
+
+    def test_single_core_has_no_coherence_cost(self):
+        assert self.protocol.coherence_miss_cycles(1) == 0.0
+        assert self.protocol.effective_coherence_fraction(0.1, 1) == 0.0
+
+    def test_miss_cost_grows_with_sharers(self):
+        two = self.protocol.coherence_miss_cycles(2)
+        sixteen = self.protocol.coherence_miss_cycles(16)
+        sixty_four = self.protocol.coherence_miss_cycles(64)
+        assert 0 < two < sixteen < sixty_four
+
+    def test_miss_cost_includes_directory_and_forward(self):
+        config = self.protocol.config
+        expected_minimum = config.directory_lookup_cycles + config.forward_latency_cycles
+        assert self.protocol.coherence_miss_cycles(2) >= expected_minimum
+
+    def test_fraction_grows_but_is_capped(self):
+        base = 0.05
+        at_4 = self.protocol.effective_coherence_fraction(base, 4)
+        at_64 = self.protocol.effective_coherence_fraction(base, 64)
+        assert base <= at_4 <= at_64
+        assert at_64 <= 3.0 * base
+
+    def test_fraction_never_exceeds_one(self):
+        assert self.protocol.effective_coherence_fraction(0.9, 64) <= 1.0
+
+    def test_zero_base_fraction_stays_zero(self):
+        assert self.protocol.effective_coherence_fraction(0.0, 64) == 0.0
+
+    def test_rejects_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            self.protocol.coherence_miss_cycles(0)
+        with pytest.raises(ValueError):
+            self.protocol.effective_coherence_fraction(1.5, 4)
+        with pytest.raises(ValueError):
+            self.protocol.effective_coherence_fraction(0.5, 0)

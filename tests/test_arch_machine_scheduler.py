@@ -1,0 +1,113 @@
+"""Tests for the machine configuration and the thread scheduler."""
+
+import pytest
+
+from repro.arch.machine import MachineConfig, PAPER_MACHINE
+from repro.arch.scheduler import MigrationModel, ThreadScheduler, ThreadState
+
+
+class TestMachineConfig:
+    def test_paper_machine(self):
+        assert PAPER_MACHINE.n_cores == 16
+        assert PAPER_MACHINE.frequency_hz == pytest.approx(1e9)
+        assert PAPER_MACHINE.hierarchy.l2.size_bytes == 4 * 1024 * 1024
+
+    def test_with_cores(self):
+        bigger = PAPER_MACHINE.with_cores(64)
+        assert bigger.n_cores == 64
+        assert PAPER_MACHINE.n_cores == 16
+
+    def test_with_memory_bandwidth_scale(self):
+        doubled = PAPER_MACHINE.with_memory_bandwidth_scale(2.0)
+        assert doubled.memory.peak_bandwidth_bytes_s == pytest.approx(
+            2 * PAPER_MACHINE.memory.peak_bandwidth_bytes_s
+        )
+
+    def test_with_frequency_derives_voltage(self):
+        boosted = PAPER_MACHINE.with_frequency(2e9)
+        assert boosted.nominal.frequency_hz == pytest.approx(2e9)
+        assert boosted.nominal.voltage_v > PAPER_MACHINE.nominal.voltage_v
+
+    def test_timing_model_uses_hierarchy(self):
+        timing = PAPER_MACHINE.timing_model()
+        assert timing.hierarchy is PAPER_MACHINE.hierarchy
+
+    def test_rejects_bad_values(self):
+        with pytest.raises(ValueError):
+            MachineConfig(n_cores=0)
+        with pytest.raises(ValueError):
+            MachineConfig(base_cpi=0.0)
+
+
+class TestMigrationModel:
+    def test_cost_scales_with_threads(self):
+        model = MigrationModel(per_thread_overhead_s=10e-6)
+        assert model.migration_cost_s(0) == 0.0
+        assert model.migration_cost_s(16) == pytest.approx(160e-6)
+
+    def test_rejects_negative_values(self):
+        with pytest.raises(ValueError):
+            MigrationModel(per_thread_overhead_s=-1.0)
+        with pytest.raises(ValueError):
+            MigrationModel(pause_sleep_cycles=0)
+        with pytest.raises(ValueError):
+            MigrationModel().migration_cost_s(-1)
+
+
+class TestThreadScheduler:
+    def test_initial_placement(self):
+        scheduler = ThreadScheduler(n_threads=16, n_cores=16)
+        assert scheduler.active_cores == 16
+        assert scheduler.threads_per_core == pytest.approx(1.0)
+        assert scheduler.multiplexing_slowdown() == pytest.approx(1.0)
+
+    def test_more_threads_than_cores_multiplexes(self):
+        scheduler = ThreadScheduler(n_threads=16, n_cores=4)
+        assert scheduler.active_cores == 4
+        assert scheduler.threads_per_core == pytest.approx(4.0)
+        assert scheduler.multiplexing_slowdown() > 1.0
+
+    def test_fewer_threads_than_cores(self):
+        scheduler = ThreadScheduler(n_threads=2, n_cores=16)
+        assert scheduler.active_cores == 2
+
+    def test_shrinking_cores_incurs_migration(self):
+        scheduler = ThreadScheduler(n_threads=16, n_cores=16)
+        cost = scheduler.set_active_cores(1)
+        assert cost > 0.0
+        assert scheduler.active_cores == 1
+        assert scheduler.pending_migration_s == pytest.approx(cost)
+
+    def test_growing_cores_is_free(self):
+        scheduler = ThreadScheduler(n_threads=16, n_cores=16)
+        scheduler.set_active_cores(1)
+        scheduler.consume_migration(1.0)
+        assert scheduler.set_active_cores(16) == 0.0
+        assert scheduler.active_cores == 16
+
+    def test_consume_migration_partial(self):
+        scheduler = ThreadScheduler(n_threads=16, n_cores=16)
+        cost = scheduler.set_active_cores(1)
+        used = scheduler.consume_migration(cost / 2)
+        assert used == pytest.approx(cost / 2)
+        assert scheduler.pending_migration_s == pytest.approx(cost / 2)
+
+    def test_thread_states_lifecycle(self):
+        scheduler = ThreadScheduler(n_threads=4, n_cores=4)
+        scheduler.mark_running(2)
+        states = scheduler.thread_states()
+        assert states[:2] == [ThreadState.RUNNING, ThreadState.RUNNING]
+        assert states[2:] == [ThreadState.PAUSED, ThreadState.PAUSED]
+        scheduler.finish_all()
+        assert all(s is ThreadState.FINISHED for s in scheduler.thread_states())
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ValueError):
+            ThreadScheduler(n_threads=0, n_cores=4)
+        scheduler = ThreadScheduler(n_threads=4, n_cores=4)
+        with pytest.raises(ValueError):
+            scheduler.set_active_cores(0)
+        with pytest.raises(ValueError):
+            scheduler.consume_migration(-1.0)
+        with pytest.raises(ValueError):
+            scheduler.mark_running(10)

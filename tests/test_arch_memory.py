@@ -1,0 +1,110 @@
+"""Tests for the DRAM bandwidth and latency model."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.arch.memory import BandwidthShare, MemoryConfig, MemorySystem, PAPER_MEMORY
+
+
+class TestMemoryConfig:
+    def test_paper_parameters(self):
+        assert PAPER_MEMORY.channels == 2
+        assert PAPER_MEMORY.bandwidth_per_channel_gbs == 4.0
+        assert PAPER_MEMORY.uncontended_latency_ns == 60.0
+
+    def test_peak_bandwidth(self):
+        assert PAPER_MEMORY.peak_bandwidth_bytes_s == pytest.approx(8e9)
+
+    def test_latency_in_cycles_at_1ghz(self):
+        assert PAPER_MEMORY.latency_cycles(1e9) == pytest.approx(60.0)
+
+    def test_latency_scales_with_frequency(self):
+        assert PAPER_MEMORY.latency_cycles(2e9) == pytest.approx(120.0)
+
+    def test_bandwidth_scaling(self):
+        doubled = PAPER_MEMORY.with_bandwidth_scale(2.0)
+        assert doubled.peak_bandwidth_bytes_s == pytest.approx(16e9)
+        # The original is unchanged (frozen dataclass copy).
+        assert PAPER_MEMORY.peak_bandwidth_bytes_s == pytest.approx(8e9)
+
+    def test_rejects_bad_values(self):
+        with pytest.raises(ValueError):
+            MemoryConfig(channels=0)
+        with pytest.raises(ValueError):
+            MemoryConfig(queueing_knee=1.5)
+        with pytest.raises(ValueError):
+            PAPER_MEMORY.with_bandwidth_scale(0.0)
+        with pytest.raises(ValueError):
+            PAPER_MEMORY.latency_cycles(0.0)
+
+
+class TestMemorySystem:
+    def setup_method(self):
+        self.system = MemorySystem()
+
+    def test_demand_below_peak_fully_granted(self):
+        share = self.system.arbitrate(1e9)
+        assert share.granted_bytes_s == pytest.approx(1e9)
+        assert not share.saturated
+        assert share.throttle_factor == pytest.approx(1.0)
+
+    def test_demand_above_peak_is_clipped(self):
+        share = self.system.arbitrate(20e9)
+        assert share.granted_bytes_s == pytest.approx(8e9)
+        assert share.saturated
+        assert share.throttle_factor == pytest.approx(0.4)
+
+    def test_zero_demand(self):
+        share = self.system.arbitrate(0.0)
+        assert share.utilization == 0.0
+        assert share.throttle_factor == 1.0
+
+    def test_latency_flat_below_knee(self):
+        assert self.system.latency_multiplier(0.0) == 1.0
+        assert self.system.latency_multiplier(0.5) == 1.0
+
+    def test_latency_grows_above_knee(self):
+        assert self.system.latency_multiplier(0.8) > 1.0
+        assert self.system.latency_multiplier(1.0) == pytest.approx(
+            self.system.config.max_latency_multiplier
+        )
+
+    def test_effective_latency_combines_base_and_contention(self):
+        base = self.system.effective_latency_cycles(1e9, 0.0)
+        loaded = self.system.effective_latency_cycles(1e9, 1.0)
+        assert base == pytest.approx(60.0)
+        assert loaded == pytest.approx(60.0 * self.system.config.max_latency_multiplier)
+
+    def test_rejects_negative_demand(self):
+        with pytest.raises(ValueError):
+            self.system.arbitrate(-1.0)
+
+    def test_rejects_out_of_range_utilization(self):
+        with pytest.raises(ValueError):
+            self.system.latency_multiplier(1.5)
+
+    @given(demand=st.floats(min_value=0.0, max_value=1e12))
+    def test_granted_never_exceeds_peak_or_demand(self, demand):
+        share = self.system.arbitrate(demand)
+        assert share.granted_bytes_s <= self.system.config.peak_bandwidth_bytes_s + 1e-6
+        assert share.granted_bytes_s <= demand + 1e-6
+        assert 0.0 <= share.utilization <= 1.0
+
+    @given(
+        low=st.floats(min_value=0.0, max_value=1.0),
+        high=st.floats(min_value=0.0, max_value=1.0),
+    )
+    def test_latency_multiplier_monotonic(self, low, high):
+        low, high = min(low, high), max(low, high)
+        assert self.system.latency_multiplier(low) <= self.system.latency_multiplier(
+            high
+        ) + 1e-12
+
+
+class TestBandwidthShare:
+    def test_throttle_factor_of_zero_demand(self):
+        share = BandwidthShare(
+            demanded_bytes_s=0.0, granted_bytes_s=0.0, utilization=0.0, latency_multiplier=1.0
+        )
+        assert share.throttle_factor == 1.0
+        assert not share.saturated

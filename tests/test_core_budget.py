@@ -1,0 +1,119 @@
+"""Tests for the thermal-budget estimators."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.budget import EnergyBudgetEstimator, OracleBudgetEstimator
+from repro.thermal.package import FULL_PCM_PACKAGE, SMALL_PCM_PACKAGE
+
+
+class TestEnergyBudgetEstimator:
+    def test_budget_matches_package_with_margin(self):
+        estimator = EnergyBudgetEstimator(FULL_PCM_PACKAGE, safety_margin=0.05)
+        estimator.start_sprint(16.0)
+        expected = FULL_PCM_PACKAGE.sprint_budget_j(16.0) * 0.95
+        assert estimator.budget_j == pytest.approx(expected)
+
+    def test_not_exhausted_before_start(self):
+        estimator = EnergyBudgetEstimator(FULL_PCM_PACKAGE)
+        assert not estimator.exhausted
+        assert estimator.remaining_fraction == 1.0
+
+    def test_record_before_start_raises(self):
+        estimator = EnergyBudgetEstimator(FULL_PCM_PACKAGE)
+        with pytest.raises(RuntimeError):
+            estimator.record(1.0, 0.001, 30.0)
+
+    def test_exhaustion_after_consuming_budget(self):
+        estimator = EnergyBudgetEstimator(SMALL_PCM_PACKAGE)
+        estimator.start_sprint(16.0)
+        budget = estimator.budget_j
+        estimator.record(budget * 1.01, dt_s=0.0, junction_c=50.0)
+        assert estimator.exhausted
+        assert estimator.remaining_fraction == pytest.approx(0.0, abs=1e-6)
+
+    def test_leakage_extends_budget_over_time(self):
+        estimator = EnergyBudgetEstimator(FULL_PCM_PACKAGE)
+        estimator.start_sprint(16.0)
+        budget = estimator.budget_j
+        # Consume exactly the static budget but spread over one second: the
+        # heat leaked to ambient during that second buys extra headroom.
+        estimator.record(budget, dt_s=1.0, junction_c=60.0)
+        assert not estimator.exhausted
+        assert estimator.effective_budget_j > budget
+
+    def test_remaining_fraction_decreases_monotonically(self):
+        estimator = EnergyBudgetEstimator(FULL_PCM_PACKAGE)
+        estimator.start_sprint(16.0)
+        fractions = []
+        for _ in range(10):
+            estimator.record(2.0, dt_s=0.01, junction_c=55.0)
+            fractions.append(estimator.remaining_fraction)
+        assert all(later <= earlier for earlier, later in zip(fractions, fractions[1:]))
+
+    def test_can_sprint_threshold(self):
+        estimator = EnergyBudgetEstimator(SMALL_PCM_PACKAGE)
+        assert estimator.can_sprint()
+        estimator.start_sprint(16.0)
+        estimator.record(estimator.budget_j, dt_s=0.0, junction_c=60.0)
+        assert not estimator.can_sprint(minimum_fraction=0.5)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            EnergyBudgetEstimator(FULL_PCM_PACKAGE, safety_margin=1.0)
+        estimator = EnergyBudgetEstimator(FULL_PCM_PACKAGE)
+        with pytest.raises(ValueError):
+            estimator.start_sprint(0.0)
+        estimator.start_sprint(16.0)
+        with pytest.raises(ValueError):
+            estimator.record(-1.0, 0.1, 30.0)
+        with pytest.raises(ValueError):
+            estimator.can_sprint(minimum_fraction=2.0)
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        energies=st.lists(
+            st.floats(min_value=0.0, max_value=5.0), min_size=1, max_size=30
+        )
+    )
+    def test_remaining_fraction_always_in_unit_interval(self, energies):
+        estimator = EnergyBudgetEstimator(FULL_PCM_PACKAGE)
+        estimator.start_sprint(16.0)
+        for energy in energies:
+            estimator.record(energy, dt_s=0.001, junction_c=50.0)
+            assert 0.0 <= estimator.remaining_fraction <= 1.0
+
+
+class TestOracleBudgetEstimator:
+    def test_threshold_below_limit(self):
+        oracle = OracleBudgetEstimator(FULL_PCM_PACKAGE, guard_band_c=1.0)
+        assert oracle.threshold_c == pytest.approx(69.0)
+
+    def test_exhausts_at_threshold(self):
+        oracle = OracleBudgetEstimator(FULL_PCM_PACKAGE)
+        oracle.start_sprint(16.0)
+        oracle.record(1.0, 0.001, junction_c=50.0)
+        assert not oracle.exhausted
+        oracle.record(1.0, 0.001, junction_c=69.5)
+        assert oracle.exhausted
+
+    def test_remaining_fraction_tracks_temperature(self):
+        oracle = OracleBudgetEstimator(FULL_PCM_PACKAGE)
+        oracle.start_sprint(16.0)
+        oracle.record(1.0, 0.001, junction_c=25.0)
+        cold = oracle.remaining_fraction
+        oracle.record(1.0, 0.001, junction_c=60.0)
+        warm = oracle.remaining_fraction
+        assert cold > warm > 0.0
+
+    def test_record_before_start_raises(self):
+        oracle = OracleBudgetEstimator(FULL_PCM_PACKAGE)
+        with pytest.raises(RuntimeError):
+            oracle.record(1.0, 0.001, 30.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            OracleBudgetEstimator(FULL_PCM_PACKAGE, guard_band_c=-1.0)
+        oracle = OracleBudgetEstimator(FULL_PCM_PACKAGE)
+        with pytest.raises(ValueError):
+            oracle.start_sprint(-1.0)

@@ -1,0 +1,184 @@
+"""Tests for the sprint controller state machine and the result containers."""
+
+import numpy as np
+import pytest
+
+from repro.arch.simulator import ExecutionTrace
+from repro.core.budget import OracleBudgetEstimator
+from repro.core.config import SystemConfig
+from repro.core.controller import SprintController
+from repro.core.metrics import ModeInterval, SprintMetrics, SprintResult
+from repro.core.modes import ExecutionMode, SprintMode, TerminationAction
+
+
+class TestSprintControllerLifecycle:
+    def setup_method(self):
+        self.config = SystemConfig.paper_default()
+
+    def test_parallel_sprint_decision(self):
+        controller = SprintController(self.config)
+        decision = controller.begin_task(16, ExecutionMode.PARALLEL_SPRINT)
+        assert decision.mode is SprintMode.SPRINT
+        assert decision.cores == 16
+        assert decision.activation_delay_s == pytest.approx(128e-6, rel=0.05)
+        assert controller.is_sprinting
+
+    def test_single_thread_does_not_sprint(self):
+        controller = SprintController(self.config)
+        decision = controller.begin_task(1, ExecutionMode.PARALLEL_SPRINT)
+        assert decision.mode is SprintMode.SUSTAINED
+        assert decision.cores == 1
+
+    def test_sustained_mode(self):
+        controller = SprintController(self.config)
+        decision = controller.begin_task(16, ExecutionMode.SUSTAINED_SINGLE_CORE)
+        assert decision.mode is SprintMode.SUSTAINED
+        assert decision.cores == 1
+        assert not controller.is_sprinting
+
+    def test_dvfs_sprint_boosts_one_core(self):
+        controller = SprintController(self.config)
+        decision = controller.begin_task(16, ExecutionMode.DVFS_SPRINT)
+        assert decision.mode is SprintMode.SPRINT
+        assert decision.cores == 1
+        assert decision.operating_point.frequency_hz > 2e9
+
+    def test_quanta_within_budget_do_not_reconfigure(self):
+        controller = SprintController(self.config)
+        controller.begin_task(16, ExecutionMode.PARALLEL_SPRINT)
+        assert controller.on_quantum(0.016, 0.001, junction_c=30.0) is None
+
+    def test_budget_exhaustion_migrates_to_one_core(self):
+        controller = SprintController(self.config)
+        controller.begin_task(16, ExecutionMode.PARALLEL_SPRINT)
+        budget = controller.budget.effective_budget_j
+        decision = controller.on_quantum(budget * 1.1, 0.001, junction_c=65.0)
+        assert decision is not None
+        assert decision.mode is SprintMode.SUSTAINED
+        assert decision.cores == 1
+        assert controller.sprint_exhausted_at_s is not None
+
+    def test_over_temperature_terminates_even_with_budget(self):
+        controller = SprintController(
+            self.config, budget=OracleBudgetEstimator(self.config.package)
+        )
+        controller.begin_task(16, ExecutionMode.PARALLEL_SPRINT)
+        decision = controller.on_quantum(0.001, 0.001, junction_c=70.5)
+        assert decision is not None
+        assert decision.cores == 1
+
+    def test_throttle_termination_keeps_cores_at_low_frequency(self):
+        config = self.config.with_policy(
+            self.config.policy.with_termination(TerminationAction.HARDWARE_THROTTLE)
+        )
+        controller = SprintController(config)
+        controller.begin_task(16, ExecutionMode.PARALLEL_SPRINT)
+        budget = controller.budget.effective_budget_j
+        decision = controller.on_quantum(budget * 1.1, 0.001, junction_c=65.0)
+        assert decision.mode is SprintMode.THROTTLED
+        assert decision.cores == 16
+        assert decision.operating_point.frequency_hz == pytest.approx(1e9 / 16)
+
+    def test_max_duration_enforced_only_when_asked(self):
+        from dataclasses import replace
+
+        enforcing = self.config.with_policy(
+            replace(self.config.policy, enforce_max_duration=True, max_sprint_duration_s=0.01)
+        )
+        controller = SprintController(enforcing)
+        controller.begin_task(16, ExecutionMode.PARALLEL_SPRINT)
+        decision = controller.on_quantum(0.001, 0.02, junction_c=30.0)
+        assert decision is not None
+
+    def test_finish_task_enters_cooldown(self):
+        controller = SprintController(self.config)
+        controller.begin_task(16, ExecutionMode.PARALLEL_SPRINT)
+        controller.finish_task()
+        assert controller.mode is SprintMode.COOLDOWN
+        assert controller.active_cores == 0
+
+    def test_cannot_begin_while_running(self):
+        controller = SprintController(self.config)
+        controller.begin_task(16, ExecutionMode.PARALLEL_SPRINT)
+        with pytest.raises(RuntimeError):
+            controller.begin_task(16, ExecutionMode.PARALLEL_SPRINT)
+
+    def test_transitions_are_recorded(self):
+        controller = SprintController(self.config)
+        controller.begin_task(16, ExecutionMode.PARALLEL_SPRINT)
+        budget = controller.budget.effective_budget_j
+        controller.on_quantum(budget * 1.1, 0.001, junction_c=65.0)
+        controller.finish_task()
+        modes = [t.mode for t in controller.transitions]
+        assert modes == [SprintMode.SPRINT, SprintMode.SUSTAINED, SprintMode.COOLDOWN]
+
+    def test_invalid_inputs(self):
+        controller = SprintController(self.config)
+        with pytest.raises(ValueError):
+            controller.begin_task(0, ExecutionMode.PARALLEL_SPRINT)
+        controller.begin_task(16, ExecutionMode.PARALLEL_SPRINT)
+        with pytest.raises(ValueError):
+            controller.on_quantum(-1.0, 0.001, 30.0)
+
+
+class TestModeInterval:
+    def test_duration(self):
+        interval = ModeInterval(SprintMode.SPRINT, 0.1, 0.4, active_cores=16)
+        assert interval.duration_s == pytest.approx(0.3)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ModeInterval(SprintMode.SPRINT, 1.0, 0.5, active_cores=16)
+        with pytest.raises(ValueError):
+            ModeInterval(SprintMode.SPRINT, 0.0, 0.5, active_cores=-1)
+
+
+class TestSprintMetrics:
+    def test_accumulates_by_mode(self):
+        metrics = SprintMetrics()
+        metrics.record_quantum(SprintMode.SPRINT, 0.1, 1.6, 50.0, 1e8, 1e6)
+        metrics.record_quantum(SprintMode.SUSTAINED, 0.2, 0.2, 55.0, 2e8, 2e6)
+        assert metrics.total_energy_j == pytest.approx(1.8)
+        assert metrics.instructions == pytest.approx(3e8)
+        assert metrics.time_in(SprintMode.SPRINT) == pytest.approx(0.1)
+        assert metrics.energy_in(SprintMode.SUSTAINED) == pytest.approx(0.2)
+        assert metrics.peak_junction_c == pytest.approx(55.0)
+        assert metrics.peak_power_w == pytest.approx(16.0)
+
+    def test_validation(self):
+        metrics = SprintMetrics()
+        with pytest.raises(ValueError):
+            metrics.record_quantum(SprintMode.SPRINT, -0.1, 1.0, 50.0, 0.0, 0.0)
+
+
+def _make_result(total_time_s: float, energy_j: float) -> SprintResult:
+    metrics = SprintMetrics()
+    metrics.record_quantum(
+        SprintMode.SPRINT, total_time_s, energy_j, 60.0, 1e9, 1e6
+    )
+    return SprintResult(
+        workload_name="toy",
+        input_label="B",
+        execution_mode=ExecutionMode.PARALLEL_SPRINT,
+        completed=True,
+        total_time_s=total_time_s,
+        metrics=metrics,
+        mode_timeline=[ModeInterval(SprintMode.SPRINT, 0.0, total_time_s, 16)],
+        sprint_completion_fraction=1.0,
+        sprint_exhausted_at_s=None,
+        junction_trace_c=np.array([25.0, 60.0]),
+        trace_times_s=np.array([0.0, total_time_s]),
+        execution_trace=ExecutionTrace(),
+    )
+
+
+class TestSprintResult:
+    def test_derived_quantities(self):
+        fast = _make_result(0.5, 8.0)
+        slow = _make_result(5.0, 4.0)
+        assert fast.average_power_w == pytest.approx(16.0)
+        assert fast.speedup_over(slow) == pytest.approx(10.0)
+        assert fast.energy_ratio_over(slow) == pytest.approx(2.0)
+        assert not fast.sprint_was_truncated
+        assert fast.sprint_duration_s == pytest.approx(0.5)
+        assert fast.peak_junction_c == pytest.approx(60.0)

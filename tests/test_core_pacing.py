@@ -1,0 +1,134 @@
+"""Tests for the sprint-pacing model (repeated sprints on bursty task streams)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.config import SystemConfig
+from repro.core.pacing import SprintPacer
+
+
+@pytest.fixture
+def pacer():
+    return SprintPacer(SystemConfig.paper_default(), sprint_speedup=10.0)
+
+
+class TestReservoirArithmetic:
+    def test_capacity_matches_package_budget(self, pacer):
+        expected = pacer.config.package.sprint_budget_j(pacer.config.sprint_power_w)
+        assert pacer.capacity_j == pytest.approx(expected)
+
+    def test_drain_rate_is_sustainable_power(self, pacer):
+        assert pacer.drain_power_w == pytest.approx(
+            pacer.config.sustainable_power_w
+        )
+
+    def test_sprint_heat_scales_with_task_length(self, pacer):
+        assert pacer.sprint_heat_for(2.0) == pytest.approx(2 * pacer.sprint_heat_for(1.0))
+        assert pacer.sprint_heat_for(0.0) == 0.0
+
+    def test_minimum_interarrival_matches_cooldown_rule(self, pacer):
+        """The paper's rule: cooldown = sprint duration x (sprint power / TDP)."""
+        sustained_time = 5.0
+        sprint_time = sustained_time / pacer.sprint_speedup
+        rule_of_thumb = sprint_time * (
+            (pacer.config.sprint_power_w - pacer.drain_power_w) / pacer.drain_power_w
+        )
+        assert pacer.minimum_interarrival_s(sustained_time) == pytest.approx(rule_of_thumb)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SprintPacer(SystemConfig.paper_default(), sprint_speedup=0.5)
+        pacer = SprintPacer(SystemConfig.paper_default())
+        with pytest.raises(ValueError):
+            pacer.sprint_heat_for(-1.0)
+
+
+class TestTaskSequences:
+    def test_single_task_sprints_from_cold(self, pacer):
+        outcome = pacer.task_arrival(0.0, sustained_time_s=5.0)
+        assert outcome.sprinted
+        assert outcome.response_time_s == pytest.approx(0.5)
+        assert outcome.stored_heat_before_j == 0.0
+        assert outcome.stored_heat_after_j > 0.0
+
+    def test_back_to_back_tasks_eventually_lose_the_sprint(self, pacer):
+        summary = pacer.simulate_periodic(
+            interarrival_s=0.6, sustained_time_s=5.0, tasks=12
+        )
+        # The first task always sprints; with arrivals far faster than the
+        # cooldown the budget runs dry and later tasks degrade.
+        assert summary.outcomes[0].sprinted
+        assert summary.worst_response_s > summary.outcomes[0].response_time_s
+        assert summary.sprint_fraction < 1.0 or summary.worst_response_s > 0.5 * 1.01
+
+    def test_widely_spaced_tasks_always_sprint(self, pacer):
+        spacing = pacer.minimum_interarrival_s(5.0) * 1.1 + 0.5
+        summary = pacer.simulate_periodic(
+            interarrival_s=spacing, sustained_time_s=5.0, tasks=10
+        )
+        assert summary.sprint_fraction == pytest.approx(1.0)
+        assert summary.worst_response_s == pytest.approx(0.5, rel=0.01)
+
+    def test_refusing_partial_sprints_falls_back_to_sustained(self):
+        pacer = SprintPacer(
+            SystemConfig.paper_default(), sprint_speedup=10.0, refuse_partial_sprints=True
+        )
+        summary = pacer.simulate_periodic(
+            interarrival_s=0.6, sustained_time_s=5.0, tasks=8
+        )
+        refused = [o for o in summary.outcomes if not o.sprinted]
+        assert refused
+        assert all(o.response_time_s == pytest.approx(5.0) for o in refused)
+
+    def test_idle_time_drains_the_reservoir(self, pacer):
+        first = pacer.task_arrival(0.0, sustained_time_s=5.0, index=0)
+        long_gap = pacer.minimum_interarrival_s(5.0) * 2
+        second = pacer.task_arrival(first.completed_at_s + long_gap, 5.0, index=1)
+        assert second.stored_heat_before_j == pytest.approx(0.0, abs=1e-9)
+        assert second.sprinted
+
+    def test_reset(self, pacer):
+        pacer.task_arrival(0.0, sustained_time_s=5.0)
+        pacer.reset()
+        assert pacer.stored_heat_j == 0.0
+        assert pacer.available_fraction == pytest.approx(1.0)
+
+    def test_out_of_order_arrivals_rejected(self, pacer):
+        pacer.task_arrival(1.0, sustained_time_s=1.0)
+        with pytest.raises(ValueError):
+            pacer.task_arrival(0.5, sustained_time_s=1.0)
+
+    def test_invalid_simulation_parameters(self, pacer):
+        with pytest.raises(ValueError):
+            pacer.simulate_periodic(0.0, 5.0, 3)
+        with pytest.raises(ValueError):
+            pacer.simulate_periodic(1.0, 5.0, 0)
+        with pytest.raises(ValueError):
+            pacer.task_arrival(0.0, sustained_time_s=0.0)
+
+
+class TestPacingProperties:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        interarrival=st.floats(min_value=0.1, max_value=60.0),
+        task_time=st.floats(min_value=0.5, max_value=10.0),
+        tasks=st.integers(min_value=1, max_value=25),
+    )
+    def test_stored_heat_bounded_and_responses_bracketed(
+        self, interarrival, task_time, tasks
+    ):
+        pacer = SprintPacer(SystemConfig.paper_default(), sprint_speedup=10.0)
+        summary = pacer.simulate_periodic(interarrival, task_time, tasks)
+        sprint_time = task_time / pacer.sprint_speedup
+        for outcome in summary.outcomes:
+            assert 0.0 <= outcome.stored_heat_after_j <= pacer.capacity_j + 1e-9
+            assert sprint_time - 1e-9 <= outcome.response_time_s <= task_time + 1e-9
+        assert 0.0 <= summary.sprint_fraction <= 1.0
+
+    @settings(max_examples=15, deadline=None)
+    @given(task_time=st.floats(min_value=0.5, max_value=10.0))
+    def test_spacing_above_minimum_sustains_full_sprints(self, task_time):
+        pacer = SprintPacer(SystemConfig.paper_default(), sprint_speedup=10.0)
+        spacing = pacer.minimum_interarrival_s(task_time) * 1.05 + task_time / 10.0
+        summary = pacer.simulate_periodic(spacing, task_time, tasks=8)
+        assert summary.sprint_fraction == pytest.approx(1.0)

@@ -1,0 +1,107 @@
+"""Tests for the sprint policy and the system configuration."""
+
+import pytest
+
+from repro.core.config import SystemConfig
+from repro.core.modes import ExecutionMode, TerminationAction
+from repro.core.policy import PAPER_POLICY, SprintPolicy
+
+
+class TestSprintPolicy:
+    def test_paper_design_point(self):
+        assert PAPER_POLICY.sprint_cores == 16
+        assert PAPER_POLICY.sustainable_cores == 1
+        assert PAPER_POLICY.power_headroom == pytest.approx(16.0)
+        assert PAPER_POLICY.termination is TerminationAction.MIGRATE_TO_SINGLE_CORE
+
+    def test_sprint_power(self):
+        assert PAPER_POLICY.sprint_power_w(1.0) == pytest.approx(16.0)
+
+    def test_cores_to_activate_respects_threads(self):
+        assert PAPER_POLICY.cores_to_activate(4) == 4
+        assert PAPER_POLICY.cores_to_activate(64) == 16
+        assert PAPER_POLICY.cores_to_activate(1) == 1
+
+    def test_should_sprint_needs_parallelism_and_budget(self):
+        assert PAPER_POLICY.should_sprint(16, budget_fraction=1.0)
+        assert not PAPER_POLICY.should_sprint(1, budget_fraction=1.0)
+        assert not PAPER_POLICY.should_sprint(16, budget_fraction=0.01)
+
+    def test_dvfs_sprint_point_obeys_cube_root_rule(self):
+        point = PAPER_POLICY.dvfs_sprint_point()
+        assert point.frequency_hz == pytest.approx(16 ** (1 / 3) * 1e9, rel=0.01)
+        assert point.dynamic_power_scale(PAPER_POLICY.dvfs.nominal) == pytest.approx(
+            16.0, rel=0.01
+        )
+
+    def test_throttled_point_divides_frequency_by_active_cores(self):
+        point = PAPER_POLICY.throttled_point(16)
+        assert point.frequency_hz == pytest.approx(1e9 / 16)
+
+    def test_post_sprint_cores_depends_on_termination(self):
+        assert PAPER_POLICY.post_sprint_cores(16) == 1
+        throttling = PAPER_POLICY.with_termination(TerminationAction.HARDWARE_THROTTLE)
+        assert throttling.post_sprint_cores(16) == 16
+
+    def test_execution_cores_by_mode(self):
+        assert PAPER_POLICY.execution_cores(ExecutionMode.PARALLEL_SPRINT) == 16
+        assert PAPER_POLICY.execution_cores(ExecutionMode.DVFS_SPRINT) == 1
+        assert PAPER_POLICY.execution_cores(ExecutionMode.SUSTAINED_SINGLE_CORE) == 1
+
+    def test_variants(self):
+        assert PAPER_POLICY.with_sprint_cores(64).sprint_cores == 64
+        assert PAPER_POLICY.sprint_cores == 16
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SprintPolicy(sprint_cores=0)
+        with pytest.raises(ValueError):
+            SprintPolicy(sprint_cores=2, sustainable_cores=4)
+        with pytest.raises(ValueError):
+            SprintPolicy(min_budget_fraction=1.5)
+        with pytest.raises(ValueError):
+            PAPER_POLICY.cores_to_activate(0)
+        with pytest.raises(ValueError):
+            PAPER_POLICY.should_sprint(4, budget_fraction=2.0)
+        with pytest.raises(ValueError):
+            PAPER_POLICY.sprint_power_w(0.0)
+
+
+class TestSystemConfig:
+    def test_paper_default_headline_numbers(self):
+        config = SystemConfig.paper_default()
+        assert config.machine.n_cores == 16
+        assert config.package.pcm_mass_g == pytest.approx(0.150)
+        assert config.sprint_power_w == pytest.approx(16.0)
+        # The package sustains about one watt.
+        assert 0.8 <= config.sustainable_power_w <= 1.3
+        assert 12.0 <= config.power_headroom <= 20.0
+
+    def test_small_pcm_variant(self):
+        config = SystemConfig.small_pcm()
+        assert config.package.pcm_mass_g == pytest.approx(0.0015)
+
+    def test_activation_delay_matches_paper_ramp(self):
+        config = SystemConfig.paper_default()
+        assert config.activation_delay_s() == pytest.approx(128e-6, rel=0.05)
+
+    def test_power_source_feasible(self):
+        assert SystemConfig.paper_default().power_source_feasible()
+
+    def test_with_sprint_cores_grows_machine_if_needed(self):
+        config = SystemConfig.paper_default().with_sprint_cores(64)
+        assert config.policy.sprint_cores == 64
+        assert config.machine.n_cores == 64
+
+    def test_with_memory_bandwidth_scale(self):
+        config = SystemConfig.paper_default().with_memory_bandwidth_scale(2.0)
+        assert config.machine.memory.peak_bandwidth_bytes_s == pytest.approx(16e9)
+
+    def test_with_quantum(self):
+        assert SystemConfig.paper_default().with_quantum(5e-3).quantum_s == 5e-3
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SystemConfig(quantum_s=0.0)
+        with pytest.raises(ValueError):
+            SystemConfig(policy=PAPER_POLICY.with_sprint_cores(64))

@@ -1,0 +1,110 @@
+"""Unit tests for the instruction-level energy model."""
+
+import pytest
+
+from repro.energy.instruction import (
+    DEFAULT_MIX,
+    EnergyTable,
+    InstructionClass,
+    InstructionEnergyModel,
+    InstructionMix,
+)
+
+
+class TestEnergyTable:
+    def test_negative_entries_rejected(self):
+        with pytest.raises(ValueError):
+            EnergyTable(int_alu_pj=-1.0)
+
+    def test_instruction_lookup_covers_all_classes(self):
+        table = EnergyTable()
+        for kind in InstructionClass:
+            assert table.instruction_pj(kind) >= 0
+
+    def test_memory_events_cost_more_than_alu(self):
+        table = EnergyTable()
+        assert table.dram_access_pj > table.l2_hit_pj > table.l1_hit_pj
+        assert table.load_pj > table.branch_pj
+
+
+class TestInstructionMix:
+    def test_default_mix_sums_to_one(self):
+        assert sum(DEFAULT_MIX.as_dict().values()) == pytest.approx(1.0)
+
+    def test_mix_must_sum_to_one(self):
+        with pytest.raises(ValueError):
+            InstructionMix(int_alu=0.9, int_mul=0.0, fp=0.0, load=0.0, store=0.0,
+                           branch=0.0)
+
+    def test_negative_fraction_rejected(self):
+        with pytest.raises(ValueError):
+            InstructionMix(int_alu=1.2, int_mul=0.0, fp=0.0, load=-0.2, store=0.0,
+                           branch=0.0)
+
+    def test_memory_fraction(self):
+        mix = InstructionMix(int_alu=0.4, int_mul=0.0, fp=0.1, load=0.3, store=0.1,
+                             branch=0.1)
+        assert mix.memory_fraction == pytest.approx(0.4)
+
+
+class TestEnergyModelCalibration:
+    def test_active_core_is_about_one_watt_at_1ghz(self):
+        # Paper design point: a 1 GHz in-order core peaks around 1 W.
+        model = InstructionEnergyModel()
+        power = model.core_power_w(DEFAULT_MIX, 1e9)
+        assert 0.8 <= power <= 1.1
+
+    def test_sleeping_core_is_about_ten_percent(self):
+        model = InstructionEnergyModel()
+        active = model.core_power_w(DEFAULT_MIX, 1e9)
+        sleeping = model.pause_energy_j(1e9)  # 1e9 pause cycles = one second
+        assert sleeping == pytest.approx(0.1 * active, rel=0.25)
+
+    def test_power_scales_linearly_with_frequency(self):
+        model = InstructionEnergyModel()
+        assert model.core_power_w(DEFAULT_MIX, 2e9) == pytest.approx(
+            2 * model.core_power_w(DEFAULT_MIX, 1e9)
+        )
+
+    def test_power_scales_with_ipc(self):
+        model = InstructionEnergyModel()
+        stalled = model.core_power_w(DEFAULT_MIX, 1e9, ipc=0.5)
+        full = model.core_power_w(DEFAULT_MIX, 1e9, ipc=1.0)
+        assert stalled == pytest.approx(0.5 * full)
+
+
+class TestEnergyModelAccounting:
+    def test_instruction_energy_scales_with_count(self):
+        model = InstructionEnergyModel()
+        one = model.instructions_energy_j(1e6, DEFAULT_MIX)
+        two = model.instructions_energy_j(2e6, DEFAULT_MIX)
+        assert two == pytest.approx(2 * one)
+
+    def test_memory_energy_combines_event_costs(self):
+        model = InstructionEnergyModel()
+        energy = model.memory_energy_j(l1_hits=1e6, l2_hits=1e3, dram_accesses=1e2)
+        expected = (1e6 * 100.0 + 1e3 * 800.0 + 1e2 * 8000.0) * 1e-12
+        assert energy == pytest.approx(expected)
+
+    def test_fp_heavy_mix_burns_more_than_branch_heavy_mix(self):
+        model = InstructionEnergyModel()
+        fp_heavy = InstructionMix(int_alu=0.2, int_mul=0.0, fp=0.6, load=0.1,
+                                  store=0.05, branch=0.05)
+        branch_heavy = InstructionMix(int_alu=0.2, int_mul=0.0, fp=0.0, load=0.1,
+                                      store=0.05, branch=0.65)
+        assert model.average_instruction_pj(fp_heavy) > model.average_instruction_pj(
+            branch_heavy
+        )
+
+    def test_validation_of_negative_counts(self):
+        model = InstructionEnergyModel()
+        with pytest.raises(ValueError):
+            model.instructions_energy_j(-1, DEFAULT_MIX)
+        with pytest.raises(ValueError):
+            model.memory_energy_j(-1, 0, 0)
+        with pytest.raises(ValueError):
+            model.pause_energy_j(-1)
+        with pytest.raises(ValueError):
+            model.core_power_w(DEFAULT_MIX, 0.0)
+        with pytest.raises(ValueError):
+            model.core_power_w(DEFAULT_MIX, 1e9, ipc=1.5)

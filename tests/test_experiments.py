@@ -1,0 +1,161 @@
+"""Tests for the experiment harnesses (the fast ones run fully; the heavy
+figure sweeps are exercised with reduced parameters — the full sweeps are the
+benchmarks' job)."""
+
+import pytest
+
+from repro.experiments import (
+    fig01_trends,
+    fig04_thermal,
+    fig06_activation,
+    fig07_speedup,
+    fig08_sobel,
+    fig10_cores,
+    fig11_energy,
+    sec4_sizing,
+    sec6_sources,
+    table1_kernels,
+)
+
+
+class TestFig01:
+    def test_three_scenarios_and_monotonic_trends(self):
+        result = fig01_trends.run()
+        assert len(result.series) == 3
+        for series in result.series:
+            assert series.power_density[0] == pytest.approx(1.0)
+            assert series.dark_percent[-1] > 50.0
+        assert "ITRS" in {s.scenario for s in result.series}
+
+    def test_lookup_and_format(self):
+        result = fig01_trends.run()
+        assert result.by_scenario("Borkar").scenario == "Borkar"
+        with pytest.raises(KeyError):
+            result.by_scenario("nope")
+        assert "Borkar" in fig01_trends.format_table(result)
+
+
+class TestFig04:
+    def test_paper_headline_numbers(self):
+        result = fig04_thermal.run()
+        assert 0.8 <= result.max_sprint_duration_s <= 2.0
+        assert 0.6 <= result.melt_plateau_s <= 1.5
+        assert result.cooldown_to_ambient_s is not None
+        assert result.cooldown_to_ambient_s > 5.0
+        assert result.paper_cooldown_rule_s > 10.0
+
+    def test_higher_power_shortens_sprint(self):
+        mild = fig04_thermal.run(sprint_power_w=8.0)
+        intense = fig04_thermal.run(sprint_power_w=24.0)
+        assert intense.max_sprint_duration_s < mild.max_sprint_duration_s
+
+    def test_rejects_bad_power(self):
+        with pytest.raises(ValueError):
+            fig04_thermal.run(sprint_power_w=0.0)
+
+
+class TestFig06:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return fig06_activation.run()
+
+    def test_only_slow_ramp_within_tolerance(self, result):
+        assert not result.by_label("instantaneous").within_tolerance
+        assert not result.by_label("1.28us ramp").within_tolerance
+        assert result.by_label("128us ramp").within_tolerance
+        assert result.slow_ramp_ok
+
+    def test_resistive_drop_near_10mv(self, result):
+        slow = result.by_label("128us ramp")
+        assert 0.003 <= result.supply_v - slow.settling_voltage_v <= 0.03
+
+    def test_lookup_and_format(self, result):
+        with pytest.raises(KeyError):
+            result.by_label("nope")
+        assert "128us ramp" in fig06_activation.format_table(result)
+
+
+class TestTable1:
+    def test_rows_and_lookup(self):
+        result = table1_kernels.run()
+        assert len(result.rows) == 6
+        assert result.by_name("sobel").description.startswith("Edge detection")
+        with pytest.raises(KeyError):
+            result.by_name("nope")
+        assert "sobel" in table1_kernels.format_table(result)
+
+
+class TestSizing:
+    def test_matches_paper_numbers(self):
+        result = sec4_sizing.run()
+        assert result.within_percent(result.copper_thickness_mm, 7.2)
+        assert result.within_percent(result.aluminium_thickness_mm, 10.3)
+        assert result.within_percent(result.pcm_mass_g, 0.150)
+        assert result.peak_heat_flux_w_cm2 == pytest.approx(25.0)
+        assert "copper" in sec4_sizing.format_table(result)
+
+    def test_within_percent_validation(self):
+        result = sec4_sizing.run()
+        with pytest.raises(ValueError):
+            result.within_percent(1.0, 0.0)
+
+
+class TestSources:
+    def test_paper_conclusions(self):
+        result = sec6_sources.run()
+        assert not result.phone_battery_sufficient
+        assert len(result.feasible_sources) >= 2
+        assert 300 <= result.pins_for_sprint_current <= 340
+        assert "phone-li-ion" in sec6_sources.format_table(result)
+
+    def test_lower_intensity_sprint_is_feasible_on_phone_battery(self):
+        result = sec6_sources.run(sprint_cores=8)
+        assert result.by_name("phone-li-ion").feasible
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            sec6_sources.run(sprint_cores=0)
+        with pytest.raises(ValueError):
+            sec6_sources.run(core_power_w=0.0)
+
+
+class TestReducedSweeps:
+    """Heavier figure harnesses run here with reduced scope for speed."""
+
+    def test_fig07_single_kernel(self):
+        result = fig07_speedup.run(kernels=("sobel",), input_label="A")
+        row = result.by_kernel("sobel")
+        assert row.parallel_full_pcm > 5.0
+        assert row.dvfs_full_pcm < row.parallel_full_pcm
+        assert row.parallel_small_pcm <= row.parallel_full_pcm * 1.05
+        with pytest.raises(KeyError):
+            result.by_kernel("nope")
+        assert "sobel" in fig07_speedup.format_table(result)
+
+    def test_fig08_two_sizes(self):
+        result = fig08_sobel.run(megapixels=(1.0, 8.0))
+        assert result.megapixels == (1.0, 8.0)
+        assert result.points[0].parallel_full_pcm > 8.0
+        assert result.points[1].parallel_small_pcm < result.points[1].parallel_full_pcm
+        with pytest.raises(ValueError):
+            fig08_sobel.run(megapixels=())
+        assert "MP" in fig08_sobel.format_table(result)
+
+    def test_fig10_reduced(self):
+        result = fig10_cores.run(core_counts=(1, 4, 16), kernels=("sobel", "segment"))
+        sobel = result.by_kernel("sobel")
+        segment = result.by_kernel("segment")
+        assert sobel.speedup_at(16) > segment.speedup_at(16)
+        assert sobel.speedup_at(1) == 1.0
+        with pytest.raises(KeyError):
+            sobel.speedup_at(64)
+        with pytest.raises(ValueError):
+            fig10_cores.run(core_counts=())
+
+    def test_fig11_reduced(self):
+        result = fig11_energy.run(core_counts=(1, 16), kernels=("sobel", "kmeans"))
+        assert result.average_overhead_at(16) < 1.2
+        for row in result.rows:
+            assert row.energy_at(1) == 1.0
+            assert 4.0 <= row.dvfs_energy_ratio <= 8.0
+        assert "kmeans" in fig11_energy.format_table(result)

@@ -1,0 +1,126 @@
+"""Cross-cutting integration tests for the paper's headline claims.
+
+These tests exercise the whole stack (kernels → workloads → arch engine →
+energy → thermal → runtime) and pin the qualitative conclusions the paper
+draws, independent of the per-figure benchmarks.
+"""
+
+import pytest
+
+from repro.core.config import SystemConfig
+from repro.core.modes import SprintMode
+from repro.core.simulation import SprintSimulation
+from repro.thermal.package import FULL_PCM_PACKAGE
+from repro.thermal.transient import max_sprint_duration_s
+from repro.workloads.descriptor import (
+    MemoryBehaviour,
+    ParallelBehaviour,
+    WorkloadDescriptor,
+)
+from repro.workloads.suite import kernel_suite
+
+
+def workload_of(instructions: float) -> WorkloadDescriptor:
+    return WorkloadDescriptor(
+        name="claim-check",
+        total_instructions=instructions,
+        memory=MemoryBehaviour(working_set_bytes=6e6, l1_miss_rate=0.015, l2_miss_rate=0.4),
+        parallel=ParallelBehaviour(parallel_fraction=0.99, max_parallelism=512, imbalance=1.04),
+    )
+
+
+class TestThermalDesignClaims:
+    def test_sustained_power_is_about_one_watt(self):
+        assert 0.8 <= FULL_PCM_PACKAGE.sustainable_power_w <= 1.3
+
+    def test_sprint_duration_shrinks_with_power(self):
+        durations = [
+            max_sprint_duration_s(FULL_PCM_PACKAGE, power)
+            for power in (8.0, 16.0, 32.0)
+        ]
+        assert durations[0] > durations[1] > durations[2]
+
+    def test_more_pcm_never_shortens_the_sprint(self):
+        small = max_sprint_duration_s(FULL_PCM_PACKAGE.with_pcm_mass(0.0015), 16.0)
+        medium = max_sprint_duration_s(FULL_PCM_PACKAGE.with_pcm_mass(0.05), 16.0)
+        full = max_sprint_duration_s(FULL_PCM_PACKAGE, 16.0)
+        assert small <= medium <= full
+
+    def test_sixteen_watt_sprint_is_about_a_second(self):
+        assert 0.8 <= max_sprint_duration_s(FULL_PCM_PACKAGE, 16.0) <= 2.0
+
+
+class TestResponsivenessClaims:
+    @pytest.fixture(scope="class")
+    def simulation(self):
+        return SprintSimulation(SystemConfig.paper_default())
+
+    def test_order_of_magnitude_responsiveness(self, simulation):
+        """Paper abstract: sprinting approaches the responsiveness of a 16 W chip."""
+        workload = workload_of(2e9)
+        baseline = simulation.run_baseline(workload, quantum_s=2e-3)
+        sprint = simulation.run(workload)
+        assert sprint.speedup_over(baseline) >= 8.0
+
+    def test_sprinting_does_not_improve_sustained_throughput(self, simulation):
+        """Sustained performance stays limited by TDP: averaged over the
+        sprint plus the cooldown the paper's rule of thumb implies, the
+        sprint's average power returns to the sustainable budget."""
+        workload = workload_of(2e9)
+        sprint = simulation.run(workload)
+        cooldown_s = simulation.config.package.estimated_cooldown_s(
+            sprint.sprint_duration_s, simulation.config.sprint_power_w
+        )
+        duty_cycle_power = sprint.total_energy_j / (sprint.total_time_s + cooldown_s)
+        assert duty_cycle_power <= 1.3 * simulation.config.sustainable_power_w
+
+    def test_speedup_improves_with_sprint_core_count(self):
+        workload = workload_of(1.5e9)
+        baseline = SprintSimulation(SystemConfig.paper_default()).run_baseline(
+            workload, quantum_s=2e-3
+        )
+        speedups = []
+        for cores in (2, 4, 8, 16):
+            config = SystemConfig.paper_default().with_sprint_cores(cores)
+            result = SprintSimulation(config).run(workload)
+            speedups.append(result.speedup_over(baseline))
+        assert all(b >= a * 0.98 for a, b in zip(speedups, speedups[1:]))
+        assert speedups[-1] > 2 * speedups[0]
+
+    def test_thermal_limit_respected_for_every_table1_kernel(self):
+        simulation = SprintSimulation(SystemConfig.paper_default())
+        limit = simulation.config.package.limits.max_junction_c
+        for family in kernel_suite().values():
+            result = simulation.run(family.workload("A"))
+            assert result.peak_junction_c <= limit + 1.0
+            assert result.completed
+
+
+class TestEnergyClaims:
+    def test_parallel_sprint_energy_parity_and_dvfs_penalty(self):
+        simulation = SprintSimulation(SystemConfig.paper_default())
+        workload = workload_of(1.5e9)
+        baseline = simulation.run_baseline(workload, quantum_s=2e-3)
+        sprint = simulation.run(workload)
+        dvfs = simulation.run_dvfs_sprint(workload)
+        # Section 8.6: parallel sprinting is near energy-neutral...
+        assert sprint.energy_ratio_over(baseline) <= 1.3
+        # ...while using the same headroom for voltage boosting costs ~6x.
+        assert dvfs.energy_ratio_over(baseline) >= 3.0
+        assert dvfs.energy_ratio_over(baseline) <= 8.0
+
+
+class TestTruncationClaims:
+    def test_small_pcm_pushes_work_out_of_the_sprint(self):
+        """Section 8.3: with 100x less PCM every workload exhausts the sprint
+        and finishes in single-core mode."""
+        small = SprintSimulation(SystemConfig.small_pcm())
+        full = SprintSimulation(SystemConfig.paper_default())
+        workload = workload_of(4e9)
+        truncated = small.run(workload)
+        sustained_fraction = truncated.metrics.time_in(SprintMode.SUSTAINED)
+        assert truncated.sprint_was_truncated
+        assert sustained_fraction > truncated.metrics.time_in(SprintMode.SPRINT)
+        complete = full.run(workload)
+        assert not complete.sprint_was_truncated
+        assert complete.sprint_completion_fraction > 0.95

@@ -1,0 +1,122 @@
+"""Tests for kernel operation counts and synthetic image generation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.kernels.base import OperationCounts
+from repro.kernels.images import (
+    megapixels,
+    shape_for_megapixels,
+    synthetic_image,
+    synthetic_stereo_pair,
+)
+
+
+class TestOperationCounts:
+    def test_total(self):
+        counts = OperationCounts(int_alu=10, int_mul=2, fp=5, load=8, store=3, branch=2)
+        assert counts.total == 30
+
+    def test_add(self):
+        a = OperationCounts(int_alu=1, fp=2)
+        b = OperationCounts(int_alu=3, load=4)
+        combined = a + b
+        assert combined.int_alu == 4
+        assert combined.fp == 2
+        assert combined.load == 4
+
+    def test_scaled(self):
+        counts = OperationCounts(int_alu=2, load=1)
+        assert counts.scaled(3).total == 9
+
+    def test_instruction_mix_sums_to_one(self):
+        counts = OperationCounts(int_alu=10, int_mul=5, fp=5, load=20, store=5, branch=5)
+        mix = counts.instruction_mix()
+        assert sum(mix.as_dict().values()) == pytest.approx(1.0)
+        assert mix.memory_fraction == pytest.approx(25 / 50)
+
+    def test_rejects_negative_counts_and_empty_mix(self):
+        with pytest.raises(ValueError):
+            OperationCounts(int_alu=-1)
+        with pytest.raises(ValueError):
+            OperationCounts().instruction_mix()
+        with pytest.raises(ValueError):
+            OperationCounts(int_alu=1).scaled(-1)
+
+    @given(
+        values=st.lists(
+            st.floats(min_value=0.0, max_value=1e6), min_size=6, max_size=6
+        ).filter(lambda v: sum(v) > 0)
+    )
+    def test_mix_is_always_valid(self, values):
+        counts = OperationCounts(*values)
+        mix = counts.instruction_mix()
+        assert sum(mix.as_dict().values()) == pytest.approx(1.0, abs=1e-6)
+
+
+class TestSyntheticImage:
+    def test_shape_dtype_and_range(self):
+        image = synthetic_image(64, 96)
+        assert image.shape == (64, 96)
+        assert image.dtype == np.float32
+        assert image.min() >= 0.0
+        assert image.max() <= 1.0
+
+    def test_deterministic_by_seed(self):
+        a = synthetic_image(32, 32, seed=5)
+        b = synthetic_image(32, 32, seed=5)
+        c = synthetic_image(32, 32, seed=6)
+        assert np.array_equal(a, b)
+        assert not np.array_equal(a, c)
+
+    def test_has_structure(self):
+        image = synthetic_image(64, 64, n_shapes=8, noise=0.0)
+        # Shapes and gradient should give a non-trivial dynamic range.
+        assert image.max() - image.min() > 0.2
+
+    def test_rejects_bad_arguments(self):
+        with pytest.raises(ValueError):
+            synthetic_image(0, 10)
+        with pytest.raises(ValueError):
+            synthetic_image(10, 10, noise=-0.1)
+
+
+class TestStereoPair:
+    def test_shapes_match_and_disparity_in_range(self):
+        left, right, truth = synthetic_stereo_pair(48, 64, max_disparity=8)
+        assert left.shape == right.shape == truth.shape == (48, 64)
+        assert truth.min() >= 0
+        assert truth.max() <= 7
+
+    def test_rows_are_shifted_versions(self):
+        left, right, truth = synthetic_stereo_pair(32, 64, max_disparity=8, noise=0.0)
+        row = 30  # bottom band has the largest disparity
+        shift = int(truth[row, 0])
+        assert shift > 0
+        restored = np.roll(right[row], shift)
+        # Away from the wrap-around region the rows must agree.
+        assert np.allclose(restored[shift:-shift], left[row, shift:-shift], atol=1e-5)
+
+    def test_rejects_bad_disparity(self):
+        with pytest.raises(ValueError):
+            synthetic_stereo_pair(32, 32, max_disparity=0)
+
+
+class TestShapeHelpers:
+    def test_megapixels(self):
+        assert megapixels((1000, 1000)) == pytest.approx(1.0)
+
+    def test_shape_for_megapixels_round_trip(self):
+        shape = shape_for_megapixels(2.0)
+        assert megapixels(shape) == pytest.approx(2.0, rel=0.05)
+
+    def test_aspect_ratio(self):
+        rows, cols = shape_for_megapixels(1.0, aspect=4 / 3)
+        assert cols / rows == pytest.approx(4 / 3, rel=0.05)
+
+    def test_rejects_bad_arguments(self):
+        with pytest.raises(ValueError):
+            megapixels((0, 10))
+        with pytest.raises(ValueError):
+            shape_for_megapixels(0.0)

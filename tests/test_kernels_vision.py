@@ -1,0 +1,229 @@
+"""Tests for the six Table 1 kernels: real outputs and analytic cost models."""
+
+import numpy as np
+import pytest
+
+from repro.kernels import (
+    ALL_KERNELS,
+    DisparityKernel,
+    FeatureExtractionKernel,
+    KMeansKernel,
+    SegmentKernel,
+    SobelKernel,
+    TextureKernel,
+    synthetic_image,
+    synthetic_stereo_pair,
+)
+
+SMALL = (48, 64)
+
+
+@pytest.fixture(scope="module")
+def image():
+    return synthetic_image(*SMALL, n_shapes=8, seed=11)
+
+
+class TestKernelRegistry:
+    def test_all_six_table1_kernels_present(self):
+        assert set(ALL_KERNELS) == {
+            "sobel",
+            "feature",
+            "kmeans",
+            "disparity",
+            "texture",
+            "segment",
+        }
+
+    @pytest.mark.parametrize("name", sorted(ALL_KERNELS))
+    def test_counts_scale_roughly_linearly_with_pixels(self, name):
+        kernel = ALL_KERNELS[name]()
+        small = kernel.operation_counts((256, 256)).total
+        large = kernel.operation_counts((512, 512)).total
+        # Four times the pixels means close to four times the work (feature
+        # has a small per-keypoint term that does not scale with pixels).
+        assert 3.2 <= large / small <= 4.5
+
+    @pytest.mark.parametrize("name", sorted(ALL_KERNELS))
+    def test_structural_hints_are_sane(self, name):
+        kernel = ALL_KERNELS[name]()
+        assert 0.8 <= kernel.parallel_fraction() <= 1.0
+        assert kernel.load_imbalance() >= 1.0
+        assert 0.0 < kernel.streaming_intensity() <= 0.5
+        assert 0.0 < kernel.l2_miss_rate() <= 1.0
+        assert kernel.bytes_per_l2_miss() >= 64.0
+        assert kernel.max_parallelism((256, 256)) >= 8
+        assert kernel.working_set_bytes((256, 256)) >= 256 * 256 * 4
+
+    @pytest.mark.parametrize("name", sorted(ALL_KERNELS))
+    def test_rejects_invalid_shape(self, name):
+        kernel = ALL_KERNELS[name]()
+        with pytest.raises(ValueError):
+            kernel.operation_counts((0, 64))
+
+
+class TestSobel:
+    def test_detects_edges_of_a_box(self):
+        image = np.zeros((32, 32), dtype=np.float32)
+        image[8:24, 8:24] = 1.0
+        output = SobelKernel().run(image)
+        magnitude = output.data
+        # Strong response on the box boundary, none in the flat interior.
+        assert magnitude[8, 16] > 0.5
+        assert magnitude[16, 16] == pytest.approx(0.0, abs=1e-6)
+        assert magnitude.max() == pytest.approx(1.0)
+
+    def test_threshold_produces_edge_mask(self, image):
+        output = SobelKernel(threshold=0.3).run(image)
+        assert output.extras is not None
+        assert output.extras["edges"].dtype == bool
+
+    def test_rejects_tiny_images(self):
+        with pytest.raises(ValueError):
+            SobelKernel().run(np.zeros((2, 2), dtype=np.float32))
+
+    def test_rejects_bad_threshold(self):
+        with pytest.raises(ValueError):
+            SobelKernel(threshold=2.0)
+
+
+class TestFeatureExtraction:
+    def test_finds_keypoints_and_descriptors(self, image):
+        kernel = FeatureExtractionKernel(max_keypoints=32)
+        output = kernel.run(image)
+        keypoints = output.extras["keypoints"]
+        descriptors = output.extras["descriptors"]
+        assert 1 <= len(keypoints) <= 32
+        assert descriptors.shape == (len(keypoints), kernel.descriptor_bins)
+        # Descriptors are L2-normalised (or zero for flat patches).
+        norms = np.linalg.norm(descriptors, axis=1)
+        assert np.all((norms < 1.001) & (norms >= 0.0))
+
+    def test_keypoints_prefer_structured_regions(self):
+        flat = np.full((64, 64), 0.5, dtype=np.float32)
+        structured = flat.copy()
+        structured[20:40, 20:40] = 1.0
+        kernel = FeatureExtractionKernel(max_keypoints=16)
+        flat_resp = kernel.run(flat).data
+        structured_resp = kernel.run(structured).data
+        assert structured_resp.max() > flat_resp.max() + 1e-3
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            FeatureExtractionKernel(scales=(4,))
+        with pytest.raises(ValueError):
+            FeatureExtractionKernel(max_keypoints=0)
+
+
+class TestKMeans:
+    def test_labels_cover_image_and_respect_cluster_count(self, image):
+        kernel = KMeansKernel(clusters=4, iterations=5)
+        output = kernel.run(image)
+        labels = output.data
+        assert labels.shape == image.shape
+        assert 1 <= len(np.unique(labels)) <= 4
+        assert output.extras["centres"].shape == (4, kernel.features_per_pixel)
+
+    def test_separates_dark_and_bright_regions(self):
+        image = np.zeros((32, 32), dtype=np.float32)
+        image[:, 16:] = 1.0
+        labels = KMeansKernel(clusters=2, iterations=8).run(image).data
+        left_label = np.bincount(labels[:, :8].ravel()).argmax()
+        right_label = np.bincount(labels[:, 24:].ravel()).argmax()
+        assert left_label != right_label
+
+    def test_more_iterations_do_not_increase_inertia(self, image):
+        short = KMeansKernel(clusters=4, iterations=2).run(image).extras["inertia"]
+        long = KMeansKernel(clusters=4, iterations=10).run(image).extras["inertia"]
+        assert long <= short * 1.01
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            KMeansKernel(clusters=1)
+        with pytest.raises(ValueError):
+            KMeansKernel(iterations=0)
+
+
+class TestDisparity:
+    def test_recovers_known_disparity(self):
+        left, right, truth = synthetic_stereo_pair(48, 96, max_disparity=8, noise=0.0)
+        output = DisparityKernel(max_disparity=8, window=5).run_pair(left, right)
+        estimate = output.data
+        # Ignore the image borders and the wrap-around columns.
+        inner = (slice(8, -8), slice(16, -16))
+        error = np.abs(estimate[inner] - truth[inner])
+        assert np.median(error) <= 1.0
+
+    def test_stacked_input_form(self):
+        left, right, _ = synthetic_stereo_pair(32, 48, max_disparity=4)
+        stacked = np.hstack([left, right])
+        output = DisparityKernel(max_disparity=4).run(stacked)
+        assert output.data.shape == (32, 48)
+
+    def test_rejects_mismatched_pair_and_bad_window(self):
+        with pytest.raises(ValueError):
+            DisparityKernel(window=4)
+        kernel = DisparityKernel()
+        with pytest.raises(ValueError):
+            kernel.run_pair(np.zeros((10, 10)), np.zeros((10, 12)))
+        with pytest.raises(ValueError):
+            kernel.run(np.zeros((10, 11), dtype=np.float32))
+
+
+class TestTexture:
+    def test_output_in_range_and_shape_preserved(self, image):
+        output = TextureKernel(levels=3).run(image)
+        assert output.data.shape == image.shape
+        assert output.data.min() >= 0.0
+        assert output.data.max() <= 1.0
+
+    def test_blend_mixes_both_sources(self, image):
+        output = TextureKernel(levels=3, seed=1).run(image).data
+        # The left edge is dominated by the texture, the right by the image,
+        # so the result should differ from the plain image on the left side.
+        left_difference = np.abs(output[:, :8] - image[:, :8]).mean()
+        right_difference = np.abs(output[:, -8:] - image[:, -8:]).mean()
+        assert left_difference > right_difference
+
+    def test_limited_parallelism_hint(self):
+        kernel = TextureKernel()
+        assert kernel.max_parallelism((1024, 1024)) <= 32
+        assert kernel.parallel_fraction() < 0.99
+
+    def test_rejects_bad_levels(self):
+        with pytest.raises(ValueError):
+            TextureKernel(levels=0)
+
+
+class TestSegment:
+    def test_segments_distinct_regions(self):
+        image = np.zeros((32, 32), dtype=np.float32)
+        image[4:14, 4:14] = 0.9
+        image[18:30, 18:30] = 0.5
+        output = SegmentKernel(bands=4, min_region_pixels=8).run(image)
+        labels = output.data
+        assert labels[8, 8] != labels[24, 24]
+        assert labels[8, 8] != labels[0, 31] or labels[24, 24] != labels[0, 0]
+        assert len(output.extras["regions"]) >= 2
+
+    def test_region_features_and_classes(self, image):
+        output = SegmentKernel(bands=6).run(image)
+        for features in output.extras["regions"].values():
+            assert features["area"] >= SegmentKernel().min_region_pixels
+            assert 0.0 <= features["mean_intensity"] <= 1.0
+        assert set(output.extras["classes"].values()) <= {
+            "textured",
+            "bright",
+            "background",
+            "object",
+        }
+
+    def test_limited_parallelism_and_sharing_hints(self):
+        kernel = SegmentKernel()
+        assert kernel.parallel_fraction() <= 0.95
+        assert kernel.coherence_miss_fraction() >= 0.05
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            SegmentKernel(bands=1)
+        with pytest.raises(ValueError):
+            SegmentKernel(min_region_pixels=0)

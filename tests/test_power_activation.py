@@ -1,0 +1,117 @@
+"""Unit tests for core activation schedules."""
+
+import pytest
+
+from repro.power.activation import (
+    PAPER_ABRUPT,
+    PAPER_FAST_RAMP,
+    PAPER_SLOW_RAMP,
+    AbruptActivation,
+    LinearRampActivation,
+    StaggeredActivation,
+)
+
+
+class TestAbruptActivation:
+    def test_all_cores_activate_at_start(self):
+        schedule = AbruptActivation(start_s=1e-6)
+        assert schedule.activation_times(4) == [1e-6] * 4
+
+    def test_duration_is_core_rise_only(self):
+        schedule = AbruptActivation(core_rise_s=1e-9)
+        assert schedule.duration_s(16) == pytest.approx(1e-9)
+
+    def test_total_current_steps_to_full(self):
+        schedule = AbruptActivation()
+        assert schedule.total_current_a(1e-9, 16, 0.5) == pytest.approx(8.0)
+        assert schedule.total_current_a(-1e-9, 16, 0.5) == pytest.approx(0.0)
+
+    def test_rejects_non_positive_core_count(self):
+        with pytest.raises(ValueError):
+            AbruptActivation().activation_times(0)
+
+
+class TestLinearRampActivation:
+    def test_first_and_last_activation_span_the_ramp(self):
+        schedule = LinearRampActivation(ramp_s=128e-6)
+        times = schedule.activation_times(16)
+        assert times[0] == pytest.approx(0.0)
+        assert times[-1] == pytest.approx(128e-6)
+        assert len(times) == 16
+
+    def test_times_are_evenly_spaced(self):
+        schedule = LinearRampActivation(ramp_s=15e-6)
+        times = schedule.activation_times(16)
+        gaps = [b - a for a, b in zip(times, times[1:])]
+        assert all(g == pytest.approx(1e-6) for g in gaps)
+
+    def test_single_core_activates_at_start(self):
+        schedule = LinearRampActivation(ramp_s=128e-6, start_s=5e-6)
+        assert schedule.activation_times(1) == [5e-6]
+
+    def test_active_core_count_grows_linearly(self):
+        schedule = LinearRampActivation(ramp_s=150e-6)
+        assert schedule.active_cores(0.0, 16) == 1
+        assert schedule.active_cores(75e-6, 16) == 8
+        assert schedule.active_cores(151e-6, 16) == 16
+
+    def test_total_current_midway_through_ramp(self):
+        schedule = LinearRampActivation(ramp_s=150e-6)
+        halfway = schedule.total_current_a(75e-6, 16, 1.0)
+        assert 8.0 <= halfway <= 10.0
+
+    def test_negative_ramp_rejected(self):
+        with pytest.raises(ValueError):
+            LinearRampActivation(ramp_s=-1.0)
+
+
+class TestStaggeredActivation:
+    def test_uses_explicit_times(self):
+        schedule = StaggeredActivation(times_s=(0.0, 1e-6, 3e-6))
+        assert schedule.activation_times(3) == [0.0, 1e-6, 3e-6]
+
+    def test_start_offset_applied(self):
+        schedule = StaggeredActivation(times_s=(0.0, 1e-6), start_s=1e-6)
+        assert schedule.activation_times(2) == [1e-6, 2e-6]
+
+    def test_mismatched_count_rejected(self):
+        schedule = StaggeredActivation(times_s=(0.0, 1e-6))
+        with pytest.raises(ValueError):
+            schedule.activation_times(3)
+
+
+class TestCoreWaveforms:
+    def test_waveform_is_zero_before_activation(self):
+        schedule = LinearRampActivation(ramp_s=100e-6)
+        waveform = schedule.core_current_waveform(15, 16, 0.5)
+        assert waveform(0.0) == 0.0
+        assert waveform(100e-6 + 1e-9) == pytest.approx(0.5)
+
+    def test_waveform_ramps_with_core_rise(self):
+        schedule = AbruptActivation(core_rise_s=10e-9)
+        waveform = schedule.core_current_waveform(0, 16, 1.0)
+        assert waveform(5e-9) == pytest.approx(0.5)
+        assert waveform(20e-9) == pytest.approx(1.0)
+
+    def test_invalid_core_index_rejected(self):
+        schedule = AbruptActivation()
+        with pytest.raises(ValueError):
+            schedule.core_current_waveform(16, 16, 1.0)
+
+    def test_negative_core_current_rejected(self):
+        schedule = AbruptActivation()
+        with pytest.raises(ValueError):
+            schedule.total_current_a(0.0, 16, -1.0)
+
+
+class TestPaperSchedules:
+    def test_paper_cases_have_expected_ramps(self):
+        assert PAPER_ABRUPT.duration_s(16) <= 1e-9
+        assert PAPER_FAST_RAMP.ramp_s == pytest.approx(1.28e-6)
+        assert PAPER_SLOW_RAMP.ramp_s == pytest.approx(128e-6)
+
+    def test_slow_ramp_is_negligible_compared_to_sprint_duration(self):
+        # Section 5.3: 128 us is much smaller than a ~1 s sprint, so the
+        # parallelism lost to gradual activation is negligible.
+        sprint_duration_s = 1.0
+        assert PAPER_SLOW_RAMP.duration_s(16) < 1e-3 * sprint_duration_s

@@ -1,0 +1,199 @@
+"""Unit tests for the MNA RLC transient circuit solver."""
+
+import numpy as np
+import pytest
+
+from repro.power.circuit import GROUND, Circuit
+
+
+class TestConstruction:
+    def test_duplicate_element_name_rejected(self):
+        circuit = Circuit()
+        circuit.add_resistor("r1", "a", GROUND, 1.0)
+        with pytest.raises(ValueError):
+            circuit.add_resistor("r1", "b", GROUND, 1.0)
+
+    def test_empty_element_name_rejected(self):
+        circuit = Circuit()
+        with pytest.raises(ValueError):
+            circuit.add_resistor("", "a", GROUND, 1.0)
+
+    def test_non_positive_component_values_rejected(self):
+        circuit = Circuit()
+        with pytest.raises(ValueError):
+            circuit.add_resistor("r", "a", GROUND, 0.0)
+        with pytest.raises(ValueError):
+            circuit.add_capacitor("c", "a", GROUND, -1e-6)
+        with pytest.raises(ValueError):
+            circuit.add_inductor("l", "a", GROUND, 0.0)
+
+    def test_node_names_exclude_ground(self):
+        circuit = Circuit()
+        circuit.add_resistor("r", "a", GROUND, 1.0)
+        circuit.add_resistor("r2", "a", "b", 1.0)
+        assert circuit.node_names == ["a", "b"]
+
+    def test_element_count(self):
+        circuit = Circuit()
+        circuit.add_voltage_source("v", "a", GROUND, 1.0)
+        circuit.add_resistor("r", "a", GROUND, 1.0)
+        assert circuit.element_count == 2
+
+
+class TestDcOperatingPoint:
+    def test_voltage_divider(self):
+        circuit = Circuit()
+        circuit.add_voltage_source("v", "in", GROUND, 10.0)
+        circuit.add_resistor("r1", "in", "mid", 1000.0)
+        circuit.add_resistor("r2", "mid", GROUND, 1000.0)
+        voltages = circuit.dc_operating_point()
+        assert voltages["mid"] == pytest.approx(5.0)
+        assert voltages["in"] == pytest.approx(10.0)
+
+    def test_inductor_is_dc_short(self):
+        circuit = Circuit()
+        circuit.add_voltage_source("v", "in", GROUND, 5.0)
+        circuit.add_inductor("l", "in", "out", 1e-9)
+        circuit.add_resistor("r", "out", GROUND, 10.0)
+        voltages = circuit.dc_operating_point()
+        assert voltages["out"] == pytest.approx(5.0)
+
+    def test_current_source_ir_drop(self):
+        circuit = Circuit()
+        circuit.add_voltage_source("v", "in", GROUND, 1.2)
+        circuit.add_resistor("r", "in", "load", 0.01)
+        circuit.add_current_source("i", "load", GROUND, 8.0)
+        voltages = circuit.dc_operating_point()
+        assert voltages["load"] == pytest.approx(1.2 - 0.08)
+
+
+class TestTransientAnalyticalCases:
+    def test_rc_charging_curve(self):
+        # Series R into C driven by a DC source: v_c(t) = V (1 - exp(-t/RC)).
+        r, c, v = 100.0, 1e-6, 1.0
+        circuit = Circuit()
+        circuit.add_voltage_source("v", "in", GROUND, v)
+        circuit.add_resistor("r", "in", "out", r)
+        circuit.add_capacitor("c", "out", GROUND, c)
+        tau = r * c
+        result = circuit.transient(duration_s=5 * tau, dt_s=tau / 200)
+        volts = result.voltage("out")
+        time = result.time_s
+        expected = v * (1 - np.exp(-time / tau))
+        assert np.max(np.abs(volts - expected)) < 0.01
+
+    def test_rl_current_rise(self):
+        # Series R-L: the output node across R settles to the full source value
+        # as the inductor current builds with time constant L/R.
+        r, l, v = 10.0, 1e-3, 1.0
+        circuit = Circuit()
+        circuit.add_voltage_source("v", "in", GROUND, v)
+        circuit.add_inductor("l", "in", "out", l)
+        circuit.add_resistor("r", "out", GROUND, r)
+        tau = l / r
+        result = circuit.transient(duration_s=6 * tau, dt_s=tau / 200)
+        # After several time constants the resistor sees the full voltage.
+        assert result.final_voltage("out") == pytest.approx(v, rel=0.01)
+        # Early on it sees much less.
+        early_idx = int(0.1 * len(result.time_s))
+        assert result.voltage("out")[early_idx] < 0.8 * v
+
+    def test_lc_oscillation_preserves_amplitude_with_trapezoidal(self):
+        # An undamped LC tank excited by an initial capacitor voltage keeps
+        # oscillating; trapezoidal integration should not damp it away.
+        l, c = 1e-3, 1e-6
+        circuit = Circuit()
+        circuit.add_capacitor("c", "a", GROUND, c, initial_voltage=1.0)
+        circuit.add_inductor("l", "a", GROUND, l)
+        circuit.add_current_source("probe", "a", GROUND, 0.0)
+        period = 2 * np.pi * np.sqrt(l * c)
+        result = circuit.transient(duration_s=5 * period, dt_s=period / 400,
+                                   method="trapezoidal")
+        volts = result.voltage("a")
+        # Amplitude in the final period is still close to the initial 1 V.
+        last_period = volts[-400:]
+        assert np.max(np.abs(last_period)) > 0.95
+
+    def test_backward_euler_damps_oscillation(self):
+        l, c = 1e-3, 1e-6
+        circuit = Circuit()
+        circuit.add_capacitor("c", "a", GROUND, c, initial_voltage=1.0)
+        circuit.add_inductor("l", "a", GROUND, l)
+        circuit.add_current_source("probe", "a", GROUND, 0.0)
+        period = 2 * np.pi * np.sqrt(l * c)
+        result = circuit.transient(duration_s=5 * period, dt_s=period / 50,
+                                   method="backward_euler")
+        volts = result.voltage("a")
+        assert np.max(np.abs(volts[-50:])) < 0.9
+
+    def test_current_source_ramp_produces_growing_ir_drop(self):
+        circuit = Circuit()
+        circuit.add_voltage_source("v", "in", GROUND, 1.2)
+        circuit.add_resistor("r", "in", "load", 0.01)
+
+        def ramp(t):
+            return min(8.0, 8.0 * t / 1e-3)
+
+        circuit.add_current_source("i", "load", GROUND, ramp)
+        result = circuit.transient(duration_s=2e-3, dt_s=2e-6)
+        assert result.final_voltage("load") == pytest.approx(1.2 - 0.08, rel=1e-3)
+        assert result.voltage("load")[1] > 1.19
+
+
+class TestTransientValidation:
+    def make_rc(self):
+        circuit = Circuit()
+        circuit.add_voltage_source("v", "in", GROUND, 1.0)
+        circuit.add_resistor("r", "in", "out", 100.0)
+        circuit.add_capacitor("c", "out", GROUND, 1e-6)
+        return circuit
+
+    def test_rejects_non_positive_duration(self):
+        with pytest.raises(ValueError):
+            self.make_rc().transient(duration_s=0.0, dt_s=1e-6)
+
+    def test_rejects_dt_larger_than_duration(self):
+        with pytest.raises(ValueError):
+            self.make_rc().transient(duration_s=1e-6, dt_s=1e-3)
+
+    def test_rejects_unknown_method(self):
+        with pytest.raises(ValueError):
+            self.make_rc().transient(duration_s=1e-3, dt_s=1e-6, method="magic")
+
+    def test_rejects_unknown_record_node(self):
+        with pytest.raises(KeyError):
+            self.make_rc().transient(duration_s=1e-3, dt_s=1e-6, record_nodes=["zzz"])
+
+    def test_rejects_sourceless_circuit(self):
+        circuit = Circuit()
+        circuit.add_resistor("r", "a", GROUND, 1.0)
+        with pytest.raises(ValueError):
+            circuit.transient(duration_s=1e-3, dt_s=1e-6)
+
+    def test_unknown_node_lookup_in_result(self):
+        result = self.make_rc().transient(duration_s=1e-4, dt_s=1e-6)
+        with pytest.raises(KeyError, match="out"):
+            result.voltage("nonexistent")
+
+
+class TestTransientResultHelpers:
+    def test_min_max_final_and_settling(self):
+        circuit = Circuit()
+        circuit.add_voltage_source("v", "in", GROUND, 1.0)
+        circuit.add_resistor("r", "in", "out", 100.0)
+        circuit.add_capacitor("c", "out", GROUND, 1e-6)
+        result = circuit.transient(duration_s=1e-3, dt_s=1e-6)
+        assert result.min_voltage("out") == pytest.approx(0.0, abs=0.02)
+        assert result.max_voltage("out") == pytest.approx(1.0, abs=0.01)
+        assert result.final_voltage("out") == pytest.approx(1.0, abs=0.01)
+        settle = result.settling_time("out", tolerance=0.01)
+        assert settle is not None
+        assert 2e-4 < settle < 8e-4
+
+    def test_start_from_dc_suppresses_initial_transient(self):
+        circuit = Circuit()
+        circuit.add_voltage_source("v", "in", GROUND, 1.0)
+        circuit.add_resistor("r", "in", "out", 100.0)
+        circuit.add_capacitor("c", "out", GROUND, 1e-6)
+        result = circuit.transient(duration_s=1e-4, dt_s=1e-6, start_from_dc=True)
+        assert result.min_voltage("out") == pytest.approx(1.0, abs=1e-3)

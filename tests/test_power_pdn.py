@@ -1,0 +1,130 @@
+"""Integration tests for the power delivery network model (Figures 5 and 6)."""
+
+import pytest
+
+from repro.power.activation import (
+    AbruptActivation,
+    LinearRampActivation,
+)
+from repro.power.pdn import PdnConfig, PowerDeliveryNetwork, core_node
+
+
+@pytest.fixture(scope="module")
+def small_pdn():
+    """A 4-core PDN keeps the circuit small so transient tests stay fast."""
+    return PowerDeliveryNetwork(PdnConfig(n_cores=4))
+
+
+@pytest.fixture(scope="module")
+def paper_pdn():
+    return PowerDeliveryNetwork(PdnConfig())
+
+
+class TestPdnConfig:
+    def test_defaults_match_paper_targets(self):
+        cfg = PdnConfig()
+        assert cfg.n_cores == 16
+        assert cfg.supply_v == pytest.approx(1.2)
+        assert cfg.core_average_current_a == pytest.approx(0.5)
+        assert cfg.core_peak_current_a == pytest.approx(1.0)
+        assert cfg.total_sprint_current_a == pytest.approx(8.0)
+        assert cfg.tolerance_v == pytest.approx(0.024)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PdnConfig(n_cores=0)
+        with pytest.raises(ValueError):
+            PdnConfig(supply_v=0.0)
+        with pytest.raises(ValueError):
+            PdnConfig(tolerance_fraction=1.5)
+        with pytest.raises(ValueError):
+            PdnConfig(core_average_current_a=-1.0)
+
+
+class TestCircuitConstruction:
+    def test_node_per_core_exists(self, small_pdn):
+        circuit = small_pdn.build_circuit(AbruptActivation())
+        for k in range(4):
+            assert core_node(k) in circuit.node_names
+
+    def test_element_count_scales_with_cores(self):
+        small = PowerDeliveryNetwork(PdnConfig(n_cores=2)).build_circuit(
+            AbruptActivation()
+        )
+        large = PowerDeliveryNetwork(PdnConfig(n_cores=8)).build_circuit(
+            AbruptActivation()
+        )
+        assert large.element_count > small.element_count
+
+
+class TestSteadyState:
+    def test_no_load_sits_at_nominal(self, small_pdn):
+        assert small_pdn.steady_state_voltage(0) == pytest.approx(1.2, abs=1e-9)
+
+    def test_ir_drop_grows_with_active_cores(self, paper_pdn):
+        v1 = paper_pdn.steady_state_voltage(1)
+        v16 = paper_pdn.steady_state_voltage(16)
+        assert v16 < v1 < 1.2
+
+    def test_full_sprint_ir_drop_is_about_ten_millivolts(self, paper_pdn):
+        # Section 5.3: the supply settles ~10 mV below nominal at full sprint.
+        drop = 1.2 - paper_pdn.steady_state_voltage(16)
+        assert 0.005 <= drop <= 0.025
+
+    def test_invalid_core_count_rejected(self, small_pdn):
+        with pytest.raises(ValueError):
+            small_pdn.steady_state_voltage(5)
+        with pytest.raises(ValueError):
+            small_pdn.steady_state_voltage(-1)
+
+
+class TestActivationTransients:
+    """Figure 6: supply voltage under the three activation schedules.
+
+    The 4-core configuration is used to keep circuit sizes small; the full
+    16-core sweep is exercised by the Figure 6 benchmark.
+    """
+
+    def test_abrupt_activation_violates_tolerance(self, small_pdn):
+        analysis = small_pdn.simulate_activation(
+            AbruptActivation(core_rise_s=1e-9), duration_s=60e-6, dt_s=20e-9
+        )
+        assert not analysis.within_tolerance
+        assert analysis.min_voltage_v < 1.2 - analysis.config.tolerance_v
+
+    def test_slow_ramp_stays_within_tolerance(self, small_pdn):
+        analysis = small_pdn.simulate_activation(
+            LinearRampActivation(ramp_s=128e-6), duration_s=300e-6, dt_s=50e-9
+        )
+        assert analysis.within_tolerance
+
+    def test_slow_ramp_settles_below_nominal_due_to_ir_drop(self, small_pdn):
+        analysis = small_pdn.simulate_activation(
+            LinearRampActivation(ramp_s=128e-6), duration_s=300e-6, dt_s=50e-9
+        )
+        assert analysis.resistive_drop_v > 0.0
+        assert analysis.settling_voltage_v < 1.2
+
+    def test_faster_ramp_causes_deeper_droop(self, small_pdn):
+        fast = small_pdn.simulate_activation(
+            LinearRampActivation(ramp_s=1.28e-6), duration_s=80e-6, dt_s=20e-9
+        )
+        slow = small_pdn.simulate_activation(
+            LinearRampActivation(ramp_s=128e-6), duration_s=300e-6, dt_s=50e-9
+        )
+        assert fast.worst_droop_v > slow.worst_droop_v
+
+    def test_analysis_reports_monitored_node_waveform(self, small_pdn):
+        analysis = small_pdn.simulate_activation(
+            AbruptActivation(core_rise_s=1e-9), duration_s=40e-6, dt_s=20e-9
+        )
+        waveform = analysis.result.voltage(analysis.monitored_node)
+        assert len(waveform) > 100
+        assert analysis.min_voltage_v == pytest.approx(float(waveform.min()))
+
+    def test_droop_and_overshoot_are_non_negative(self, small_pdn):
+        analysis = small_pdn.simulate_activation(
+            LinearRampActivation(ramp_s=64e-6), duration_s=200e-6, dt_s=50e-9
+        )
+        assert analysis.worst_droop_v >= 0.0
+        assert analysis.worst_overshoot_v >= 0.0

@@ -1,0 +1,109 @@
+"""Unit tests for the material property database."""
+
+import pytest
+
+from repro.thermal.materials import (
+    ALUMINIUM,
+    COPPER,
+    GENERIC_PCM,
+    ICOSANE,
+    Material,
+    get_material,
+    list_materials,
+    register_material,
+)
+
+
+class TestMaterialProperties:
+    def test_copper_volumetric_heat_matches_paper(self):
+        # Section 4.1 quotes 3.45 J/cm^3 K for copper.
+        assert COPPER.volumetric_heat_j_cm3k == pytest.approx(3.45, rel=0.01)
+
+    def test_aluminium_volumetric_heat_matches_paper(self):
+        # Section 4.1 quotes 2.42 J/cm^3 K for aluminium.
+        assert ALUMINIUM.volumetric_heat_j_cm3k == pytest.approx(2.42, rel=0.01)
+
+    def test_icosane_matches_paper_quote(self):
+        # Section 4.2: icosane melts at 36.8 C with latent heat 241 J/g.
+        assert ICOSANE.melting_point_c == pytest.approx(36.8)
+        assert ICOSANE.latent_heat_j_g == pytest.approx(241.0)
+        assert ICOSANE.is_phase_change
+
+    def test_generic_pcm_matches_paper_assumptions(self):
+        # The working assumption is 100 J/g latent heat and 1 g/cm^3 density.
+        assert GENERIC_PCM.latent_heat_j_g == pytest.approx(100.0)
+        assert GENERIC_PCM.density_g_cm3 == pytest.approx(1.0)
+        assert GENERIC_PCM.melting_point_c == pytest.approx(60.0)
+
+    def test_metals_are_not_phase_change(self):
+        assert not COPPER.is_phase_change
+        assert not ALUMINIUM.is_phase_change
+
+    def test_heat_capacity_scales_with_mass(self):
+        assert COPPER.heat_capacity_j_k(2.0) == pytest.approx(
+            2 * COPPER.heat_capacity_j_k(1.0)
+        )
+
+    def test_latent_capacity_for_150mg_generic_pcm_is_15_joules(self):
+        # 150 mg x 100 J/g = 15 J, the latent budget behind the ~1 s sprint.
+        assert GENERIC_PCM.latent_capacity_j(0.150) == pytest.approx(15.0)
+
+    def test_mass_for_volume(self):
+        assert COPPER.mass_for_volume(1.0) == pytest.approx(8.96)
+
+
+class TestMaterialValidation:
+    def test_negative_density_rejected(self):
+        with pytest.raises(ValueError):
+            Material("bad", density_g_cm3=-1, specific_heat_j_gk=1, conductivity_w_mk=1)
+
+    def test_zero_specific_heat_rejected(self):
+        with pytest.raises(ValueError):
+            Material("bad", density_g_cm3=1, specific_heat_j_gk=0, conductivity_w_mk=1)
+
+    def test_negative_latent_heat_rejected(self):
+        with pytest.raises(ValueError):
+            Material(
+                "bad",
+                density_g_cm3=1,
+                specific_heat_j_gk=1,
+                conductivity_w_mk=1,
+                latent_heat_j_g=-5,
+            )
+
+    def test_negative_mass_rejected(self):
+        with pytest.raises(ValueError):
+            COPPER.heat_capacity_j_k(-1.0)
+
+    def test_negative_volume_rejected(self):
+        with pytest.raises(ValueError):
+            COPPER.mass_for_volume(-1.0)
+
+
+class TestRegistry:
+    def test_lookup_known_material(self):
+        assert get_material("copper") is COPPER
+
+    def test_unknown_material_lists_known_names(self):
+        with pytest.raises(KeyError, match="copper"):
+            get_material("unobtainium")
+
+    def test_list_materials_contains_defaults(self):
+        names = list_materials()
+        for expected in ("copper", "aluminium", "icosane", "generic-pcm", "silicon"):
+            assert expected in names
+
+    def test_register_new_material_and_overwrite_flag(self):
+        custom = Material(
+            "test-wax",
+            density_g_cm3=0.9,
+            specific_heat_j_gk=2.0,
+            conductivity_w_mk=0.3,
+            latent_heat_j_g=150.0,
+            melting_point_c=45.0,
+        )
+        register_material(custom)
+        assert get_material("test-wax") is custom
+        with pytest.raises(ValueError):
+            register_material(custom)
+        register_material(custom, overwrite=True)

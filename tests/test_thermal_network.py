@@ -1,0 +1,205 @@
+"""Unit tests for the lumped RC thermal network solver."""
+
+import pytest
+
+from repro.thermal.network import ThermalNetwork, total_resistance_between
+from repro.thermal.pcm import PhaseChangeBlock
+
+
+def simple_rc(ambient=25.0, capacitance=1.0, resistance=10.0):
+    net = ThermalNetwork(ambient_c=ambient)
+    net.add_capacitance_node("node", capacitance_j_k=capacitance)
+    net.add_fixed_node("ambient")
+    net.connect("node", "ambient", resistance_k_w=resistance)
+    return net
+
+
+class TestConstruction:
+    def test_duplicate_node_rejected(self):
+        net = ThermalNetwork()
+        net.add_capacitance_node("a", 1.0)
+        with pytest.raises(ValueError):
+            net.add_capacitance_node("a", 2.0)
+
+    def test_empty_name_rejected(self):
+        net = ThermalNetwork()
+        with pytest.raises(ValueError):
+            net.add_capacitance_node("", 1.0)
+
+    def test_non_positive_capacitance_rejected(self):
+        net = ThermalNetwork()
+        with pytest.raises(ValueError):
+            net.add_capacitance_node("a", 0.0)
+
+    def test_connect_unknown_node_rejected(self):
+        net = ThermalNetwork()
+        net.add_capacitance_node("a", 1.0)
+        with pytest.raises(KeyError):
+            net.connect("a", "missing", 1.0)
+
+    def test_self_connection_rejected(self):
+        net = ThermalNetwork()
+        net.add_capacitance_node("a", 1.0)
+        with pytest.raises(ValueError):
+            net.connect("a", "a", 1.0)
+
+    def test_non_positive_resistance_rejected(self):
+        net = ThermalNetwork()
+        net.add_capacitance_node("a", 1.0)
+        net.add_fixed_node("ambient")
+        with pytest.raises(ValueError):
+            net.connect("a", "ambient", 0.0)
+
+    def test_nodes_default_to_ambient_temperature(self):
+        net = ThermalNetwork(ambient_c=30.0)
+        net.add_capacitance_node("a", 1.0)
+        assert net.temperature("a") == pytest.approx(30.0)
+
+
+class TestSteadyStateBehaviour:
+    def test_constant_power_approaches_p_times_r(self):
+        # 1 W through 10 K/W should settle 10 C above ambient.
+        net = simple_rc(capacitance=0.5, resistance=10.0)
+        net.step(200.0, {"node": 1.0})
+        assert net.temperature("node") == pytest.approx(35.0, abs=0.1)
+
+    def test_no_power_stays_at_ambient(self):
+        net = simple_rc()
+        net.step(50.0)
+        assert net.temperature("node") == pytest.approx(25.0, abs=1e-6)
+
+    def test_hot_node_decays_towards_ambient(self):
+        net = ThermalNetwork(ambient_c=25.0)
+        net.add_capacitance_node("node", 1.0, initial_temperature_c=75.0)
+        net.add_fixed_node("ambient")
+        net.connect("node", "ambient", 10.0)
+        net.step(10.0)  # one time constant: should drop to ~ 25 + 50/e
+        assert net.temperature("node") == pytest.approx(25.0 + 50.0 / 2.71828, rel=0.02)
+
+    def test_series_chain_steady_state_gradient(self):
+        net = ThermalNetwork(ambient_c=20.0)
+        net.add_capacitance_node("junction", 0.1)
+        net.add_capacitance_node("case", 1.0)
+        net.add_fixed_node("ambient")
+        net.connect("junction", "case", 5.0)
+        net.connect("case", "ambient", 15.0)
+        net.step(400.0, {"junction": 2.0})
+        assert net.temperature("case") == pytest.approx(20.0 + 2.0 * 15.0, abs=0.3)
+        assert net.temperature("junction") == pytest.approx(20.0 + 2.0 * 20.0, abs=0.3)
+
+
+class TestEnergyAccounting:
+    def test_injected_equals_stored_plus_dissipated(self):
+        net = simple_rc(capacitance=2.0, resistance=5.0)
+        net.step(30.0, {"node": 3.0})
+        balance = net.stored_energy_j() + net.dissipated_energy_j
+        assert balance == pytest.approx(net.injected_energy_j, rel=1e-6)
+
+    def test_energy_balance_with_pcm_node(self):
+        net = ThermalNetwork(ambient_c=25.0)
+        net.add_capacitance_node("junction", 0.05)
+        net.add_pcm_node("pcm", PhaseChangeBlock(mass_g=0.15))
+        net.add_fixed_node("ambient")
+        net.connect("junction", "pcm", 0.5)
+        net.connect("pcm", "ambient", 30.0)
+        net.step(2.0, {"junction": 16.0})
+        balance = net.stored_energy_j() + net.dissipated_energy_j
+        assert balance == pytest.approx(net.injected_energy_j, rel=1e-6)
+
+    def test_time_advances_by_requested_amount(self):
+        net = simple_rc()
+        net.step(0.25, {"node": 1.0})
+        net.step(0.75)
+        assert net.time_s == pytest.approx(1.0)
+
+
+class TestPcmCoupling:
+    def make_pcm_net(self):
+        net = ThermalNetwork(ambient_c=25.0)
+        net.add_capacitance_node("junction", 0.03)
+        net.add_pcm_node("pcm", PhaseChangeBlock(mass_g=0.15))
+        net.add_fixed_node("ambient")
+        net.connect("junction", "pcm", 0.5)
+        net.connect("pcm", "ambient", 33.5)
+        return net
+
+    def test_pcm_temperature_plateaus_at_melting_point(self):
+        net = self.make_pcm_net()
+        net.step(0.5, {"junction": 16.0})  # enough to start melting
+        assert net.temperature("pcm") == pytest.approx(60.0, abs=0.5)
+        assert 0.0 < net.melt_fraction("pcm") < 1.0
+
+    def test_melt_fraction_reaches_one_with_enough_heat(self):
+        net = self.make_pcm_net()
+        net.step(2.5, {"junction": 16.0})
+        assert net.melt_fraction("pcm") == pytest.approx(1.0)
+
+    def test_melt_fraction_zero_for_non_pcm_node(self):
+        net = self.make_pcm_net()
+        assert net.melt_fraction("junction") == 0.0
+
+    def test_pcm_block_accessor_type_checks(self):
+        net = self.make_pcm_net()
+        assert net.pcm_block("pcm").mass_g == pytest.approx(0.15)
+        with pytest.raises(TypeError):
+            net.pcm_block("junction")
+
+
+class TestStepValidation:
+    def test_negative_dt_rejected(self):
+        net = simple_rc()
+        with pytest.raises(ValueError):
+            net.step(-1.0)
+
+    def test_power_into_unknown_node_rejected(self):
+        net = simple_rc()
+        with pytest.raises(KeyError):
+            net.step(1.0, {"missing": 1.0})
+
+    def test_zero_dt_is_noop(self):
+        net = simple_rc()
+        net.step(0.0, {"node": 100.0})
+        assert net.temperature("node") == pytest.approx(25.0)
+        assert net.injected_energy_j == 0.0
+
+
+class TestRun:
+    def test_run_returns_samples_including_initial_state(self):
+        net = simple_rc()
+        states = net.run(1.0, {"node": 1.0}, sample_dt_s=0.1)
+        assert len(states) == 11
+        assert states[0].time_s == pytest.approx(0.0)
+        assert states[-1].time_s == pytest.approx(1.0)
+
+    def test_run_with_time_varying_power(self):
+        net = simple_rc(capacitance=1.0, resistance=100.0)
+
+        def power(t):
+            return {"node": 2.0} if t < 0.5 else {}
+
+        net.run(1.0, power, sample_dt_s=0.05)
+        # roughly 1 J injected (2 W for 0.5 s), little dissipated at these R values
+        assert net.injected_energy_j == pytest.approx(1.0, rel=0.15)
+
+    def test_run_callback_invoked_per_sample(self):
+        net = simple_rc()
+        seen = []
+        net.run(0.5, {"node": 1.0}, sample_dt_s=0.1, callback=seen.append)
+        assert len(seen) == 6
+
+    def test_run_rejects_bad_arguments(self):
+        net = simple_rc()
+        with pytest.raises(ValueError):
+            net.run(-1.0, {})
+        with pytest.raises(ValueError):
+            net.run(1.0, {}, sample_dt_s=0.0)
+
+
+class TestTotalResistanceHelper:
+    def test_series_sum(self):
+        edges = [("a", "b", 1.0), ("b", "c", 2.0), ("c", "d", 3.0)]
+        assert total_resistance_between(edges, ["a", "b", "c", "d"]) == pytest.approx(6.0)
+
+    def test_missing_edge_raises(self):
+        with pytest.raises(KeyError):
+            total_resistance_between([("a", "b", 1.0)], ["a", "c"])

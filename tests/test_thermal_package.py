@@ -1,0 +1,120 @@
+"""Unit tests for the conventional and PCM-augmented package configurations."""
+
+import pytest
+
+from repro.thermal.materials import GENERIC_PCM, Material
+from repro.thermal.package import (
+    CONVENTIONAL_PACKAGE,
+    FULL_PCM_PACKAGE,
+    SMALL_PCM_PACKAGE,
+    ConventionalPackage,
+    PcmPackage,
+    ThermalLimits,
+)
+
+
+class TestThermalLimits:
+    def test_headroom(self):
+        limits = ThermalLimits(ambient_c=25.0, max_junction_c=70.0)
+        assert limits.headroom_c == pytest.approx(45.0)
+
+    def test_invalid_limits_rejected(self):
+        with pytest.raises(ValueError):
+            ThermalLimits(ambient_c=70.0, max_junction_c=70.0)
+
+
+class TestConventionalPackage:
+    def test_sustainable_power_is_about_one_watt(self):
+        # The paper's nominal platform sustains a single ~1 W core.
+        assert 0.8 <= CONVENTIONAL_PACKAGE.sustainable_power_w <= 1.8
+
+    def test_total_resistance_is_series_sum(self):
+        pkg = ConventionalPackage(junction_to_case_k_w=10.0, case_to_ambient_k_w=20.0)
+        assert pkg.total_resistance_k_w == pytest.approx(30.0)
+
+    def test_build_produces_expected_nodes(self):
+        net = CONVENTIONAL_PACKAGE.build()
+        assert set(net.node_names) == {"junction", "case", "ambient"}
+
+    def test_build_honours_initial_temperature(self):
+        net = CONVENTIONAL_PACKAGE.build(initial_temperature_c=40.0)
+        assert net.temperature("junction") == pytest.approx(40.0)
+        assert net.temperature("case") == pytest.approx(40.0)
+
+
+class TestPcmPackageDesignQuantities:
+    def test_sustainable_power_about_one_watt(self):
+        assert 0.8 <= FULL_PCM_PACKAGE.sustainable_power_w <= 1.5
+
+    def test_max_sprint_power_supports_16_one_watt_cores(self):
+        # The design target is a 16x sprint: 16 one-watt cores.
+        assert FULL_PCM_PACKAGE.max_sprint_power_w >= 16.0
+
+    def test_latent_capacity_matches_150mg_at_100j_per_g(self):
+        assert FULL_PCM_PACKAGE.latent_capacity_j == pytest.approx(15.0)
+
+    def test_small_package_has_100x_less_latent_capacity(self):
+        ratio = FULL_PCM_PACKAGE.latent_capacity_j / SMALL_PCM_PACKAGE.latent_capacity_j
+        assert ratio == pytest.approx(100.0)
+
+    def test_sprint_budget_exceeds_latent_capacity(self):
+        budget = FULL_PCM_PACKAGE.sprint_budget_j(16.0)
+        assert budget > FULL_PCM_PACKAGE.latent_capacity_j
+
+    def test_estimated_sprint_duration_around_one_second(self):
+        duration = FULL_PCM_PACKAGE.estimated_sprint_duration_s(16.0)
+        assert 0.8 <= duration <= 1.6
+
+    def test_estimated_sprint_duration_infinite_below_leak_power(self):
+        assert FULL_PCM_PACKAGE.estimated_sprint_duration_s(0.5) == float("inf")
+
+    def test_estimated_cooldown_follows_paper_rule_of_thumb(self):
+        # cooldown ~= sprint duration x (sprint power / TDP) ~= 1 s x 16.
+        cooldown = FULL_PCM_PACKAGE.estimated_cooldown_s(1.0, 16.0)
+        assert cooldown == pytest.approx(
+            16.0 / FULL_PCM_PACKAGE.sustainable_power_w, rel=1e-6
+        )
+
+    def test_with_pcm_mass_preserves_other_fields(self):
+        smaller = FULL_PCM_PACKAGE.with_pcm_mass(0.0015)
+        assert smaller.pcm_mass_g == pytest.approx(0.0015)
+        assert smaller.junction_to_pcm_k_w == FULL_PCM_PACKAGE.junction_to_pcm_k_w
+
+
+class TestPcmPackageValidation:
+    def test_non_positive_mass_rejected(self):
+        with pytest.raises(ValueError):
+            PcmPackage(pcm_mass_g=0.0)
+
+    def test_pcm_without_melting_point_rejected(self):
+        solid = Material("solid", 1.0, 1.0, 1.0)
+        with pytest.raises(ValueError):
+            PcmPackage(pcm_mass_g=0.1, pcm_material=solid)
+
+    def test_melting_point_outside_operating_window_rejected(self):
+        hot_pcm = Material(
+            "hot", 1.0, 1.0, 1.0, latent_heat_j_g=100.0, melting_point_c=90.0
+        )
+        with pytest.raises(ValueError, match="melting point"):
+            PcmPackage(pcm_mass_g=0.1, pcm_material=hot_pcm)
+
+    def test_sprint_budget_requires_positive_power(self):
+        with pytest.raises(ValueError):
+            FULL_PCM_PACKAGE.sprint_budget_j(0.0)
+
+    def test_estimated_cooldown_rejects_negative_inputs(self):
+        with pytest.raises(ValueError):
+            FULL_PCM_PACKAGE.estimated_cooldown_s(-1.0, 16.0)
+
+
+class TestPcmPackageBuild:
+    def test_build_produces_expected_nodes(self):
+        net = FULL_PCM_PACKAGE.build()
+        assert set(net.node_names) == {"junction", "pcm", "case", "ambient"}
+
+    def test_built_pcm_block_has_requested_mass(self):
+        net = FULL_PCM_PACKAGE.build()
+        assert net.pcm_block("pcm").mass_g == pytest.approx(0.150)
+
+    def test_default_material_is_generic_pcm(self):
+        assert FULL_PCM_PACKAGE.pcm_material is GENERIC_PCM

@@ -1,0 +1,140 @@
+"""Unit tests for the enthalpy-based phase change block."""
+
+import pytest
+
+from repro.thermal.materials import COPPER, GENERIC_PCM, ICOSANE, Material
+from repro.thermal.pcm import PhaseChangeBlock
+
+
+def make_block(mass_g=0.150, start_c=25.0):
+    return PhaseChangeBlock(mass_g=mass_g, initial_temperature_c=start_c)
+
+
+class TestConstruction:
+    def test_requires_positive_mass(self):
+        with pytest.raises(ValueError):
+            PhaseChangeBlock(mass_g=0.0)
+
+    def test_requires_phase_change_material(self):
+        with pytest.raises(ValueError, match="latent"):
+            PhaseChangeBlock(mass_g=1.0, material=COPPER)
+
+    def test_starts_at_initial_temperature(self):
+        block = make_block(start_c=30.0)
+        assert block.temperature_c == pytest.approx(30.0)
+        assert block.melt_fraction == 0.0
+
+    def test_capacities_match_paper_design_point(self):
+        block = make_block(mass_g=0.150)
+        assert block.latent_capacity_j == pytest.approx(15.0)
+        assert block.sensible_capacity_j_k == pytest.approx(0.150 * 0.5)
+
+
+class TestHeatingAndMelting:
+    def test_sensible_heating_below_melting_point(self):
+        block = make_block(start_c=25.0)
+        block.add_heat(block.sensible_capacity_j_k * 10.0)
+        assert block.temperature_c == pytest.approx(35.0)
+        assert block.melt_fraction == 0.0
+
+    def test_temperature_pins_at_melting_point_during_melt(self):
+        block = make_block(start_c=60.0)
+        block.add_heat(block.latent_capacity_j / 2)
+        assert block.temperature_c == pytest.approx(60.0)
+        assert block.melt_fraction == pytest.approx(0.5)
+        assert block.is_melting
+
+    def test_temperature_rises_after_full_melt(self):
+        block = make_block(start_c=60.0)
+        block.add_heat(block.latent_capacity_j + block.sensible_capacity_j_k * 5.0)
+        assert block.temperature_c == pytest.approx(65.0)
+        assert block.melt_fraction == pytest.approx(1.0)
+        assert not block.is_melting
+
+    def test_remaining_latent_decreases_while_melting(self):
+        block = make_block(start_c=60.0)
+        assert block.remaining_latent_j == pytest.approx(block.latent_capacity_j)
+        block.add_heat(5.0)
+        assert block.remaining_latent_j == pytest.approx(block.latent_capacity_j - 5.0)
+
+    def test_cooling_refreezes_then_cools(self):
+        block = make_block(start_c=60.0)
+        block.add_heat(block.latent_capacity_j)  # fully molten at 60 C
+        block.add_heat(-block.latent_capacity_j)  # refreeze
+        assert block.temperature_c == pytest.approx(60.0)
+        assert block.melt_fraction == pytest.approx(0.0)
+        block.add_heat(-block.sensible_capacity_j_k * 20.0)
+        assert block.temperature_c == pytest.approx(40.0)
+
+    def test_heating_and_cooling_round_trip_restores_state(self):
+        block = make_block(start_c=25.0)
+        start_enthalpy = block.enthalpy_j
+        block.add_heat(30.0)
+        block.add_heat(-30.0)
+        assert block.enthalpy_j == pytest.approx(start_enthalpy)
+        assert block.temperature_c == pytest.approx(25.0)
+
+
+class TestSetTemperature:
+    def test_set_below_melting_gives_solid(self):
+        block = make_block(start_c=60.0)
+        block.add_heat(10.0)
+        block.set_temperature(30.0)
+        assert block.temperature_c == pytest.approx(30.0)
+        assert block.melt_fraction == 0.0
+
+    def test_set_above_melting_gives_liquid(self):
+        block = make_block()
+        block.set_temperature(65.0)
+        assert block.temperature_c == pytest.approx(65.0)
+        assert block.melt_fraction == pytest.approx(1.0)
+
+
+class TestEffectiveCapacity:
+    def test_single_phase_capacity_is_sensible(self):
+        block = make_block(start_c=25.0)
+        assert block.effective_capacity_j_k() == pytest.approx(
+            block.sensible_capacity_j_k
+        )
+
+    def test_melting_capacity_is_latent_spread_over_reference(self):
+        block = make_block(start_c=60.0)
+        block.add_heat(1.0)
+        assert block.effective_capacity_j_k(reference_delta_c=1.0) == pytest.approx(
+            block.latent_capacity_j
+        )
+
+    def test_reference_delta_must_be_positive(self):
+        block = make_block()
+        with pytest.raises(ValueError):
+            block.effective_capacity_j_k(reference_delta_c=0.0)
+
+
+class TestCopyAndMaterials:
+    def test_copy_is_independent(self):
+        block = make_block(start_c=60.0)
+        block.add_heat(5.0)
+        clone = block.copy()
+        clone.add_heat(5.0)
+        assert block.enthalpy_j == pytest.approx(5.0)
+        assert clone.enthalpy_j == pytest.approx(10.0)
+
+    def test_icosane_block_melts_at_its_own_melting_point(self):
+        block = PhaseChangeBlock(mass_g=0.1, material=ICOSANE, initial_temperature_c=20)
+        block.add_heat(block.sensible_capacity_j_k * (36.8 - 20.0) + 1.0)
+        assert block.temperature_c == pytest.approx(36.8)
+        assert block.is_melting
+
+    def test_custom_material_with_small_latent_heat(self):
+        weak = Material(
+            "weak-pcm",
+            density_g_cm3=1.0,
+            specific_heat_j_gk=1.0,
+            conductivity_w_mk=1.0,
+            latent_heat_j_g=1.0,
+            melting_point_c=40.0,
+        )
+        block = PhaseChangeBlock(mass_g=1.0, material=weak, initial_temperature_c=40.0)
+        block.add_heat(2.0)  # exceeds the 1 J latent capacity
+        assert block.melt_fraction == pytest.approx(1.0)
+        assert block.temperature_c == pytest.approx(41.0)

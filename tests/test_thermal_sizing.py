@@ -1,0 +1,122 @@
+"""Unit tests for the Section 4.1-4.3 heat-store sizing calculators."""
+
+import pytest
+
+from repro.thermal.materials import ALUMINIUM, COPPER, GENERIC_PCM, ICOSANE
+from repro.thermal.sizing import (
+    compare_heat_stores,
+    heat_flux_w_cm2,
+    pcm_mass_g_for_heat,
+    pcm_thickness_mm,
+    solid_block_thickness_mm,
+    sprint_heat_j,
+)
+
+DIE_AREA_MM2 = 64.0
+SPRINT_HEAT_J = 16.0
+
+
+class TestPaperNumbers:
+    def test_sprint_heat_for_16w_one_second(self):
+        assert sprint_heat_j(16.0, 1.0) == pytest.approx(16.0)
+
+    def test_copper_block_thickness_is_about_7mm(self):
+        # Section 4.1: a 7.2 mm copper block absorbs 16 J with a 10 C rise.
+        thickness = solid_block_thickness_mm(COPPER, SPRINT_HEAT_J, DIE_AREA_MM2, 10.0)
+        assert thickness == pytest.approx(7.2, abs=0.3)
+
+    def test_aluminium_block_thickness_is_about_10mm(self):
+        # Section 4.1: 10.3 mm of aluminium for the same heat and rise.
+        thickness = solid_block_thickness_mm(
+            ALUMINIUM, SPRINT_HEAT_J, DIE_AREA_MM2, 10.0
+        )
+        assert thickness == pytest.approx(10.3, abs=0.4)
+
+    def test_pcm_mass_is_about_150_milligrams(self):
+        # Section 4.2: ~150 mg of a 100 J/g PCM absorbs ~16 J.
+        mass = pcm_mass_g_for_heat(GENERIC_PCM, SPRINT_HEAT_J)
+        assert mass == pytest.approx(0.160, abs=0.02)
+
+    def test_pcm_thickness_is_about_2_3mm(self):
+        thickness = pcm_thickness_mm(GENERIC_PCM, SPRINT_HEAT_J, DIE_AREA_MM2)
+        assert thickness == pytest.approx(2.3, abs=0.3)
+
+    def test_peak_heat_flux_is_25_w_per_cm2(self):
+        # Section 4.3: 16 W over a 64 mm^2 die is 25 W/cm^2.
+        assert heat_flux_w_cm2(16.0, DIE_AREA_MM2) == pytest.approx(25.0)
+
+
+class TestScalingBehaviour:
+    def test_thickness_scales_linearly_with_heat(self):
+        thin = solid_block_thickness_mm(COPPER, 8.0, DIE_AREA_MM2, 10.0)
+        thick = solid_block_thickness_mm(COPPER, 16.0, DIE_AREA_MM2, 10.0)
+        assert thick == pytest.approx(2 * thin)
+
+    def test_thickness_inverse_with_allowed_rise(self):
+        tight = solid_block_thickness_mm(COPPER, 16.0, DIE_AREA_MM2, 5.0)
+        loose = solid_block_thickness_mm(COPPER, 16.0, DIE_AREA_MM2, 10.0)
+        assert tight == pytest.approx(2 * loose)
+
+    def test_higher_latent_heat_needs_less_mass(self):
+        generic = pcm_mass_g_for_heat(GENERIC_PCM, 16.0)
+        icosane = pcm_mass_g_for_heat(ICOSANE, 16.0)
+        assert icosane < generic
+
+    def test_flux_scales_inverse_with_area(self):
+        assert heat_flux_w_cm2(16.0, 32.0) == pytest.approx(2 * heat_flux_w_cm2(16.0, 64.0))
+
+
+class TestValidation:
+    def test_negative_heat_rejected(self):
+        with pytest.raises(ValueError):
+            solid_block_thickness_mm(COPPER, -1.0, DIE_AREA_MM2, 10.0)
+        with pytest.raises(ValueError):
+            pcm_mass_g_for_heat(GENERIC_PCM, -1.0)
+        with pytest.raises(ValueError):
+            sprint_heat_j(-1.0, 1.0)
+
+    def test_non_positive_area_rejected(self):
+        with pytest.raises(ValueError):
+            solid_block_thickness_mm(COPPER, 16.0, 0.0, 10.0)
+        with pytest.raises(ValueError):
+            heat_flux_w_cm2(16.0, 0.0)
+
+    def test_non_positive_rise_rejected(self):
+        with pytest.raises(ValueError):
+            solid_block_thickness_mm(COPPER, 16.0, DIE_AREA_MM2, 0.0)
+
+    def test_pcm_sizing_requires_phase_change_material(self):
+        with pytest.raises(ValueError):
+            pcm_mass_g_for_heat(COPPER, 16.0)
+
+
+class TestComparisonTable:
+    def test_compare_heat_stores_returns_all_options(self):
+        options = compare_heat_stores(
+            SPRINT_HEAT_J,
+            DIE_AREA_MM2,
+            allowed_rise_c=10.0,
+            solid_materials=[COPPER, ALUMINIUM],
+            pcm_materials=[GENERIC_PCM, ICOSANE],
+        )
+        assert [o.material_name for o in options] == [
+            "copper",
+            "aluminium",
+            "generic-pcm",
+            "icosane",
+        ]
+        kinds = {o.material_name: o.kind for o in options}
+        assert kinds["copper"] == "sensible"
+        assert kinds["icosane"] == "latent"
+
+    def test_pcm_is_thinner_and_lighter_than_metal(self):
+        options = compare_heat_stores(
+            SPRINT_HEAT_J,
+            DIE_AREA_MM2,
+            allowed_rise_c=10.0,
+            solid_materials=[COPPER],
+            pcm_materials=[GENERIC_PCM],
+        )
+        copper, pcm = options
+        assert pcm.thickness_mm < copper.thickness_mm
+        assert pcm.mass_g < copper.mass_g

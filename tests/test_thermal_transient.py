@@ -1,0 +1,166 @@
+"""Integration tests for sprint/cooldown thermal transients (Figure 4)."""
+
+import numpy as np
+import pytest
+
+from repro.thermal.package import FULL_PCM_PACKAGE, SMALL_PCM_PACKAGE
+from repro.thermal.transient import (
+    ThermalTrace,
+    max_sprint_duration_s,
+    simulate_constant_power,
+    simulate_cooldown,
+    simulate_sprint,
+    simulate_sprint_and_cooldown,
+)
+
+
+@pytest.fixture(scope="module")
+def full_sprint_and_cooldown():
+    return simulate_sprint_and_cooldown(FULL_PCM_PACKAGE, sprint_power_w=16.0)
+
+
+class TestSprintInitiation:
+    """Figure 4(a): 16 W sprint on the 150 mg PCM design point."""
+
+    def test_sprint_lasts_about_one_second(self, full_sprint_and_cooldown):
+        sprint, _ = full_sprint_and_cooldown
+        # The paper reports "a little over 1 s".
+        assert 0.9 <= sprint.sprint_duration_s <= 1.8
+
+    def test_sprint_ends_at_max_junction_temperature(self, full_sprint_and_cooldown):
+        sprint, _ = full_sprint_and_cooldown
+        assert not sprint.sustainable
+        assert sprint.trace.peak_junction_c == pytest.approx(
+            FULL_PCM_PACKAGE.limits.max_junction_c, abs=1.0
+        )
+
+    def test_pcm_fully_melts_by_end_of_sprint(self, full_sprint_and_cooldown):
+        sprint, _ = full_sprint_and_cooldown
+        assert sprint.final_melt_fraction == pytest.approx(1.0, abs=0.02)
+
+    def test_junction_plateaus_while_melting(self, full_sprint_and_cooldown):
+        sprint, _ = full_sprint_and_cooldown
+        trace = sprint.trace
+        # While the PCM melts, the junction sits near Tmelt + P * R_jp and is
+        # nearly flat: measure the plateau at that level.
+        plateau_c = (
+            FULL_PCM_PACKAGE.melting_point_c
+            + 16.0 * FULL_PCM_PACKAGE.junction_to_pcm_k_w
+        )
+        plateau = trace.plateau_duration(plateau_c, tolerance_c=2.0)
+        assert plateau >= 0.5
+
+    def test_temperature_rises_monotonically_under_constant_power(
+        self, full_sprint_and_cooldown
+    ):
+        sprint, _ = full_sprint_and_cooldown
+        diffs = np.diff(sprint.trace.junction_c)
+        assert np.all(diffs >= -1e-6)
+
+    def test_low_power_sprint_is_sustainable(self):
+        result = simulate_sprint(FULL_PCM_PACKAGE, sprint_power_w=0.9, max_duration_s=2.0)
+        assert result.sustainable
+
+    def test_small_pcm_sprint_is_roughly_ten_times_shorter(self):
+        small = simulate_sprint(SMALL_PCM_PACKAGE, 16.0, max_duration_s=2.0)
+        full = simulate_sprint(FULL_PCM_PACKAGE, 16.0, max_duration_s=3.0)
+        assert small.sprint_duration_s < full.sprint_duration_s / 5.0
+
+    def test_higher_power_shortens_the_sprint(self):
+        lower = simulate_sprint(FULL_PCM_PACKAGE, 8.0, max_duration_s=6.0)
+        higher = simulate_sprint(FULL_PCM_PACKAGE, 16.0, max_duration_s=6.0)
+        assert higher.sprint_duration_s < lower.sprint_duration_s
+
+    def test_sprint_power_must_be_positive(self):
+        with pytest.raises(ValueError):
+            simulate_sprint(FULL_PCM_PACKAGE, 0.0)
+
+
+class TestCooldown:
+    """Figure 4(b): post-sprint cooldown."""
+
+    def test_cooldown_reaches_near_ambient_within_30s(self, full_sprint_and_cooldown):
+        _, cooldown = full_sprint_and_cooldown
+        assert cooldown.time_to_near_ambient_s is not None
+        # The paper reports ~24 s; accept the same order of magnitude.
+        assert 8.0 <= cooldown.time_to_near_ambient_s <= 30.0
+
+    def test_cooldown_has_freeze_plateau_near_melting_point(
+        self, full_sprint_and_cooldown
+    ):
+        _, cooldown = full_sprint_and_cooldown
+        assert cooldown.freeze_plateau_s >= 2.0
+
+    def test_cooldown_is_much_longer_than_the_sprint(self, full_sprint_and_cooldown):
+        sprint, cooldown = full_sprint_and_cooldown
+        assert cooldown.time_to_near_ambient_s > 5.0 * sprint.sprint_duration_s
+
+    def test_temperature_decreases_overall_during_cooldown(
+        self, full_sprint_and_cooldown
+    ):
+        _, cooldown = full_sprint_and_cooldown
+        trace = cooldown.trace
+        assert trace.final_junction_c < trace.junction_c[0] - 20.0
+
+    def test_cooldown_from_cold_network_is_immediate(self):
+        network = FULL_PCM_PACKAGE.build()
+        result = simulate_cooldown(network, FULL_PCM_PACKAGE, duration_s=1.0)
+        assert result.time_to_near_ambient_s == pytest.approx(0.0)
+
+
+class TestConstantPowerDriver:
+    def test_stop_at_junction_temperature(self):
+        network = FULL_PCM_PACKAGE.build()
+        trace = simulate_constant_power(
+            network, power_w=16.0, duration_s=5.0, stop_at_junction_c=60.0
+        )
+        assert trace.junction_c[-1] >= 60.0
+        assert trace.duration_s < 5.0
+
+    def test_runs_full_duration_without_stop_condition(self):
+        network = FULL_PCM_PACKAGE.build()
+        trace = simulate_constant_power(network, power_w=1.0, duration_s=0.5)
+        assert trace.duration_s == pytest.approx(0.5, abs=0.01)
+
+
+class TestMaxSprintDuration:
+    def test_matches_package_estimate_within_factor_two(self):
+        measured = max_sprint_duration_s(FULL_PCM_PACKAGE, 16.0)
+        estimate = FULL_PCM_PACKAGE.estimated_sprint_duration_s(16.0)
+        assert measured == pytest.approx(estimate, rel=1.0)
+
+
+class TestThermalTrace:
+    def make_trace(self):
+        time = np.linspace(0.0, 10.0, 101)
+        temps = np.concatenate([np.linspace(25, 70, 51), np.linspace(70, 30, 50)])
+        return ThermalTrace(time_s=time, junction_c=temps)
+
+    def test_peak_and_final(self):
+        trace = self.make_trace()
+        assert trace.peak_junction_c == pytest.approx(70.0)
+        assert trace.final_junction_c == pytest.approx(30.0)
+
+    def test_time_to_reach(self):
+        trace = self.make_trace()
+        assert trace.time_to_reach(70.0) == pytest.approx(5.0, abs=0.2)
+        assert trace.time_to_reach(100.0) is None
+
+    def test_time_above(self):
+        trace = self.make_trace()
+        assert trace.time_above(25.0) == pytest.approx(10.0, abs=0.2)
+        assert 0.0 < trace.time_above(60.0) < 5.0
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            ThermalTrace(time_s=np.array([0.0, 1.0]), junction_c=np.array([25.0]))
+
+    def test_empty_trace_rejected(self):
+        with pytest.raises(ValueError):
+            ThermalTrace(time_s=np.array([]), junction_c=np.array([]))
+
+    def test_time_to_cool_within(self):
+        trace = self.make_trace()
+        cooled = trace.time_to_cool_within(ambient_c=25.0, tolerance_c=10.0)
+        assert cooled is not None
+        assert cooled > 5.0

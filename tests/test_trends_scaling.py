@@ -1,0 +1,79 @@
+"""Tests for the dark-silicon scaling projections (Figure 1)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.trends.scaling import (
+    BORKAR,
+    ITRS,
+    ITRS_BORKAR_VDD,
+    PAPER_NODES_NM,
+    ScalingScenario,
+    dark_silicon_at_2019_prediction,
+    dark_silicon_trend,
+    power_density_trend,
+)
+
+
+class TestScalingScenario:
+    def test_generation_zero_is_baseline(self):
+        assert ITRS.power_density_after(0) == pytest.approx(1.0)
+        assert ITRS.dark_fraction_after(0) == pytest.approx(0.0)
+
+    def test_power_density_grows(self):
+        densities = [BORKAR.power_density_after(g) for g in range(7)]
+        assert all(later > earlier for earlier, later in zip(densities, densities[1:]))
+
+    def test_active_fraction_is_reciprocal_and_capped(self):
+        assert ITRS.active_fraction_after(3) == pytest.approx(
+            1.0 / ITRS.power_density_after(3)
+        )
+        cool_chip = ScalingScenario(
+            name="cooling", density_per_gen=1.0, capacitance_per_gen=0.5, voltage_per_gen=1.0
+        )
+        assert cool_chip.active_fraction_after(3) == 1.0
+
+    def test_pessimistic_voltage_scaling_is_worst(self):
+        generations = len(PAPER_NODES_NM) - 1
+        assert ITRS_BORKAR_VDD.dark_fraction_after(generations) >= ITRS.dark_fraction_after(
+            generations
+        )
+
+    def test_rejects_invalid_factors(self):
+        with pytest.raises(ValueError):
+            ScalingScenario(name="bad", density_per_gen=0.0, capacitance_per_gen=1.0, voltage_per_gen=1.0)
+        with pytest.raises(ValueError):
+            ITRS.power_density_after(-1)
+
+    @given(generations=st.integers(min_value=0, max_value=10))
+    def test_fractions_always_valid(self, generations):
+        for scenario in (ITRS, BORKAR, ITRS_BORKAR_VDD):
+            dark = scenario.dark_fraction_after(generations)
+            assert 0.0 <= dark < 1.0
+
+
+class TestTrendSeries:
+    def test_series_covers_paper_nodes(self):
+        points = power_density_trend(ITRS)
+        assert tuple(p.node_nm for p in points) == PAPER_NODES_NM
+        assert points[0].power_density == pytest.approx(1.0)
+
+    def test_dark_trend_is_same_points(self):
+        assert [p.dark_percent for p in dark_silicon_trend(BORKAR)] == [
+            p.dark_percent for p in power_density_trend(BORKAR)
+        ]
+
+    def test_dark_percent_property(self):
+        last = power_density_trend(ITRS_BORKAR_VDD)[-1]
+        assert last.dark_percent == pytest.approx(100 * last.dark_fraction)
+        assert last.dark_percent > 60.0
+
+    def test_rejects_empty_nodes(self):
+        with pytest.raises(ValueError):
+            power_density_trend(ITRS, nodes_nm=())
+
+    def test_muller_prediction_order_of_magnitude(self):
+        # ARM's CTO predicted only ~9% of transistors active by 2019; the
+        # pessimistic scenario should land within a small factor of that.
+        active_percent = dark_silicon_at_2019_prediction()
+        assert 5.0 <= active_percent <= 30.0

@@ -1,0 +1,116 @@
+"""Tests for the workload descriptor dataclasses."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.energy.instruction import InstructionMix
+from repro.workloads.descriptor import (
+    MemoryBehaviour,
+    ParallelBehaviour,
+    WorkloadDescriptor,
+)
+
+
+class TestMemoryBehaviour:
+    def test_defaults_are_valid(self):
+        memory = MemoryBehaviour()
+        assert memory.working_set_bytes > 0
+        assert 0 <= memory.l1_miss_rate <= 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MemoryBehaviour(working_set_bytes=0)
+        with pytest.raises(ValueError):
+            MemoryBehaviour(l1_miss_rate=1.5)
+        with pytest.raises(ValueError):
+            MemoryBehaviour(coherence_miss_fraction=-0.1)
+        with pytest.raises(ValueError):
+            MemoryBehaviour(bytes_per_l2_miss=0)
+
+
+class TestParallelBehaviour:
+    def test_usable_cores_capped_by_max_parallelism(self):
+        parallel = ParallelBehaviour(max_parallelism=8)
+        assert parallel.usable_cores(4) == 4
+        assert parallel.usable_cores(64) == 8
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ParallelBehaviour(parallel_fraction=1.5)
+        with pytest.raises(ValueError):
+            ParallelBehaviour(max_parallelism=0)
+        with pytest.raises(ValueError):
+            ParallelBehaviour(imbalance=0.9)
+        with pytest.raises(ValueError):
+            ParallelBehaviour(sync_instructions_per_core=-1)
+        with pytest.raises(ValueError):
+            ParallelBehaviour().usable_cores(0)
+
+
+class TestWorkloadDescriptor:
+    def make(self, **overrides) -> WorkloadDescriptor:
+        defaults = dict(name="toy", total_instructions=1e9)
+        defaults.update(overrides)
+        return WorkloadDescriptor(**defaults)
+
+    def test_memory_instructions(self):
+        workload = self.make(
+            instruction_mix=InstructionMix(
+                int_alu=0.5, int_mul=0.0, fp=0.1, load=0.3, store=0.05, branch=0.05
+            )
+        )
+        assert workload.memory_instructions == pytest.approx(0.35e9)
+
+    def test_dram_traffic_uses_miss_chain(self):
+        workload = self.make(
+            memory=MemoryBehaviour(
+                l1_miss_rate=0.1,
+                l2_miss_rate=0.5,
+                bytes_per_l2_miss=64,
+                coherence_miss_fraction=0.0,
+            )
+        )
+        expected = workload.memory_instructions * 0.1 * 0.5 * 64
+        assert workload.dram_traffic_bytes == pytest.approx(expected)
+
+    def test_single_core_seconds(self):
+        workload = self.make(total_instructions=2e9)
+        assert workload.single_core_seconds(1e9) == pytest.approx(2.0)
+        assert workload.single_core_seconds(1e9, cpi=2.0) == pytest.approx(4.0)
+        with pytest.raises(ValueError):
+            workload.single_core_seconds(0.0)
+
+    def test_scaled_multiplies_work_and_working_set(self):
+        workload = self.make()
+        bigger = workload.scaled(3.0, input_label="C")
+        assert bigger.total_instructions == pytest.approx(3e9)
+        assert bigger.memory.working_set_bytes == pytest.approx(
+            3 * workload.memory.working_set_bytes
+        )
+        assert bigger.input_label == "C"
+        assert workload.total_instructions == pytest.approx(1e9)
+        with pytest.raises(ValueError):
+            workload.scaled(0.0)
+
+    def test_with_parallel_and_memory(self):
+        workload = self.make()
+        new_parallel = ParallelBehaviour(max_parallelism=2)
+        new_memory = MemoryBehaviour(l1_miss_rate=0.2)
+        assert workload.with_parallel(new_parallel).parallel.max_parallelism == 2
+        assert workload.with_memory(new_memory).memory.l1_miss_rate == 0.2
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            self.make(name="")
+        with pytest.raises(ValueError):
+            self.make(total_instructions=0)
+
+    @given(factor=st.floats(min_value=0.01, max_value=100.0))
+    def test_scaling_preserves_mix_and_rates(self, factor):
+        workload = self.make()
+        scaled = workload.scaled(factor)
+        assert scaled.instruction_mix == workload.instruction_mix
+        assert scaled.memory.l1_miss_rate == workload.memory.l1_miss_rate
+        assert scaled.total_instructions == pytest.approx(
+            workload.total_instructions * factor
+        )

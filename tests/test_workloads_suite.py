@@ -1,0 +1,129 @@
+"""Tests for workload characterisation and the Table 1 suite."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.kernels import SobelKernel
+from repro.kernels.base import OperationCounts
+from repro.workloads import (
+    INPUT_CLASSES,
+    characterize_kernel,
+    default_workloads,
+    descriptor_from_counts,
+    kernel_suite,
+    largest_workloads,
+)
+from repro.workloads.descriptor import MemoryBehaviour, ParallelBehaviour
+from repro.workloads.suite import DEFAULT_CLASS
+
+
+class TestDescriptorFromCounts:
+    def test_builds_descriptor_with_mix(self):
+        counts = OperationCounts(int_alu=40, int_mul=5, fp=15, load=25, store=10, branch=5)
+        descriptor = descriptor_from_counts(
+            "toy", counts, MemoryBehaviour(), ParallelBehaviour(), input_label="A"
+        )
+        assert descriptor.total_instructions == counts.total
+        assert descriptor.instruction_mix.memory_fraction == pytest.approx(0.35)
+        assert descriptor.input_label == "A"
+
+    def test_rejects_empty_counts(self):
+        with pytest.raises(ValueError):
+            descriptor_from_counts(
+                "toy", OperationCounts(), MemoryBehaviour(), ParallelBehaviour()
+            )
+
+
+class TestCharacterizeKernel:
+    def test_uses_kernel_hints(self):
+        kernel = SobelKernel()
+        descriptor = characterize_kernel(kernel, (480, 640), input_label="A")
+        assert descriptor.name == "sobel"
+        assert descriptor.input_label == "A"
+        assert descriptor.total_instructions == pytest.approx(
+            kernel.operation_counts((480, 640)).total
+        )
+        assert descriptor.memory.l1_miss_rate == pytest.approx(
+            kernel.streaming_intensity()
+        )
+        assert descriptor.parallel.parallel_fraction == pytest.approx(
+            kernel.parallel_fraction()
+        )
+
+    def test_bytes_per_miss_override(self):
+        descriptor = characterize_kernel(
+            SobelKernel(), (100, 100), bytes_per_l2_miss=128.0
+        )
+        assert descriptor.memory.bytes_per_l2_miss == 128.0
+
+
+class TestKernelSuite:
+    def setup_method(self):
+        self.suite = kernel_suite()
+
+    def test_contains_all_table1_kernels(self):
+        assert set(self.suite) == set(INPUT_CLASSES)
+        assert len(self.suite) == 6
+
+    def test_input_classes_per_kernel(self):
+        # Figure 9: feature and texture go up to C, the rest to D.
+        assert self.suite["feature"].input_labels == ["A", "B", "C"]
+        assert self.suite["texture"].input_labels == ["A", "B", "C"]
+        assert self.suite["sobel"].input_labels == ["A", "B", "C", "D"]
+
+    def test_classes_grow_in_work(self):
+        for family in self.suite.values():
+            sizes = [
+                family.workload(label).total_instructions
+                for label in family.input_labels
+            ]
+            assert all(later > earlier for earlier, later in zip(sizes, sizes[1:]))
+
+    def test_default_inputs_are_multi_second_tasks(self):
+        # The paper's responsiveness story: tasks of a few seconds on one core.
+        for workload in default_workloads().values():
+            seconds = workload.single_core_seconds(1e9)
+            assert 0.8 <= seconds <= 10.0
+
+    def test_missing_class_falls_back_to_largest(self):
+        workload = self.suite["feature"].workload("D")
+        assert workload.input_label == "C"
+
+    def test_unknown_class_raises(self):
+        with pytest.raises(KeyError):
+            self.suite["sobel"].workload("Z")
+
+    def test_entries_are_cached(self):
+        family = self.suite["sobel"]
+        assert family.entry("B") is family.entry("B")
+
+    def test_workload_for_megapixels(self):
+        family = self.suite["sobel"]
+        small = family.workload_for_megapixels(1.0)
+        large = family.workload_for_megapixels(4.0)
+        assert large.total_instructions == pytest.approx(
+            4 * small.total_instructions, rel=0.05
+        )
+        with pytest.raises(ValueError):
+            family.workload_for_megapixels(0.0)
+
+    def test_largest_workloads_pick_final_class(self):
+        largest = largest_workloads()
+        assert largest["sobel"].input_label == "D"
+        assert largest["feature"].input_label == "C"
+
+    def test_default_class_is_defined_for_every_kernel(self):
+        for name, classes in INPUT_CLASSES.items():
+            assert DEFAULT_CLASS in classes, name
+
+    def test_missing_class_table_raises(self):
+        with pytest.raises(KeyError):
+            kernel_suite(classes={"sobel": {"A": 1.0}})
+
+    @settings(max_examples=10, deadline=None)
+    @given(mp=st.floats(min_value=0.05, max_value=16.0))
+    def test_arbitrary_sizes_produce_valid_descriptors(self, mp):
+        workload = self.suite["sobel"].workload_for_megapixels(mp)
+        assert workload.total_instructions > 0
+        assert 0.0 < workload.instruction_mix.memory_fraction < 1.0
+        assert workload.memory.working_set_bytes > 0
