@@ -1,0 +1,89 @@
+"""Benchmarks for the fleet simulator and the parallel sweep engine.
+
+Two questions matter for the serving layer's usefulness as a scenario
+engine: how many requests per wall-second one fleet simulation sustains,
+and how the multiprocessing sweep scales as workers are added.  Both runs
+record their throughput in ``benchmark.extra_info`` so the JSON output can
+be tracked across commits.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.core.config import SystemConfig
+from repro.traffic import (
+    FixedService,
+    FleetSimulator,
+    PoissonArrivals,
+    SweepSpec,
+    generate_requests,
+    run_sweep,
+)
+
+FLEET_REQUESTS = 20_000
+FLEET_DEVICES = 16
+
+SWEEP_SPEC = SweepSpec(
+    policies=("round_robin", "least_loaded", "thermal_aware"),
+    arrival_rates_hz=(0.05, 0.1, 0.2, 0.3),
+    fleet_sizes=(1, 2, 4),
+    n_requests=400,
+    service_cv=0.5,
+    slo_s=2.0,
+    base_seed=5,
+)
+SWEEP_WORKER_COUNTS = (1, 2, 4)
+
+
+def test_bench_fleet_throughput(benchmark):
+    """Requests simulated per wall-second on one 16-device fleet."""
+    config = SystemConfig.paper_default()
+    requests = generate_requests(
+        PoissonArrivals(1.0), FixedService(5.0), FLEET_REQUESTS, seed=1
+    )
+
+    def simulate():
+        fleet = FleetSimulator(config, FLEET_DEVICES, policy="least_loaded")
+        return fleet.run(requests)
+
+    result = benchmark.pedantic(simulate, rounds=1, iterations=1)
+    assert len(result.served) == FLEET_REQUESTS
+    elapsed = benchmark.stats.stats.mean
+    benchmark.extra_info["requests_per_second"] = FLEET_REQUESTS / elapsed
+    benchmark.extra_info["p99_latency_s"] = result.summary().p99_latency_s
+
+
+def test_bench_sweep_worker_scaling(benchmark):
+    """Wall time of the full grid serially, recorded against 2 and 4 workers.
+
+    The benchmark times the serial run; parallel runs are timed manually
+    into ``extra_info`` (pytest-benchmark can only time one subject), along
+    with the resulting speedups and a correctness check that every worker
+    count produced identical results.
+    """
+    config = SystemConfig.paper_default()
+
+    serial = benchmark.pedantic(
+        run_sweep, args=(SWEEP_SPEC, config), kwargs={"workers": 1},
+        rounds=1, iterations=1,
+    )
+    serial_s = benchmark.stats.stats.mean
+    cells = len(serial.cells)
+    benchmark.extra_info["cells"] = cells
+    benchmark.extra_info["serial_cells_per_second"] = cells / serial_s
+
+    for workers in SWEEP_WORKER_COUNTS[1:]:
+        started = time.perf_counter()
+        parallel = run_sweep(SWEEP_SPEC, config, workers=workers)
+        elapsed = time.perf_counter() - started
+        assert parallel.cells == serial.cells, "parallel sweep diverged from serial"
+        benchmark.extra_info[f"speedup_workers_{workers}"] = serial_s / elapsed
+
+    assert cells == 36
+
+
+if __name__ == "__main__":
+    raise SystemExit(pytest.main([__file__, "--benchmark-only", "-q"]))

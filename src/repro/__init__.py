@@ -17,8 +17,9 @@ Quick start::
     baseline = sim.run_baseline(workload)
     print(sprint.speedup_over(baseline))
 
-See README.md for the architecture overview and DESIGN.md for the mapping
-between the paper's figures/tables and the modules that regenerate them.
+See README.md for the architecture overview, the quick-start walkthrough,
+and the fleet-serving layer (:mod:`repro.traffic`) that scales the
+single-device reproduction to request streams.
 
 The most commonly used classes are re-exported lazily at the top level so
 that ``import repro`` stays cheap and subpackages (``repro.thermal``,
@@ -33,6 +34,7 @@ __version__ = "1.0.0"
 #: Top-level names re-exported from repro.core on first access.
 _CORE_EXPORTS = {
     "ExecutionMode",
+    "ModeTransition",
     "SprintController",
     "SprintMetrics",
     "SprintMode",
@@ -43,12 +45,26 @@ _CORE_EXPORTS = {
     "SystemConfig",
 }
 
-__all__ = sorted(_CORE_EXPORTS | {"__version__"})
+#: Top-level names re-exported from repro.traffic on first access.
+_TRAFFIC_EXPORTS = {
+    "FleetSimulator",
+    "FleetResult",
+    "PoissonArrivals",
+    "SprintDevice",
+    "SweepSpec",
+    "TrafficSummary",
+    "generate_requests",
+    "run_sweep",
+}
+
+__all__ = sorted(_CORE_EXPORTS | _TRAFFIC_EXPORTS | {"__version__"})
 
 
 def __getattr__(name: str) -> Any:
     if name in _CORE_EXPORTS:
         return getattr(import_module("repro.core"), name)
+    if name in _TRAFFIC_EXPORTS:
+        return getattr(import_module("repro.traffic"), name)
     raise AttributeError(f"module 'repro' has no attribute {name!r}")
 
 

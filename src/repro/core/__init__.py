@@ -22,7 +22,7 @@ from repro.core.budget import (
     ThermalBudgetEstimator,
 )
 from repro.core.config import SystemConfig
-from repro.core.controller import SprintController, SprintDecision
+from repro.core.controller import ModeTransition, SprintController, SprintDecision
 from repro.core.metrics import ModeInterval, SprintMetrics, SprintResult
 from repro.core.modes import ExecutionMode, SprintMode, TerminationAction
 from repro.core.pacing import PacingSummary, SprintPacer, TaskOutcome
@@ -33,6 +33,7 @@ __all__ = [
     "EnergyBudgetEstimator",
     "ExecutionMode",
     "ModeInterval",
+    "ModeTransition",
     "OracleBudgetEstimator",
     "PacingSummary",
     "SprintController",

@@ -10,7 +10,7 @@ limit as a backstop in case the energy-based estimate is optimistic.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.core.budget import EnergyBudgetEstimator, ThermalBudgetEstimator
 from repro.core.config import SystemConfig
@@ -35,13 +35,19 @@ class SprintDecision:
             raise ValueError("activation delay must be non-negative")
 
 
-@dataclass
-class _Transition:
+@dataclass(frozen=True)
+class ModeTransition:
     """Record of one mode change (for the result's mode timeline)."""
 
     time_s: float
     mode: SprintMode
     cores: int
+
+    def __post_init__(self) -> None:
+        if self.time_s < 0:
+            raise ValueError("transition time must be non-negative")
+        if self.cores < 0:
+            raise ValueError("core count must be non-negative")
 
 
 class SprintController:
@@ -61,7 +67,7 @@ class SprintController:
         self._time_s = 0.0
         self._sprint_started_at_s: float | None = None
         self._sprint_exhausted_at_s: float | None = None
-        self._transitions: list[_Transition] = []
+        self._transitions: list[ModeTransition] = []
 
     # -- queries -----------------------------------------------------------------
 
@@ -86,7 +92,7 @@ class SprintController:
         return self._sprint_exhausted_at_s
 
     @property
-    def transitions(self) -> list[_Transition]:
+    def transitions(self) -> list[ModeTransition]:
         """All mode changes so far (time, mode, cores)."""
         return list(self._transitions)
 
@@ -172,7 +178,7 @@ class SprintController:
         """The workload completed: all cores idle and the package cools."""
         self._mode = SprintMode.COOLDOWN
         self._cores = 0
-        self._transitions.append(_Transition(self._time_s, self._mode, 0))
+        self._transitions.append(ModeTransition(self._time_s, self._mode, 0))
 
     # -- internals ----------------------------------------------------------------------
 
@@ -199,5 +205,5 @@ class SprintController:
         self._cores = decision.cores
         self._operating_point = decision.operating_point
         self._transitions.append(
-            _Transition(self._time_s, decision.mode, decision.cores)
+            ModeTransition(self._time_s, decision.mode, decision.cores)
         )

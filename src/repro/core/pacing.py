@@ -42,6 +42,11 @@ class TaskOutcome:
     stored_heat_before_j: float
     stored_heat_after_j: float
     queueing_delay_s: float = 0.0
+    #: Fraction of the task's work covered by the sprint budget: 1.0 for a
+    #: full sprint, 0.0 for sustained execution, in between for partial
+    #: sprints (``sprinted`` alone cannot tell a barely-partial sprint
+    #: from a full one).
+    sprint_fullness: float = 0.0
 
     @property
     def completed_at_s(self) -> float:
@@ -113,11 +118,37 @@ class SprintPacer:
         return self._stored_heat_j
 
     @property
+    def busy_until_s(self) -> float:
+        """Time at which the last accepted task finishes (0 if idle so far).
+
+        A task arriving before this time queues behind the running one; a
+        fleet dispatcher uses it to find the least-loaded device.
+        """
+        return self._clock_s
+
+    @property
     def available_fraction(self) -> float:
         """Fraction of the sprint budget currently available."""
         if self.capacity_j == 0:
             return 0.0
         return 1.0 - self._stored_heat_j / self.capacity_j
+
+    def stored_heat_at(self, time_s: float) -> float:
+        """Projected stored heat at a future instant, without mutating state.
+
+        Heat only drains while the device is idle, so the projection holds
+        the reservoir constant until :attr:`busy_until_s` and drains it at
+        the sustainable power afterwards.  Dispatchers use this to rank
+        devices by the sprint budget a request would actually find.
+        """
+        idle = max(0.0, time_s - self._clock_s)
+        return max(0.0, self._stored_heat_j - self.drain_power_w * idle)
+
+    def available_fraction_at(self, time_s: float) -> float:
+        """Projected :attr:`available_fraction` at a future instant."""
+        if self.capacity_j == 0:
+            return 0.0
+        return 1.0 - self.stored_heat_at(time_s) / self.capacity_j
 
     def sprint_heat_for(self, sustained_time_s: float) -> float:
         """Heat a full sprint of one task deposits above the sustainable budget.
@@ -149,12 +180,22 @@ class SprintPacer:
         self._clock_s = 0.0
         self._last_arrival_s = 0.0
 
-    def task_arrival(self, arrival_s: float, sustained_time_s: float, index: int = 0) -> TaskOutcome:
+    def task_arrival(
+        self,
+        arrival_s: float,
+        sustained_time_s: float,
+        index: int = 0,
+        allow_sprint: bool = True,
+    ) -> TaskOutcome:
         """Process one task arriving at ``arrival_s``.
 
         Tasks must arrive in non-decreasing time order.  A task arriving
-        while the previous one is still running queues behind it; the
-        reported response time includes the queueing delay.
+        while the previous one is still running queues behind it; the wait
+        is reported separately in ``queueing_delay_s`` (``response_time_s``
+        is execution only, so user-visible latency is their sum).  With
+        ``allow_sprint=False`` the task runs sustained regardless of the
+        budget (the no-sprint baseline of a fleet comparison), while the
+        clock and reservoir drain still advance.
         """
         if arrival_s < self._last_arrival_s:
             raise ValueError("tasks must arrive in time order")
@@ -174,20 +215,26 @@ class SprintPacer:
         headroom = max(0.0, self.capacity_j - self._stored_heat_j)
         sprint_time = sustained_time_s / self.sprint_speedup
 
-        if demand <= headroom:
+        if not allow_sprint:
+            sprinted = False
+            fullness = 0.0
+            response = sustained_time_s
+        elif demand <= headroom:
             sprinted = True
+            fullness = 1.0
             response = sprint_time
             self._stored_heat_j += demand
         elif self.refuse_partial_sprints or headroom <= 0.0:
             sprinted = False
+            fullness = 0.0
             response = sustained_time_s
         else:
             # Partial sprint (migrate on exhaustion): the fraction of the work
             # covered by the remaining budget runs at sprint speed, the rest
             # at sustained speed.
             sprinted = True
-            fraction = headroom / demand
-            response = fraction * sprint_time + (1.0 - fraction) * sustained_time_s
+            fullness = headroom / demand
+            response = fullness * sprint_time + (1.0 - fullness) * sustained_time_s
             self._stored_heat_j += headroom
 
         self._clock_s = start_s + response
@@ -199,6 +246,7 @@ class SprintPacer:
             stored_heat_before_j=before,
             stored_heat_after_j=self._stored_heat_j,
             queueing_delay_s=queueing_delay,
+            sprint_fullness=fullness,
         )
 
     def simulate_periodic(

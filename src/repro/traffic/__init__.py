@@ -1,0 +1,108 @@
+"""Sprint-aware fleet serving under stochastic request load.
+
+The paper evaluates one device running one task; this package asks the
+question the paper's motivation implies: what happens when a *fleet* of
+sprint-capable devices serves a *stream* of requests whose arrivals are
+bursty, diurnal, or measured from a trace?  It is organised as a pipeline:
+
+* :mod:`repro.traffic.arrivals` — seeded stochastic arrival processes
+  (deterministic, Poisson, bursty on-off MMPP, diurnal, trace-driven),
+* :mod:`repro.traffic.request` — the request model and service-demand
+  samplers, including draws from the Table 1 kernel suite,
+* :mod:`repro.traffic.device` — a serving wrapper around the sprint
+  pacing model, so consecutive requests share one thermal budget,
+* :mod:`repro.traffic.fleet` — the discrete-event fleet simulator with
+  round-robin, least-loaded, thermal-aware and random dispatch,
+* :mod:`repro.traffic.metrics` — p50/p95/p99 latency, SLO attainment,
+  sprint fraction and throughput summaries,
+* :mod:`repro.traffic.sweep` — a multiprocessing scenario sweep over
+  policy × arrival-rate × fleet-size grids with deterministic seeding.
+
+Quick start::
+
+    from repro import SystemConfig
+    from repro.traffic import FleetSimulator, PoissonArrivals, FixedService
+    from repro.traffic import generate_requests
+
+    requests = generate_requests(
+        PoissonArrivals(rate_hz=0.2), FixedService(5.0), n=500, seed=42
+    )
+    fleet = FleetSimulator(SystemConfig.paper_default(), n_devices=4)
+    result = fleet.run(requests)
+    print(result.summary(slo_s=2.0))
+"""
+
+from repro.traffic.arrivals import (
+    ArrivalProcess,
+    DeterministicArrivals,
+    DiurnalArrivals,
+    MMPPArrivals,
+    PoissonArrivals,
+    TraceArrivals,
+)
+from repro.traffic.device import ServedRequest, SprintDevice
+from repro.traffic.fleet import (
+    DISPATCH_POLICIES,
+    DeviceStats,
+    FleetResult,
+    FleetSimulator,
+)
+from repro.traffic.metrics import (
+    TrafficSummary,
+    latency_percentiles,
+    slo_attainment,
+    summarize,
+)
+from repro.traffic.request import (
+    FixedService,
+    GammaService,
+    LognormalService,
+    Request,
+    ServiceModel,
+    SuiteService,
+    generate_requests,
+)
+from repro.traffic.sweep import (
+    ARRIVAL_KINDS,
+    CellResult,
+    SweepCell,
+    SweepResult,
+    SweepSpec,
+    expand_cells,
+    run_cell,
+    run_sweep,
+)
+
+__all__ = [
+    "ARRIVAL_KINDS",
+    "ArrivalProcess",
+    "CellResult",
+    "DISPATCH_POLICIES",
+    "DeterministicArrivals",
+    "DeviceStats",
+    "DiurnalArrivals",
+    "FixedService",
+    "FleetResult",
+    "FleetSimulator",
+    "GammaService",
+    "LognormalService",
+    "MMPPArrivals",
+    "PoissonArrivals",
+    "Request",
+    "ServedRequest",
+    "ServiceModel",
+    "SprintDevice",
+    "SuiteService",
+    "SweepCell",
+    "SweepResult",
+    "SweepSpec",
+    "TraceArrivals",
+    "TrafficSummary",
+    "expand_cells",
+    "generate_requests",
+    "latency_percentiles",
+    "run_cell",
+    "run_sweep",
+    "slo_attainment",
+    "summarize",
+]

@@ -1,0 +1,129 @@
+"""A sprint-capable device serving a stream of requests.
+
+:class:`SprintDevice` wraps the thermal reservoir of
+:class:`repro.core.pacing.SprintPacer` behind a serving interface: each
+request it is handed runs sprinted if the device's remaining budget allows,
+partially sprinted if only some does, or sustained otherwise — and the heat
+it deposits is still there when the next request lands, so back-to-back
+requests on a hot device genuinely see a depleted budget.  The device also
+exposes the two projections a dispatcher needs without perturbing state:
+when it will next be free, and how much sprint budget a request arriving at
+a given time would find.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.config import SystemConfig
+from repro.core.pacing import SprintPacer
+from repro.traffic.request import Request
+
+
+@dataclass(frozen=True)
+class ServedRequest:
+    """One request's fate after being dispatched and executed."""
+
+    request: Request
+    device_id: int
+    sprinted: bool
+    queueing_delay_s: float
+    service_time_s: float
+    stored_heat_before_j: float
+    stored_heat_after_j: float
+    #: How much of the achievable sprint speedup this request realised:
+    #: 1.0 = full sprint, 0.0 = fully sustained, in between for partial
+    #: sprints (``sprinted`` alone cannot distinguish a 97%-sustained
+    #: partial sprint from a full one).
+    sprint_fullness: float = 0.0
+
+    @property
+    def latency_s(self) -> float:
+        """User-visible latency: queueing behind earlier work plus execution."""
+        return self.queueing_delay_s + self.service_time_s
+
+    @property
+    def completed_at_s(self) -> float:
+        """Absolute completion time."""
+        return self.request.arrival_s + self.latency_s
+
+
+class SprintDevice:
+    """One sprint-enabled machine in a fleet.
+
+    Parameters
+    ----------
+    config:
+        Platform description (package, policy, power) shared by the fleet.
+    device_id:
+        Stable identifier used in results and dispatch tie-breaking.
+    sprint_speedup:
+        Responsiveness gain of a full sprint over sustained execution.
+    sprint_enabled:
+        When False the device always runs sustained — the no-sprint
+        baseline fleet of a comparison — while still tracking queueing.
+    refuse_partial_sprints:
+        Passed through to :class:`~repro.core.pacing.SprintPacer`.
+    """
+
+    def __init__(
+        self,
+        config: SystemConfig,
+        device_id: int = 0,
+        sprint_speedup: float = 10.0,
+        sprint_enabled: bool = True,
+        refuse_partial_sprints: bool = False,
+    ) -> None:
+        self.device_id = device_id
+        self.sprint_enabled = sprint_enabled
+        self.pacer = SprintPacer(
+            config,
+            sprint_speedup=sprint_speedup,
+            refuse_partial_sprints=refuse_partial_sprints,
+        )
+        self.requests_served = 0
+        self.busy_seconds = 0.0
+
+    # -- dispatcher-facing projections (read-only) --------------------------------
+
+    @property
+    def busy_until_s(self) -> float:
+        """Absolute time at which the device finishes its queued work."""
+        return self.pacer.busy_until_s
+
+    def start_time_for(self, arrival_s: float) -> float:
+        """When a request arriving at ``arrival_s`` would begin executing."""
+        return max(arrival_s, self.busy_until_s)
+
+    def available_fraction_at(self, time_s: float) -> float:
+        """Projected sprint-budget fraction available at a future instant."""
+        return self.pacer.available_fraction_at(time_s)
+
+    # -- serving --------------------------------------------------------------------
+
+    def serve(self, request: Request) -> ServedRequest:
+        """Execute one request; requests must be handed over in arrival order."""
+        outcome = self.pacer.task_arrival(
+            request.arrival_s,
+            request.sustained_time_s,
+            index=request.index,
+            allow_sprint=self.sprint_enabled,
+        )
+        self.requests_served += 1
+        self.busy_seconds += outcome.response_time_s
+        return ServedRequest(
+            request=request,
+            device_id=self.device_id,
+            sprinted=outcome.sprinted,
+            queueing_delay_s=outcome.queueing_delay_s,
+            service_time_s=outcome.response_time_s,
+            stored_heat_before_j=outcome.stored_heat_before_j,
+            stored_heat_after_j=outcome.stored_heat_after_j,
+            sprint_fullness=outcome.sprint_fullness,
+        )
+
+    def reset(self) -> None:
+        """Cool the package and forget all serving history."""
+        self.pacer.reset()
+        self.requests_served = 0
+        self.busy_seconds = 0.0

@@ -1,0 +1,93 @@
+"""Latency and throughput summaries for fleet runs.
+
+The paper argues sprinting buys *responsiveness*; at fleet scale that claim
+lives in the tail of the latency distribution.  This module reduces a list
+of :class:`~repro.traffic.device.ServedRequest` to the numbers a serving
+team actually watches: median and tail latency percentiles, the fraction of
+requests meeting a latency SLO, the fraction that sprinted, and delivered
+throughput over the run's makespan.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.traffic.device import ServedRequest
+
+
+@dataclass(frozen=True)
+class TrafficSummary:
+    """Aggregate serving metrics for one fleet run."""
+
+    request_count: int
+    makespan_s: float
+    throughput_rps: float
+    mean_latency_s: float
+    p50_latency_s: float
+    p95_latency_s: float
+    p99_latency_s: float
+    max_latency_s: float
+    mean_queueing_s: float
+    #: Fraction of requests that sprinted at all (partial sprints included).
+    sprint_fraction: float
+    #: Mean realised fraction of the achievable sprint speedup — unlike
+    #: ``sprint_fraction`` this distinguishes a thermally exhausted fleet
+    #: (many barely-partial sprints) from a healthy one.
+    mean_sprint_fullness: float = 0.0
+    slo_s: float | None = None
+    slo_attainment: float | None = None
+
+
+def latency_percentiles(
+    latencies_s: Sequence[float] | np.ndarray,
+    percentiles: Sequence[float] = (50.0, 95.0, 99.0),
+) -> tuple[float, ...]:
+    """Linear-interpolated latency percentiles (numpy's default method)."""
+    values = np.asarray(latencies_s, dtype=float)
+    if values.size == 0:
+        raise ValueError("at least one latency is required")
+    return tuple(float(p) for p in np.percentile(values, percentiles))
+
+
+def slo_attainment(
+    latencies_s: Sequence[float] | np.ndarray, slo_s: float
+) -> float:
+    """Fraction of requests with latency at or below the SLO."""
+    if slo_s <= 0:
+        raise ValueError("SLO must be positive")
+    values = np.asarray(latencies_s, dtype=float)
+    if values.size == 0:
+        raise ValueError("at least one latency is required")
+    return float(np.mean(values <= slo_s))
+
+
+def summarize(
+    served: Sequence[ServedRequest], slo_s: float | None = None
+) -> TrafficSummary:
+    """Reduce a fleet run to its serving metrics."""
+    if not served:
+        raise ValueError("cannot summarise an empty run")
+    latencies = np.array([s.latency_s for s in served])
+    queueing = np.array([s.queueing_delay_s for s in served])
+    arrivals = np.array([s.request.arrival_s for s in served])
+    completions = np.array([s.completed_at_s for s in served])
+    p50, p95, p99 = latency_percentiles(latencies)
+    makespan = float(completions.max() - arrivals.min())
+    return TrafficSummary(
+        request_count=len(served),
+        makespan_s=makespan,
+        throughput_rps=len(served) / makespan if makespan > 0 else float("inf"),
+        mean_latency_s=float(latencies.mean()),
+        p50_latency_s=p50,
+        p95_latency_s=p95,
+        p99_latency_s=p99,
+        max_latency_s=float(latencies.max()),
+        mean_queueing_s=float(queueing.mean()),
+        sprint_fraction=float(np.mean([s.sprinted for s in served])),
+        mean_sprint_fullness=float(np.mean([s.sprint_fullness for s in served])),
+        slo_s=slo_s,
+        slo_attainment=None if slo_s is None else slo_attainment(latencies, slo_s),
+    )

@@ -1,0 +1,211 @@
+"""Requests: what the fleet serves, and how their compute demand is drawn.
+
+A :class:`Request` is one unit of user-facing work — a vision kernel run on
+one input — reduced to the quantity the pacing model needs: the time the
+task would take on a single sustained core.  Service models turn a random
+stream into concrete demands:
+
+* :class:`FixedService` — every request costs the same (the paper's
+  five-second canonical task),
+* :class:`LognormalService` — heavy-tailed demands around a median, the
+  usual shape of interactive request sizes,
+* :class:`SuiteService` — demands drawn from the Table 1 kernel suite at
+  its input-size classes (:mod:`repro.workloads`), so a request literally
+  is "sobel on a class-C image" with the back-of-envelope single-core time
+  of that workload descriptor.
+
+:func:`generate_requests` zips an arrival process with a service model
+under a single seed, split with :class:`numpy.random.SeedSequence` so the
+arrival stream and the demand stream are independent but both reproducible.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.traffic.arrivals import ArrivalProcess
+
+
+@dataclass(frozen=True)
+class Request:
+    """One unit of work arriving at the fleet."""
+
+    index: int
+    arrival_s: float
+    #: Single-core sustained execution time — the pacing model's currency.
+    sustained_time_s: float
+    kernel: str = ""
+    input_label: str = ""
+
+    def __post_init__(self) -> None:
+        if self.arrival_s < 0:
+            raise ValueError("arrival time must be non-negative")
+        if self.sustained_time_s <= 0:
+            raise ValueError("sustained time must be positive")
+
+
+class ServiceModel(ABC):
+    """Draws per-request compute demands."""
+
+    @abstractmethod
+    def sample(self, n: int, rng: np.random.Generator) -> list[tuple[float, str, str]]:
+        """Return ``n`` tuples of (sustained seconds, kernel, input label)."""
+
+
+@dataclass(frozen=True)
+class FixedService(ServiceModel):
+    """Every request takes the same sustained single-core time."""
+
+    sustained_time_s: float
+    kernel: str = "fixed"
+    input_label: str = ""
+
+    def __post_init__(self) -> None:
+        if self.sustained_time_s <= 0:
+            raise ValueError("sustained time must be positive")
+
+    def sample(self, n: int, rng: np.random.Generator) -> list[tuple[float, str, str]]:
+        return [(self.sustained_time_s, self.kernel, self.input_label)] * n
+
+
+@dataclass(frozen=True)
+class GammaService(ServiceModel):
+    """Gamma-distributed demands with a given mean and coefficient of variation.
+
+    ``cv = 0`` degenerates to :class:`FixedService`; ``cv = 1`` is
+    exponential; larger values give burstier request sizes.  The gamma
+    family keeps draws strictly positive for any cv.
+    """
+
+    mean_s: float
+    cv: float = 0.5
+    kernel: str = "gamma"
+
+    def __post_init__(self) -> None:
+        if self.mean_s <= 0:
+            raise ValueError("mean service time must be positive")
+        if self.cv < 0:
+            raise ValueError("coefficient of variation must be non-negative")
+
+    def sample(self, n: int, rng: np.random.Generator) -> list[tuple[float, str, str]]:
+        if self.cv == 0:
+            draws = np.full(n, self.mean_s)
+        else:
+            shape = 1.0 / (self.cv * self.cv)
+            draws = rng.gamma(shape, self.mean_s / shape, size=n)
+            # For large cv the tiny shape parameter makes exact-0.0 draws
+            # possible; clamp so every request stays a valid positive task.
+            draws = np.maximum(draws, np.finfo(float).tiny)
+        return [(float(d), self.kernel, "") for d in draws]
+
+
+@dataclass(frozen=True)
+class LognormalService(ServiceModel):
+    """Lognormal demands: heavy-tailed around ``median_s`` with shape ``sigma``."""
+
+    median_s: float
+    sigma: float = 0.5
+    kernel: str = "lognormal"
+
+    def __post_init__(self) -> None:
+        if self.median_s <= 0:
+            raise ValueError("median service time must be positive")
+        if self.sigma < 0:
+            raise ValueError("sigma must be non-negative")
+
+    def sample(self, n: int, rng: np.random.Generator) -> list[tuple[float, str, str]]:
+        draws = self.median_s * np.exp(self.sigma * rng.standard_normal(n))
+        return [(float(d), self.kernel, "") for d in draws]
+
+
+@dataclass
+class SuiteService(ServiceModel):
+    """Demands drawn from the Table 1 kernel suite's input-size classes.
+
+    Each request picks a (kernel, input class) uniformly — or by the given
+    weights — from the suite and costs that workload's back-of-envelope
+    single-core time at ``frequency_hz``
+    (:meth:`~repro.workloads.descriptor.WorkloadDescriptor.single_core_seconds`).
+    The suite table is built once and reused, so sampling is cheap
+    (eagerly at construction when ``weights`` are given, so a mismatched
+    length fails fast; lazily on first sample otherwise).
+    """
+
+    frequency_hz: float = 1e9
+    kernels: tuple[str, ...] | None = None
+    weights: tuple[float, ...] | None = None
+    _table: list[tuple[float, str, str]] = field(
+        default_factory=list, repr=False, compare=False
+    )
+
+    def __post_init__(self) -> None:
+        if self.frequency_hz <= 0:
+            raise ValueError("frequency must be positive")
+        if self.weights is not None:
+            if any(w < 0 for w in self.weights) or sum(self.weights) <= 0:
+                raise ValueError("weights must be non-negative with a positive sum")
+            self._entries()  # build the table now so a wrong length fails fast
+
+    def _entries(self) -> list[tuple[float, str, str]]:
+        if not self._table:
+            from repro.workloads import kernel_suite
+
+            suite = kernel_suite()
+            names = self.kernels or tuple(sorted(suite))
+            for name in names:
+                family = suite[name]
+                for label in family.input_labels:
+                    workload = family.workload(label)
+                    seconds = workload.single_core_seconds(self.frequency_hz)
+                    self._table.append((seconds, name, label))
+        if self.weights is not None and len(self.weights) != len(self._table):
+            raise ValueError(
+                f"{len(self._table)} suite entries but {len(self.weights)} weights"
+            )
+        return self._table
+
+    def sample(self, n: int, rng: np.random.Generator) -> list[tuple[float, str, str]]:
+        entries = self._entries()
+        probabilities = None
+        if self.weights is not None:
+            total = sum(self.weights)
+            probabilities = [w / total for w in self.weights]
+        picks = rng.choice(len(entries), size=n, p=probabilities)
+        return [entries[int(i)] for i in picks]
+
+
+def generate_requests(
+    arrivals: ArrivalProcess,
+    service: ServiceModel,
+    n: int,
+    seed: int | np.random.SeedSequence = 0,
+) -> list[Request]:
+    """Materialise ``n`` requests from an arrival process and a service model.
+
+    The seed is split into independent child streams for arrivals and
+    service demands, so the same seed always yields the same requests and
+    changing the service model never perturbs the arrival times.
+    """
+    if n < 1:
+        raise ValueError("at least one request is required")
+    root = (
+        seed
+        if isinstance(seed, np.random.SeedSequence)
+        else np.random.SeedSequence(seed)
+    )
+    arrival_seq, service_seq = root.spawn(2)
+    times = arrivals.sample(n, np.random.default_rng(arrival_seq))
+    demands = service.sample(n, np.random.default_rng(service_seq))
+    return [
+        Request(
+            index=i,
+            arrival_s=float(times[i]),
+            sustained_time_s=demands[i][0],
+            kernel=demands[i][1],
+            input_label=demands[i][2],
+        )
+        for i in range(n)
+    ]

@@ -1,0 +1,290 @@
+"""Scenario sweep engine: policy × arrival-rate × fleet-size grids.
+
+One fleet run answers one question; the interesting questions — how much
+fleet does a target SLO need, which dispatch policy wins under overload,
+where does the no-sprint fleet fall off a cliff — are surfaces over a grid
+of scenarios.  :func:`run_sweep` fans a grid of
+(policy, arrival rate, fleet size) cells across worker processes with
+:mod:`multiprocessing`, seeding each cell deterministically from the sweep's
+base seed and the cell's position, so the full sweep is reproducible and
+bit-identical whether it runs serially or on any number of workers.
+
+Scenario knobs beyond the grid live in :class:`SweepSpec`: the arrival
+process family (Poisson, bursty on-off, diurnal, or deterministic — all
+parameterised by the cell's mean rate), the service-demand distribution,
+the sprint speedup, and whether sprinting is enabled at all (for paired
+sprint/no-sprint comparisons).
+"""
+
+from __future__ import annotations
+
+import itertools
+import multiprocessing
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+from repro.core.config import SystemConfig
+from repro.traffic.arrivals import (
+    ArrivalProcess,
+    DeterministicArrivals,
+    DiurnalArrivals,
+    MMPPArrivals,
+    PoissonArrivals,
+)
+from repro.traffic.fleet import DISPATCH_POLICIES, FleetSimulator
+from repro.traffic.metrics import TrafficSummary
+from repro.traffic.request import FixedService, GammaService, generate_requests
+
+#: Arrival families the sweep can instantiate from a cell's mean rate.
+ARRIVAL_KINDS = ("poisson", "bursty", "diurnal", "deterministic")
+
+
+@dataclass(frozen=True)
+class SweepSpec:
+    """The grid and the scenario shared by every cell.
+
+    ``burst_factor`` and ``burst_mean_requests`` only matter for the
+    ``bursty`` arrival kind: bursts run at ``burst_factor`` times the
+    cell's mean rate, are sized so a burst carries ``burst_mean_requests``
+    expected requests, and are spaced so the long-run mean rate is
+    preserved.  ``diurnal_amplitude`` and ``diurnal_period_s`` only apply
+    to ``diurnal``.  ``service_cv = 0`` gives fixed-size requests.
+    """
+
+    policies: tuple[str, ...] = ("least_loaded",)
+    arrival_rates_hz: tuple[float, ...] = (0.05, 0.1, 0.2)
+    fleet_sizes: tuple[int, ...] = (1, 2, 4)
+    n_requests: int = 200
+    arrival_kind: str = "poisson"
+    service_mean_s: float = 5.0
+    service_cv: float = 0.0
+    sprint_speedup: float = 10.0
+    sprint_enabled: bool = True
+    refuse_partial_sprints: bool = False
+    slo_s: float | None = None
+    base_seed: int = 0
+    burst_factor: float = 5.0
+    burst_mean_requests: float = 10.0
+    diurnal_amplitude: float = 0.8
+    diurnal_period_s: float = 3600.0
+
+    def __post_init__(self) -> None:
+        if not self.policies or not self.arrival_rates_hz or not self.fleet_sizes:
+            raise ValueError("every grid axis needs at least one value")
+        unknown = [p for p in self.policies if p not in DISPATCH_POLICIES]
+        if unknown:
+            raise ValueError(f"unknown dispatch policies: {unknown}")
+        if self.arrival_kind not in ARRIVAL_KINDS:
+            raise ValueError(
+                f"unknown arrival kind {self.arrival_kind!r}; "
+                f"available: {ARRIVAL_KINDS}"
+            )
+        if any(rate <= 0 for rate in self.arrival_rates_hz):
+            raise ValueError("arrival rates must be positive")
+        if any(size < 1 for size in self.fleet_sizes):
+            raise ValueError("fleet sizes must be at least 1")
+        if self.n_requests < 1:
+            raise ValueError("at least one request per cell is required")
+        if self.service_mean_s <= 0:
+            raise ValueError("mean service time must be positive")
+        if self.service_cv < 0:
+            raise ValueError("service-time coefficient of variation must be non-negative")
+        if self.slo_s is not None and self.slo_s <= 0:
+            raise ValueError("SLO must be positive")
+        if self.sprint_speedup < 1.0:
+            raise ValueError("sprint speedup must be at least 1x")
+        if self.arrival_kind == "bursty":
+            if self.burst_factor <= 1.0:
+                raise ValueError("burst factor must exceed 1 (burst rate above mean)")
+            if self.burst_mean_requests <= 0:
+                raise ValueError("mean requests per burst must be positive")
+        if self.arrival_kind == "diurnal":
+            if not 0.0 <= self.diurnal_amplitude < 1.0:
+                raise ValueError("diurnal amplitude must be in [0, 1)")
+            if self.diurnal_period_s <= 0:
+                raise ValueError("diurnal period must be positive")
+
+    def with_sprint_enabled(self, enabled: bool) -> "SweepSpec":
+        """Copy toggling sprinting (for paired sprint/no-sprint sweeps)."""
+        return replace(self, sprint_enabled=enabled)
+
+    def arrival_process(self, rate_hz: float) -> ArrivalProcess:
+        """Instantiate the spec's arrival family at a cell's mean rate."""
+        if self.arrival_kind == "poisson":
+            return PoissonArrivals(rate_hz)
+        if self.arrival_kind == "bursty":
+            # Mean rate is preserved: bursts run at burst_factor * rate and
+            # occupy 1/burst_factor of the time.
+            mean_burst_s = self.burst_mean_requests / (self.burst_factor * rate_hz)
+            mean_idle_s = mean_burst_s * (self.burst_factor - 1.0)
+            return MMPPArrivals.bursty(
+                burst_rate_hz=self.burst_factor * rate_hz,
+                mean_burst_s=mean_burst_s,
+                mean_idle_s=mean_idle_s,
+            )
+        if self.arrival_kind == "diurnal":
+            return DiurnalArrivals(
+                base_rate_hz=rate_hz,
+                amplitude=self.diurnal_amplitude,
+                period_s=self.diurnal_period_s,
+            )
+        return DeterministicArrivals(1.0 / rate_hz)
+
+
+@dataclass(frozen=True)
+class SweepCell:
+    """One scenario in the grid, with its deterministic seed material."""
+
+    index: int
+    policy: str
+    arrival_rate_hz: float
+    n_devices: int
+    base_seed: int
+    #: Position on the arrival-rate axis.  The policy and fleet-size axes
+    #: are deliberately excluded: the request stream depends only on the
+    #: arrival process, so cells differing in policy or fleet size replay
+    #: the exact same stream (paired comparisons on both axes).
+    stream_key: tuple[int, ...] = (0,)
+
+    @property
+    def seed_sequence(self) -> np.random.SeedSequence:
+        """Request-stream seed: stable under worker count, chunking, and the
+        set of policies in the grid."""
+        return np.random.SeedSequence([self.base_seed, *self.stream_key])
+
+
+@dataclass(frozen=True)
+class CellResult:
+    """A cell and its serving metrics."""
+
+    cell: SweepCell
+    summary: TrafficSummary
+
+
+def expand_cells(spec: SweepSpec) -> list[SweepCell]:
+    """Enumerate the grid in deterministic (policy, rate, fleet) order."""
+    grid = itertools.product(
+        spec.policies,
+        enumerate(spec.arrival_rates_hz),
+        spec.fleet_sizes,
+    )
+    return [
+        SweepCell(
+            index=i,
+            policy=policy,
+            arrival_rate_hz=rate,
+            n_devices=size,
+            base_seed=spec.base_seed,
+            stream_key=(rate_idx,),
+        )
+        for i, (policy, (rate_idx, rate), size) in enumerate(grid)
+    ]
+
+
+def run_cell(spec: SweepSpec, cell: SweepCell, config: SystemConfig) -> CellResult:
+    """Simulate one grid cell end to end."""
+    if spec.service_cv > 0:
+        service = GammaService(mean_s=spec.service_mean_s, cv=spec.service_cv)
+    else:
+        service = FixedService(spec.service_mean_s)
+    requests = generate_requests(
+        spec.arrival_process(cell.arrival_rate_hz),
+        service,
+        spec.n_requests,
+        seed=cell.seed_sequence,
+    )
+    fleet = FleetSimulator(
+        config,
+        n_devices=cell.n_devices,
+        policy=cell.policy,
+        sprint_speedup=spec.sprint_speedup,
+        sprint_enabled=spec.sprint_enabled,
+        refuse_partial_sprints=spec.refuse_partial_sprints,
+    )
+    result = fleet.run(
+        requests, seed=np.random.SeedSequence([cell.base_seed, cell.index])
+    )
+    return CellResult(cell=cell, summary=result.summary(slo_s=spec.slo_s))
+
+
+def _run_cell_job(job: tuple[SweepSpec, SweepCell, SystemConfig]) -> CellResult:
+    """Module-level unpacking shim so Pool.imap can pickle the work items."""
+    spec, cell, config = job
+    return run_cell(spec, cell, config)
+
+
+@dataclass(frozen=True)
+class SweepResult:
+    """All cell results of one sweep, in grid order."""
+
+    spec: SweepSpec
+    cells: tuple[CellResult, ...]
+
+    def filtered(
+        self,
+        policy: str | None = None,
+        arrival_rate_hz: float | None = None,
+        n_devices: int | None = None,
+    ) -> list[CellResult]:
+        """Cells matching the given axis values (None = any)."""
+        out = []
+        for result in self.cells:
+            cell = result.cell
+            if policy is not None and cell.policy != policy:
+                continue
+            if arrival_rate_hz is not None and cell.arrival_rate_hz != arrival_rate_hz:
+                continue
+            if n_devices is not None and cell.n_devices != n_devices:
+                continue
+            out.append(result)
+        return out
+
+    def best_cell(self, key: str = "p99_latency_s") -> CellResult:
+        """The cell minimising a :class:`TrafficSummary` attribute."""
+        return min(self.cells, key=lambda r: getattr(r.summary, key))
+
+    def format_table(self) -> str:
+        """Human-readable grid summary (one row per cell)."""
+        header = (
+            f"{'policy':>14} {'rate':>8} {'fleet':>6} {'p50':>8} {'p99':>8} "
+            f"{'sprint%':>8} {'full%':>6} {'rps':>8}"
+        )
+        rows = [header]
+        for result in self.cells:
+            cell, s = result.cell, result.summary
+            rows.append(
+                f"{cell.policy:>14} {cell.arrival_rate_hz:7.3f}/s {cell.n_devices:6d} "
+                f"{s.p50_latency_s:7.2f}s {s.p99_latency_s:7.2f}s "
+                f"{s.sprint_fraction * 100:7.0f}% {s.mean_sprint_fullness * 100:5.0f}% "
+                f"{s.throughput_rps:8.3f}"
+            )
+        return "\n".join(rows)
+
+
+def run_sweep(
+    spec: SweepSpec,
+    config: SystemConfig | None = None,
+    workers: int = 1,
+) -> SweepResult:
+    """Run every cell of the grid, optionally fanned across processes.
+
+    ``workers=1`` runs serially in-process; ``workers>1`` uses a
+    :class:`multiprocessing.Pool`.  Results are returned in grid order and
+    are bit-identical for any worker count because each cell's randomness
+    is derived deterministically from the spec alone: the request stream
+    from ``(base_seed, stream_key)`` — only the arrival-rate axis, so
+    policy and fleet-size comparisons are paired — and the dispatch RNG
+    from ``(base_seed, cell index)``.
+    """
+    if workers < 1:
+        raise ValueError("worker count must be at least 1")
+    config = config or SystemConfig.paper_default()
+    cells = expand_cells(spec)
+    jobs = [(spec, cell, config) for cell in cells]
+    if workers == 1 or len(cells) == 1:
+        results = [_run_cell_job(job) for job in jobs]
+    else:
+        with multiprocessing.Pool(processes=min(workers, len(cells))) as pool:
+            results = pool.map(_run_cell_job, jobs)
+    return SweepResult(spec=spec, cells=tuple(results))

@@ -1,0 +1,156 @@
+"""Smoke tests: every examples/*.py main path runs, with shrunk parameters.
+
+Each example is loaded from its file path (examples/ is not a package) and
+its module-level sweep constants are monkeypatched down so the whole suite
+stays fast; the point is that every example's main path executes against
+the current API, so examples cannot silently rot.  A completeness check
+fails if a new example is added without a smoke test here.
+"""
+
+from __future__ import annotations
+
+import functools
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+import repro.workloads.suite as suite_module
+from repro.experiments import fig06_activation, fig08_sobel
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+
+#: Example stem -> the marker its output must contain after running main().
+COVERED = {
+    "quickstart": "configuration",
+    "bursty_workload": "minimum spacing",
+    "camera_search": "keypoints",
+    "sprint_policy_study": "sprint intensity",
+    "thermal_design_space": "heat store",
+    "fleet_serving": "degenerate case",
+    "reproduce_paper": "EXPERIMENTS",
+}
+
+
+def load_example(name: str):
+    path = EXAMPLES_DIR / f"{name}.py"
+    spec = importlib.util.spec_from_file_location(f"example_{name}", path)
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[spec.name] = module
+    try:
+        spec.loader.exec_module(module)
+    finally:
+        sys.modules.pop(spec.name, None)
+    return module
+
+
+@pytest.fixture
+def tiny_kernel_suite(monkeypatch):
+    """Shrink every Table 1 input class to 0.05 MP.
+
+    ``KernelWorkloadFamily`` clamps missing class labels to the largest
+    available one, so code asking for class B/C/D transparently gets the
+    tiny class A and the real simulation paths still execute.
+    """
+    monkeypatch.setattr(
+        suite_module,
+        "INPUT_CLASSES",
+        {name: {"A": 0.05} for name in suite_module.INPUT_CLASSES},
+    )
+
+
+@pytest.fixture
+def single_activation_schedule(monkeypatch):
+    """Simulate only one PDN activation transient instead of all three."""
+    monkeypatch.setattr(
+        fig06_activation,
+        "run",
+        functools.partial(
+            fig06_activation.run, schedules=fig06_activation.PAPER_SCHEDULES[-1:]
+        ),
+    )
+
+
+def test_every_example_has_a_smoke_test():
+    names = {p.stem for p in EXAMPLES_DIR.glob("*.py")}
+    assert names == set(COVERED), "examples/ and COVERED are out of sync"
+
+
+def test_quickstart(capsys):
+    load_example("quickstart").main()
+    out = capsys.readouterr().out
+    assert COVERED["quickstart"] in out
+    assert "16-core parallel sprint" in out
+
+
+def test_bursty_workload(capsys, monkeypatch):
+    module = load_example("bursty_workload")
+    monkeypatch.setattr(module, "TASKS", 6)
+    module.main()
+    out = capsys.readouterr().out
+    assert COVERED["bursty_workload"] in out
+    assert "constrained design" in out
+
+
+def test_camera_search(capsys, monkeypatch):
+    module = load_example("camera_search")
+    monkeypatch.setattr(module, "RESOLUTIONS_MP", (0.3,))
+    module.main()
+    out = capsys.readouterr().out
+    assert COVERED["camera_search"] in out
+    assert "0.3MP" in out.replace(" ", "")
+
+
+def test_sprint_policy_study(capsys, monkeypatch, tiny_kernel_suite):
+    module = load_example("sprint_policy_study")
+    monkeypatch.setattr(module, "SPRINT_CORE_COUNTS", (16,))
+    module.main()
+    out = capsys.readouterr().out
+    assert COVERED["sprint_policy_study"] in out
+    assert "budget estimator" in out
+
+
+def test_thermal_design_space(capsys, monkeypatch, single_activation_schedule):
+    module = load_example("thermal_design_space")
+    monkeypatch.setattr(module, "PCM_MASSES_G", (0.150,))
+    monkeypatch.setattr(module, "MELTING_POINTS_C", (55.0,))
+    module.main()
+    out = capsys.readouterr().out
+    assert COVERED["thermal_design_space"] in out
+    assert "melting point" in out
+
+
+def test_fleet_serving(capsys, monkeypatch):
+    module = load_example("fleet_serving")
+    monkeypatch.setattr(module, "REQUESTS", 60)
+    monkeypatch.setattr(module, "ARRIVAL_RATES_HZ", (0.05, 0.2))
+    monkeypatch.setattr(module, "SWEEP_WORKERS", 2)
+    module.main()
+    out = capsys.readouterr().out
+    assert COVERED["fleet_serving"] in out
+    assert "MATCH" in out
+    assert "best p99" in out
+
+
+def test_reproduce_paper(
+    capsys, monkeypatch, tmp_path, tiny_kernel_suite, single_activation_schedule
+):
+    real_fig08_run = fig08_sobel.run
+    # The report passes megapixels= explicitly, so a partial() default would
+    # be overridden; force the tiny sweep regardless of the caller's choice.
+    monkeypatch.setattr(
+        fig08_sobel,
+        "run",
+        lambda *args, **kwargs: real_fig08_run(
+            *args, **{**kwargs, "megapixels": (0.5,)}
+        ),
+    )
+    module = load_example("reproduce_paper")
+    output = tmp_path / "report.md"
+    assert module.main(["--quick", "--output", str(output)]) == 0
+    out = capsys.readouterr().out
+    assert COVERED["reproduce_paper"] in out
+    assert "Figure 11" in out
+    report = output.read_text()
+    assert report.startswith("# EXPERIMENTS")

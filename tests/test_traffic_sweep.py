@@ -1,0 +1,194 @@
+"""Tests for the parallel scenario sweep engine."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import SystemConfig
+from repro.traffic.sweep import (
+    CellResult,
+    SweepSpec,
+    expand_cells,
+    run_cell,
+    run_sweep,
+)
+
+
+@pytest.fixture(scope="module")
+def small_spec():
+    return SweepSpec(
+        policies=("round_robin", "least_loaded"),
+        arrival_rates_hz=(0.05, 0.2),
+        fleet_sizes=(1, 2),
+        n_requests=25,
+        slo_s=2.0,
+        base_seed=7,
+    )
+
+
+class TestGridExpansion:
+    def test_cell_count_and_order(self, small_spec):
+        cells = expand_cells(small_spec)
+        assert len(cells) == 8
+        assert [c.index for c in cells] == list(range(8))
+        assert cells[0].policy == "round_robin"
+        assert cells[-1].policy == "least_loaded"
+
+    def test_stream_key_depends_only_on_arrival_rate(self, small_spec):
+        """Cells differing in policy or fleet size must replay the same
+        request stream; only the arrival rate changes it."""
+        cells = expand_cells(small_spec)
+        by_rate = {}
+        for cell in cells:
+            by_rate.setdefault(cell.arrival_rate_hz, set()).add(cell.stream_key)
+        for keys in by_rate.values():
+            assert len(keys) == 1
+        assert len({keys.pop() for keys in by_rate.values()}) == len(by_rate)
+
+    def test_seed_sequence_derives_from_base_seed(self, small_spec):
+        a = expand_cells(small_spec)[0]
+        b = expand_cells(SweepSpec(base_seed=99))[0]
+        assert a.seed_sequence.entropy != b.seed_sequence.entropy
+
+    def test_dispatch_seed_distinguishes_base_seed_from_cell_index(self):
+        """The dispatch RNG is seeded from the (base_seed, index) *pair*, so
+        swapping the components — which an additive seed would conflate —
+        must give a different random-dispatch assignment."""
+        import numpy as np
+
+        from repro.traffic import FixedService, FleetSimulator, PoissonArrivals
+        from repro.traffic.request import generate_requests
+
+        config = SystemConfig.paper_default()
+        requests = generate_requests(PoissonArrivals(0.5), FixedService(5.0), 60, seed=1)
+
+        def assignments(seed_pair):
+            fleet = FleetSimulator(config, 8, policy="random")
+            result = fleet.run(requests, seed=np.random.SeedSequence(seed_pair))
+            return [s.device_id for s in result.served]
+
+        assert assignments([0, 5]) == assignments([0, 5])
+        assert assignments([0, 5]) != assignments([5, 0])
+
+
+class TestSweepExecution:
+    def test_serial_matches_parallel(self, small_spec):
+        serial = run_sweep(small_spec, workers=1)
+        parallel = run_sweep(small_spec, workers=3)
+        assert serial.cells == parallel.cells
+
+    def test_sweep_is_reproducible(self, small_spec):
+        assert run_sweep(small_spec).cells == run_sweep(small_spec).cells
+
+    def test_one_device_cells_identical_across_policies(self, small_spec):
+        """With a single device every dispatch policy is a no-op, and since the
+        request stream is policy-independent the summaries must coincide."""
+        result = run_sweep(small_spec)
+        for rate in small_spec.arrival_rates_hz:
+            summaries = [
+                c.summary for c in result.filtered(arrival_rate_hz=rate, n_devices=1)
+            ]
+            assert all(s == summaries[0] for s in summaries)
+
+    def test_run_cell_matches_sweep(self, small_spec):
+        cells = expand_cells(small_spec)
+        config = SystemConfig.paper_default()
+        direct = run_cell(small_spec, cells[3], config)
+        swept = run_sweep(small_spec, config).cells[3]
+        assert direct == swept
+
+    def test_arrival_kinds_all_run(self):
+        for kind in ("poisson", "bursty", "diurnal", "deterministic"):
+            spec = SweepSpec(
+                arrival_rates_hz=(0.1,),
+                fleet_sizes=(2,),
+                n_requests=15,
+                arrival_kind=kind,
+            )
+            result = run_sweep(spec)
+            assert len(result.cells) == 1
+            assert result.cells[0].summary.request_count == 15
+
+    def test_bursty_arrival_process_preserves_mean_rate(self):
+        spec = SweepSpec(arrival_kind="bursty", burst_factor=4.0)
+        process = spec.arrival_process(0.2)
+        assert process.mean_rate_hz() == pytest.approx(0.2)
+
+    def test_bursty_burst_length_is_tunable(self):
+        spec = SweepSpec(arrival_kind="bursty", burst_factor=4.0, burst_mean_requests=20.0)
+        process = spec.arrival_process(0.2)
+        # A burst at 4 x 0.2/s carrying 20 expected requests lasts 25 s.
+        assert process.mean_dwell_s[0] == pytest.approx(25.0)
+        assert process.mean_rate_hz() == pytest.approx(0.2)
+
+    def test_service_cv_enables_gamma_demands(self):
+        spec = SweepSpec(
+            arrival_rates_hz=(0.1,), fleet_sizes=(1,), n_requests=30, service_cv=1.0
+        )
+        fixed = SweepSpec(arrival_rates_hz=(0.1,), fleet_sizes=(1,), n_requests=30)
+        assert run_sweep(spec).cells[0] != run_sweep(fixed).cells[0]
+
+    def test_sprint_disabled_sweeps_are_slower(self, small_spec):
+        sprint = run_sweep(small_spec)
+        sustained = run_sweep(small_spec.with_sprint_enabled(False))
+        mean_sprint = np.mean([c.summary.p50_latency_s for c in sprint.cells])
+        mean_sustained = np.mean([c.summary.p50_latency_s for c in sustained.cells])
+        assert mean_sprint < mean_sustained
+
+
+class TestSweepResult:
+    def test_filtered(self, small_spec):
+        result = run_sweep(small_spec)
+        subset = result.filtered(policy="round_robin", n_devices=2)
+        assert len(subset) == len(small_spec.arrival_rates_hz)
+        assert all(c.cell.policy == "round_robin" for c in subset)
+
+    def test_best_cell(self, small_spec):
+        result = run_sweep(small_spec)
+        best = result.best_cell("p99_latency_s")
+        assert isinstance(best, CellResult)
+        assert best.summary.p99_latency_s == min(
+            c.summary.p99_latency_s for c in result.cells
+        )
+
+    def test_format_table(self, small_spec):
+        table = run_sweep(small_spec).format_table()
+        assert "policy" in table
+        assert len(table.splitlines()) == 9
+
+
+class TestValidation:
+    def test_spec_validation(self):
+        with pytest.raises(ValueError):
+            SweepSpec(policies=())
+        with pytest.raises(ValueError):
+            SweepSpec(policies=("nope",))
+        with pytest.raises(ValueError):
+            SweepSpec(arrival_kind="weird")
+        with pytest.raises(ValueError):
+            SweepSpec(arrival_rates_hz=(0.0,))
+        with pytest.raises(ValueError):
+            SweepSpec(fleet_sizes=(0,))
+        with pytest.raises(ValueError):
+            SweepSpec(n_requests=0)
+        with pytest.raises(ValueError):
+            SweepSpec(arrival_kind="bursty", burst_factor=1.0)
+        with pytest.raises(ValueError):
+            SweepSpec(arrival_kind="bursty", burst_mean_requests=0.0)
+        # Burst knobs are only read (and so only validated) for bursty kinds.
+        SweepSpec(arrival_kind="poisson", burst_factor=1.0)
+        with pytest.raises(ValueError):
+            SweepSpec(service_cv=-0.5)
+        with pytest.raises(ValueError):
+            SweepSpec(slo_s=0.0)
+        with pytest.raises(ValueError):
+            SweepSpec(sprint_speedup=0.5)
+        with pytest.raises(ValueError):
+            SweepSpec(arrival_kind="diurnal", diurnal_amplitude=1.0)
+        with pytest.raises(ValueError):
+            SweepSpec(arrival_kind="diurnal", diurnal_period_s=0.0)
+        # Diurnal knobs are only validated when the diurnal kind reads them.
+        SweepSpec(arrival_kind="poisson", diurnal_amplitude=1.0)
+
+    def test_worker_validation(self, small_spec):
+        with pytest.raises(ValueError):
+            run_sweep(small_spec, workers=0)
