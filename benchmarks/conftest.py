@@ -9,6 +9,8 @@ EXPERIMENTS.md.
 
 from __future__ import annotations
 
+import os
+
 import pytest
 
 
@@ -20,3 +22,19 @@ def run_once(benchmark):
         return benchmark.pedantic(func, args=args, kwargs=kwargs, rounds=1, iterations=1)
 
     return _run
+
+
+@pytest.fixture
+def bench_scale():
+    """Scale a benchmark size by ``$REPRO_BENCH_SCALE`` (default 1.0).
+
+    CI's benchmark smoke step sets a small scale so every benchmark's code
+    path executes quickly on each push; local/full runs keep the real
+    sizes.  ``floor`` keeps shrunk runs large enough to stay meaningful.
+    """
+    factor = float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
+
+    def _scale(n: int, floor: int = 1) -> int:
+        return max(floor, int(n * factor))
+
+    return _scale

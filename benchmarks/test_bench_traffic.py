@@ -1,20 +1,26 @@
 """Benchmarks for the fleet simulator and the parallel sweep engine.
 
-Two questions matter for the serving layer's usefulness as a scenario
+Three questions matter for the serving layer's usefulness as a scenario
 engine: how many requests per wall-second one fleet simulation sustains,
-and how the multiprocessing sweep scales as workers are added.  Both runs
-record their throughput in ``benchmark.extra_info`` so the JSON output can
-be tracked across commits.
+whether dispatch stays cheap as the fleet grows (the indexed
+``least_loaded`` path against the O(n) scan it replaced), and how the
+multiprocessing sweep scales as workers are added.  Runs record their
+throughput in ``benchmark.extra_info`` so the JSON output can be tracked
+across commits, and honour ``$REPRO_BENCH_SCALE`` (see ``conftest``) so
+CI's smoke step can shrink them.
 """
 
 from __future__ import annotations
 
 import time
+from dataclasses import replace
 
+import numpy as np
 import pytest
 
 from repro.core.config import SystemConfig
 from repro.traffic import (
+    DISPATCH_POLICIES,
     FixedService,
     FleetSimulator,
     PoissonArrivals,
@@ -25,6 +31,9 @@ from repro.traffic import (
 
 FLEET_REQUESTS = 20_000
 FLEET_DEVICES = 16
+
+LARGE_FLEET_DEVICES = 256
+LARGE_FLEET_REQUESTS = 4_000
 
 SWEEP_SPEC = SweepSpec(
     policies=("round_robin", "least_loaded", "thermal_aware"),
@@ -38,11 +47,12 @@ SWEEP_SPEC = SweepSpec(
 SWEEP_WORKER_COUNTS = (1, 2, 4)
 
 
-def test_bench_fleet_throughput(benchmark):
+def test_bench_fleet_throughput(benchmark, bench_scale):
     """Requests simulated per wall-second on one 16-device fleet."""
     config = SystemConfig.paper_default()
+    n = bench_scale(FLEET_REQUESTS, floor=500)
     requests = generate_requests(
-        PoissonArrivals(1.0), FixedService(5.0), FLEET_REQUESTS, seed=1
+        PoissonArrivals(1.0), FixedService(5.0), n, seed=1
     )
 
     def simulate():
@@ -50,13 +60,54 @@ def test_bench_fleet_throughput(benchmark):
         return fleet.run(requests)
 
     result = benchmark.pedantic(simulate, rounds=1, iterations=1)
-    assert len(result.served) == FLEET_REQUESTS
+    assert len(result.served) == n
     elapsed = benchmark.stats.stats.mean
-    benchmark.extra_info["requests_per_second"] = FLEET_REQUESTS / elapsed
+    benchmark.extra_info["requests_per_second"] = n / elapsed
     benchmark.extra_info["p99_latency_s"] = result.summary().p99_latency_s
 
 
-def test_bench_sweep_worker_scaling(benchmark):
+def test_bench_large_fleet_dispatch(benchmark, bench_scale):
+    """Indexed ``least_loaded`` dispatch against the O(n) scan at 256 devices.
+
+    The named policy runs on the engine's heap index; passing the policy
+    *function* forces the legacy per-request scan over every device.  The
+    two are order-equivalent (asserted bit-identically), so the speedup is
+    pure dispatch cost.
+    """
+    config = SystemConfig.paper_default()
+    n = bench_scale(LARGE_FLEET_REQUESTS, floor=300)
+    requests = generate_requests(
+        PoissonArrivals(50.0), FixedService(5.0), n, seed=3
+    )
+
+    def indexed():
+        fleet = FleetSimulator(config, LARGE_FLEET_DEVICES, policy="least_loaded")
+        return fleet.run(requests)
+
+    result = benchmark.pedantic(indexed, rounds=1, iterations=1)
+    indexed_s = benchmark.stats.stats.mean
+
+    started = time.perf_counter()
+    scan_result = FleetSimulator(
+        config, LARGE_FLEET_DEVICES, policy=DISPATCH_POLICIES["least_loaded"]
+    ).run(requests)
+    scan_s = time.perf_counter() - started
+
+    assert np.array_equal(result.latencies_s, scan_result.latencies_s)
+    assert [s.device_id for s in result.served] == [
+        s.device_id for s in scan_result.served
+    ]
+    benchmark.extra_info["devices"] = LARGE_FLEET_DEVICES
+    benchmark.extra_info["indexed_requests_per_second"] = n / indexed_s
+    benchmark.extra_info["scan_requests_per_second"] = n / scan_s
+    benchmark.extra_info["speedup_vs_scan"] = scan_s / indexed_s
+    assert indexed_s < scan_s, (
+        f"indexed dispatch ({indexed_s:.3f}s) should beat the O(n) scan "
+        f"({scan_s:.3f}s) on a {LARGE_FLEET_DEVICES}-device fleet"
+    )
+
+
+def test_bench_sweep_worker_scaling(benchmark, bench_scale):
     """Wall time of the full grid serially, recorded against 2 and 4 workers.
 
     The benchmark times the serial run; parallel runs are timed manually
@@ -65,9 +116,10 @@ def test_bench_sweep_worker_scaling(benchmark):
     count produced identical results.
     """
     config = SystemConfig.paper_default()
+    spec = replace(SWEEP_SPEC, n_requests=bench_scale(SWEEP_SPEC.n_requests, floor=50))
 
     serial = benchmark.pedantic(
-        run_sweep, args=(SWEEP_SPEC, config), kwargs={"workers": 1},
+        run_sweep, args=(spec, config), kwargs={"workers": 1},
         rounds=1, iterations=1,
     )
     serial_s = benchmark.stats.stats.mean
@@ -77,7 +129,7 @@ def test_bench_sweep_worker_scaling(benchmark):
 
     for workers in SWEEP_WORKER_COUNTS[1:]:
         started = time.perf_counter()
-        parallel = run_sweep(SWEEP_SPEC, config, workers=workers)
+        parallel = run_sweep(spec, config, workers=workers)
         elapsed = time.perf_counter() - started
         assert parallel.cells == serial.cells, "parallel sweep diverged from serial"
         benchmark.extra_info[f"speedup_workers_{workers}"] = serial_s / elapsed

@@ -15,6 +15,13 @@ example uses :mod:`repro.traffic` to show three things:
 3. **Dispatch policies under bursty load**: a policy × fleet-size sweep
    (run across worker processes) showing thermal-aware dispatch beating
    round-robin and least-loaded on tail latency.
+4. **Central queue vs immediate dispatch at overload**: when demand
+   exceeds fleet capacity, a bounded central queue (admission control)
+   keeps the served p99 flat by shedding load, while immediate dispatch's
+   backlog — and tail — grows without bound.
+5. **Deadlines and abandonment**: an earliest-deadline-first central queue
+   under per-request latency budgets, reporting abandonment and
+   deadline-miss rates against FIFO.
 
 Run with::
 
@@ -22,6 +29,8 @@ Run with::
 """
 
 from __future__ import annotations
+
+from dataclasses import replace
 
 import numpy as np
 
@@ -31,6 +40,7 @@ from repro.traffic import (
     DeterministicArrivals,
     FixedService,
     FleetSimulator,
+    GammaService,
     PoissonArrivals,
     SweepSpec,
     generate_requests,
@@ -44,6 +54,9 @@ ARRIVAL_RATES_HZ = (0.02, 0.05, 0.1, 0.2, 0.3, 0.5, 0.7)
 FLEET_SIZE = 4
 SLO_S = 2.0
 SWEEP_WORKERS = 4
+OVERLOAD_RATE_HZ = 2.0
+QUEUE_BOUND = 8
+DEADLINE_S = 15.0
 
 
 def degenerate_case(config: SystemConfig) -> None:
@@ -133,6 +146,104 @@ def dispatch_policy_sweep(config: SystemConfig) -> None:
     )
 
 
+def overload_requests(seed: int = 42):
+    """Heavy-tailed demand arriving well above fleet capacity."""
+    return generate_requests(
+        PoissonArrivals(OVERLOAD_RATE_HZ),
+        GammaService(mean_s=TASK_SUSTAINED_S, cv=1.0),
+        REQUESTS,
+        seed=seed,
+    )
+
+
+def central_queue_at_overload(config: SystemConfig) -> None:
+    """Immediate vs central-queue dispatch when demand exceeds capacity."""
+    print(
+        "\n-- central queue vs immediate dispatch at overload "
+        f"({OVERLOAD_RATE_HZ:.1f}/s into {FLEET_SIZE} devices) --"
+    )
+    requests = overload_requests()
+    scenarios = [
+        ("immediate round_robin", dict(policy="round_robin")),
+        ("immediate least_loaded", dict(policy="least_loaded")),
+        ("central fifo (unbounded)", dict(mode="central_queue")),
+        (
+            f"central fifo (bound {QUEUE_BOUND})",
+            dict(mode="central_queue", queue_bound=QUEUE_BOUND),
+        ),
+    ]
+    print(f"{'dispatch':>26} {'p50':>8} {'p99':>9} {'served':>7} {'rejected':>9}")
+    summaries = {}
+    for label, kwargs in scenarios:
+        fleet = FleetSimulator(
+            config, n_devices=FLEET_SIZE, sprint_speedup=SPRINT_SPEEDUP, **kwargs
+        )
+        s = fleet.run(requests).summary()
+        summaries[label] = s
+        print(
+            f"{label:>26} {s.p50_latency_s:7.2f}s {s.p99_latency_s:8.2f}s "
+            f"{s.request_count:7d} {s.rejected_count:9d}"
+        )
+    bounded = summaries[f"central fifo (bound {QUEUE_BOUND})"]
+    immediate = summaries["immediate least_loaded"]
+    verdict = "BEATS" if bounded.p99_latency_s < immediate.p99_latency_s else "trails"
+    print(
+        f"\nadmission control {verdict} immediate dispatch on served p99 "
+        f"({bounded.p99_latency_s:.2f}s vs {immediate.p99_latency_s:.2f}s) by "
+        f"shedding {bounded.rejected_count}/{bounded.offered_count} requests"
+    )
+
+
+def deadline_scenario(config: SystemConfig) -> None:
+    """Per-request deadlines in a central queue: abandonment and miss rates.
+
+    Two request classes share the fleet: interactive requests with a tight
+    latency budget and batch requests that can wait four times longer.
+    FIFO ignores urgency; EDF pulls interactive requests forward, so fewer
+    of them give up in the queue.
+    """
+    print(
+        f"\n-- deadlines at overload: interactive ({DEADLINE_S:.0f}s budget) "
+        f"vs batch ({4 * DEADLINE_S:.0f}s), central queue --"
+    )
+    requests = [
+        replace(r, deadline_s=DEADLINE_S if r.index % 2 == 0 else 4 * DEADLINE_S)
+        for r in overload_requests()
+    ]
+    interactive = {r.index for r in requests if r.deadline_s == DEADLINE_S}
+    print(
+        f"{'discipline':>12} {'served':>7} {'abandoned':>10} {'late':>5} "
+        f"{'miss%':>7} {'interactive-miss%':>18}"
+    )
+    for discipline in ("fifo", "edf"):
+        fleet = FleetSimulator(
+            config,
+            n_devices=FLEET_SIZE,
+            sprint_speedup=SPRINT_SPEEDUP,
+            mode="central_queue",
+            discipline=discipline,
+        )
+        result = fleet.run(requests)
+        s = result.summary()
+        missed = s.abandoned_count + s.deadline_miss_count
+        interactive_missed = sum(
+            1 for r in result.abandoned if r.index in interactive
+        ) + sum(
+            1
+            for served in result.served
+            if served.request.index in interactive and served.missed_deadline
+        )
+        print(
+            f"{discipline:>12} {s.request_count:7d} {s.abandoned_count:10d} "
+            f"{s.deadline_miss_count:5d} {missed / s.offered_count * 100:6.1f}% "
+            f"{interactive_missed / len(interactive) * 100:17.1f}%"
+        )
+    print(
+        "(abandoned = gave up waiting in the queue; late = served but past "
+        "the deadline)"
+    )
+
+
 def main() -> None:
     config = SystemConfig.paper_default()
     print(
@@ -143,6 +254,8 @@ def main() -> None:
     degenerate_case(config)
     latency_vs_rate(config)
     dispatch_policy_sweep(config)
+    central_queue_at_overload(config)
+    deadline_scenario(config)
 
 
 if __name__ == "__main__":

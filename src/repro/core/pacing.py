@@ -202,10 +202,48 @@ class SprintPacer:
         if sustained_time_s <= 0:
             raise ValueError("task time must be positive")
         self._last_arrival_s = arrival_s
-
-        # The task starts once the previous one has finished; stored heat
-        # drains during any idle gap before the start.
+        # The task starts once the previous one has finished.
         start_s = max(arrival_s, self._clock_s)
+        return self.execute_at(
+            start_s,
+            sustained_time_s,
+            index=index,
+            allow_sprint=allow_sprint,
+            arrival_s=arrival_s,
+        )
+
+    def execute_at(
+        self,
+        start_s: float,
+        sustained_time_s: float,
+        index: int = 0,
+        allow_sprint: bool = True,
+        arrival_s: float | None = None,
+    ) -> TaskOutcome:
+        """Run one task starting exactly at ``start_s``; the caller owns queueing.
+
+        This is the primitive under :meth:`task_arrival`: it does not decide
+        *when* the task runs, only what happens when it does.  A central-queue
+        serving engine holds requests in its own queue and calls this at
+        assignment time, so the pacer never re-derives a wait the engine has
+        already resolved.  ``start_s`` must not precede the end of the
+        previously executed task (the device is still busy then).  ``arrival_s``
+        is carried into the outcome for bookkeeping (default: ``start_s``,
+        i.e. no reported queueing delay); stored heat drains during any idle
+        gap between the previous task's end and ``start_s``.
+        """
+        if sustained_time_s <= 0:
+            raise ValueError("task time must be positive")
+        if start_s < self._clock_s:
+            raise ValueError("task cannot start while the previous one is running")
+        if arrival_s is None:
+            arrival_s = start_s
+        # Keep task_arrival's in-order guard meaningful when the two entry
+        # points are mixed (a no-op on the task_arrival path, which has
+        # already advanced the watermark to this arrival).
+        self._last_arrival_s = max(self._last_arrival_s, arrival_s)
+
+        # Stored heat drains during any idle gap before the start.
         idle = start_s - self._clock_s
         self._stored_heat_j = max(0.0, self._stored_heat_j - self.drain_power_w * idle)
         before = self._stored_heat_j

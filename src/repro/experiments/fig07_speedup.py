@@ -120,6 +120,6 @@ def format_table(result: Fig07Result) -> str:
         )
     lines.append(
         f"average parallel (150mg): {result.average_parallel_full_pcm:.1f}x "
-        f"(paper: 10.2x)"
+        "(paper: 10.2x)"
     )
     return "\n".join(lines)

@@ -20,7 +20,7 @@ tolerance, while a 128 us ramp stays within tolerance and settles roughly
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 

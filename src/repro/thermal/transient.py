@@ -20,7 +20,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.thermal.network import ThermalNetwork
-from repro.thermal.package import AMBIENT, JUNCTION, PCM, PcmPackage
+from repro.thermal.package import JUNCTION, PCM, PcmPackage
 
 
 @dataclass

@@ -11,12 +11,18 @@ bursty, diurnal, or measured from a trace?  It is organised as a pipeline:
   samplers, including draws from the Table 1 kernel suite,
 * :mod:`repro.traffic.device` — a serving wrapper around the sprint
   pacing model, so consecutive requests share one thermal budget,
-* :mod:`repro.traffic.fleet` — the discrete-event fleet simulator with
-  round-robin, least-loaded, thermal-aware and random dispatch,
+* :mod:`repro.traffic.engine` — the heap-based discrete-event core:
+  arrival/device-free/deadline events, immediate and central-queue
+  dispatch modes, bounded queues with rejection, deadline abandonment,
+  and an O(log n) least-loaded device index,
+* :mod:`repro.traffic.fleet` — the fleet simulator built on the engine,
+  with round-robin, least-loaded, thermal-aware and random dispatch,
 * :mod:`repro.traffic.metrics` — p50/p95/p99 latency, SLO attainment,
-  sprint fraction and throughput summaries,
+  sprint fraction, throughput, and lifecycle (rejected/abandoned/
+  deadline-miss) summaries,
 * :mod:`repro.traffic.sweep` — a multiprocessing scenario sweep over
-  policy × arrival-rate × fleet-size grids with deterministic seeding.
+  policy × rate × fleet × discipline × queue-bound grids with
+  deterministic seeding.
 
 Quick start::
 
@@ -41,8 +47,16 @@ from repro.traffic.arrivals import (
     TraceArrivals,
 )
 from repro.traffic.device import ServedRequest, SprintDevice
-from repro.traffic.fleet import (
+from repro.traffic.engine import (
+    DISPATCH_MODES,
     DISPATCH_POLICIES,
+    QUEUE_DISCIPLINES,
+    DispatchFn,
+    EngineResult,
+    LeastLoadedIndex,
+    ServingEngine,
+)
+from repro.traffic.fleet import (
     DeviceStats,
     FleetResult,
     FleetSimulator,
@@ -64,6 +78,7 @@ from repro.traffic.request import (
 )
 from repro.traffic.sweep import (
     ARRIVAL_KINDS,
+    SWEEP_DISCIPLINES,
     CellResult,
     SweepCell,
     SweepResult,
@@ -77,20 +92,27 @@ __all__ = [
     "ARRIVAL_KINDS",
     "ArrivalProcess",
     "CellResult",
+    "DISPATCH_MODES",
     "DISPATCH_POLICIES",
     "DeterministicArrivals",
     "DeviceStats",
+    "DispatchFn",
     "DiurnalArrivals",
+    "EngineResult",
     "FixedService",
     "FleetResult",
     "FleetSimulator",
     "GammaService",
+    "LeastLoadedIndex",
     "LognormalService",
     "MMPPArrivals",
     "PoissonArrivals",
+    "QUEUE_DISCIPLINES",
     "Request",
+    "SWEEP_DISCIPLINES",
     "ServedRequest",
     "ServiceModel",
+    "ServingEngine",
     "SprintDevice",
     "SuiteService",
     "SweepCell",

@@ -9,6 +9,16 @@ requests on a hot device genuinely see a depleted budget.  The device also
 exposes the two projections a dispatcher needs without perturbing state:
 when it will next be free, and how much sprint budget a request arriving at
 a given time would find.
+
+Two entry points hand the device work, matching the two dispatch modes of
+:mod:`repro.traffic.engine`:
+
+* :meth:`SprintDevice.serve` — immediate dispatch: the request joins the
+  device at its arrival time and the pacer resolves any wait behind queued
+  work (``queueing_delay_s`` comes from the pacer).
+* :meth:`SprintDevice.execute` — deferred (central-queue) dispatch: the
+  engine held the request in a shared queue and assigns it at a start time
+  when the device is known to be free; the engine owns the queueing delay.
 """
 
 from __future__ import annotations
@@ -16,7 +26,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.core.config import SystemConfig
-from repro.core.pacing import SprintPacer
+from repro.core.pacing import SprintPacer, TaskOutcome
 from repro.traffic.request import Request
 
 
@@ -46,6 +56,11 @@ class ServedRequest:
     def completed_at_s(self) -> float:
         """Absolute completion time."""
         return self.request.arrival_s + self.latency_s
+
+    @property
+    def missed_deadline(self) -> bool:
+        """True when the request had a deadline and completed after it."""
+        return self.completed_at_s > self.request.deadline_at_s
 
 
 class SprintDevice:
@@ -83,6 +98,8 @@ class SprintDevice:
         )
         self.requests_served = 0
         self.busy_seconds = 0.0
+        self.sprints_served = 0
+        self._sprint_fullness_total = 0.0
 
     # -- dispatcher-facing projections (read-only) --------------------------------
 
@@ -99,18 +116,51 @@ class SprintDevice:
         """Projected sprint-budget fraction available at a future instant."""
         return self.pacer.available_fraction_at(time_s)
 
+    @property
+    def sprint_fullness_mean(self) -> float:
+        """Mean realised sprint fullness over every request served so far."""
+        if self.requests_served == 0:
+            return 0.0
+        return self._sprint_fullness_total / self.requests_served
+
     # -- serving --------------------------------------------------------------------
 
     def serve(self, request: Request) -> ServedRequest:
-        """Execute one request; requests must be handed over in arrival order."""
+        """Execute one request; requests must be handed over in arrival order.
+
+        Immediate-dispatch entry point: the request joins this device at its
+        arrival time and waits behind any queued work (the pacer reports that
+        wait in ``queueing_delay_s``).
+        """
         outcome = self.pacer.task_arrival(
             request.arrival_s,
             request.sustained_time_s,
             index=request.index,
             allow_sprint=self.sprint_enabled,
         )
+        return self._record(request, outcome)
+
+    def execute(self, request: Request, start_s: float) -> ServedRequest:
+        """Execute one request starting exactly at ``start_s``.
+
+        Central-queue entry point: the engine held the request in a shared
+        queue and only assigns it when this device is free, so the queueing
+        delay is the engine's (``start_s - arrival_s``), not the pacer's.
+        """
+        outcome = self.pacer.execute_at(
+            start_s,
+            request.sustained_time_s,
+            index=request.index,
+            allow_sprint=self.sprint_enabled,
+            arrival_s=request.arrival_s,
+        )
+        return self._record(request, outcome)
+
+    def _record(self, request: Request, outcome: TaskOutcome) -> ServedRequest:
         self.requests_served += 1
         self.busy_seconds += outcome.response_time_s
+        self.sprints_served += int(outcome.sprinted)
+        self._sprint_fullness_total += outcome.sprint_fullness
         return ServedRequest(
             request=request,
             device_id=self.device_id,
@@ -127,3 +177,5 @@ class SprintDevice:
         self.pacer.reset()
         self.requests_served = 0
         self.busy_seconds = 0.0
+        self.sprints_served = 0
+        self._sprint_fullness_total = 0.0

@@ -1,0 +1,425 @@
+"""Heap-based discrete-event serving engine for sprint-capable fleets.
+
+The engine advances a priority queue of timestamped events instead of a
+python loop over requests, which buys three things the legacy
+arrival-ordered loop could not express:
+
+* **Central-queue (deferred) dispatch** — requests wait in a shared queue
+  (FIFO or earliest-deadline-first) and are assigned to a device only when
+  one frees, like a real serving frontend.  The legacy behaviour survives
+  as *immediate* mode: every request is bound to a device at its arrival
+  instant by a dispatch policy and queues on that device.
+* **A request lifecycle** — bounded queues reject arrivals when full
+  (admission control), and a queued request whose deadline passes before it
+  starts is abandoned.  Served, rejected, and abandoned requests are
+  reported separately in :class:`EngineResult`.
+* **Indexed dispatch** — :class:`LeastLoadedIndex` tracks idle and busy
+  devices in lazy-deletion heaps, so ``least_loaded`` dispatch costs
+  O(log n) per request instead of an O(n) scan over the fleet.
+
+Event kinds
+-----------
+``DEVICE_FREE`` (a device finished its request), ``ARRIVAL`` (a request
+reaches the frontend) and ``DEADLINE`` (a queued request's latency budget
+expires) — resolved in that order at equal timestamps, so a request
+arriving exactly when a device frees is served without waiting, and a
+request whose dispatch opportunity coincides with its deadline is served
+rather than abandoned.  Immediate mode only schedules arrivals: device
+queueing lives inside :class:`~repro.core.pacing.SprintPacer` there, and
+the engine reproduces the legacy loop's latencies bit-identically.
+
+Dispatch policies (immediate mode)
+----------------------------------
+* ``round_robin`` — cycle through devices regardless of state,
+* ``least_loaded`` — the device that can start the request soonest,
+* ``thermal_aware`` — among the devices that can start soonest (within a
+  slack window), the one with the most sprint budget left at start time,
+* ``random`` — uniform choice, seeded by the run seed (the usual strawman).
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.traffic.device import ServedRequest, SprintDevice
+from repro.traffic.request import Request
+
+#: A dispatch policy maps (devices, request, rng, round-robin cursor) to a
+#: device index.  The cursor is only meaningful to round_robin but is passed
+#: uniformly so policies stay plain functions.
+DispatchFn = Callable[[Sequence[SprintDevice], Request, np.random.Generator, int], int]
+
+#: How requests are bound to devices: at arrival (legacy) or from a shared queue.
+DISPATCH_MODES = ("immediate", "central_queue")
+
+#: Orderings of the shared queue in central_queue mode.
+QUEUE_DISCIPLINES = ("fifo", "edf")
+
+# Event kinds, in tie-break order at equal timestamps (see module docstring).
+_DEVICE_FREE = 0
+_ARRIVAL = 1
+_DEADLINE = 2
+
+
+def _round_robin(
+    devices: Sequence[SprintDevice],
+    request: Request,
+    rng: np.random.Generator,
+    cursor: int,
+) -> int:
+    return cursor % len(devices)
+
+
+def _least_loaded(
+    devices: Sequence[SprintDevice],
+    request: Request,
+    rng: np.random.Generator,
+    cursor: int,
+) -> int:
+    """Join the device that can start the request soonest (O(n) scan).
+
+    Ties — the common case whenever several devices are idle — go to the
+    device that has served the fewest requests (then the lowest id), which
+    rotates light-load traffic across the fleet instead of piling every
+    request onto device 0 and turning it into a thermal hotspot.
+
+    This is the reference implementation; the engine replaces it with the
+    order-equivalent O(log n) :class:`LeastLoadedIndex` when the policy is
+    named ``"least_loaded"``.  Pass this function itself as a custom policy
+    to force the scan (e.g. for benchmarking the index against it).
+    """
+    return min(
+        range(len(devices)),
+        key=lambda i: (
+            devices[i].start_time_for(request.arrival_s),
+            devices[i].requests_served,
+            i,
+        ),
+    )
+
+
+def _thermal_aware(
+    devices: Sequence[SprintDevice],
+    request: Request,
+    rng: np.random.Generator,
+    cursor: int,
+) -> int:
+    """Prefer budget over pure load, without starving the queue.
+
+    Candidates are devices whose start time is within a slack window of
+    the earliest possible start; the window is 10% of the request's own
+    sustained time.  Bounding the slack by the task length keeps the trade
+    favourable in every regime: a successful full sprint saves
+    ``(1 - 1/speedup)`` of the sustained time, so waiting up to 10% of it
+    for a device with more budget is always a good exchange — whereas a
+    window scaled by the queueing backlog could, under overload, wait
+    longer than any sprint can ever save.  Among candidates the most
+    sprint budget available at start time wins; ties fall back to the
+    earliest start, then the lowest device id.
+    """
+    starts = [d.start_time_for(request.arrival_s) for d in devices]
+    earliest = min(starts)
+    slack = 0.1 * request.sustained_time_s
+    best = None
+    for i, device in enumerate(devices):
+        if starts[i] > earliest + slack:
+            continue
+        key = (-device.available_fraction_at(starts[i]), starts[i], i)
+        if best is None or key < best[0]:
+            best = (key, i)
+    assert best is not None
+    return best[1]
+
+
+def _random(
+    devices: Sequence[SprintDevice],
+    request: Request,
+    rng: np.random.Generator,
+    cursor: int,
+) -> int:
+    return int(rng.integers(len(devices)))
+
+
+DISPATCH_POLICIES: dict[str, DispatchFn] = {
+    "round_robin": _round_robin,
+    "least_loaded": _least_loaded,
+    "thermal_aware": _thermal_aware,
+    "random": _random,
+}
+
+
+class LeastLoadedIndex:
+    """O(log n) replacement for the ``least_loaded`` fleet scan.
+
+    Two lazy-deletion heaps partition the fleet: devices known to be idle
+    at or before the probe time, keyed ``(requests_served, position)``, and
+    busy devices keyed ``(busy_until_s, requests_served, position)``.  Each
+    device's live entry carries a version number; re-keying a device after
+    it absorbs a request just bumps the version and pushes a fresh entry,
+    and stale entries are discarded when they surface at a heap top.
+
+    Picking the idle minimum when any device is idle, else the busy
+    minimum, reproduces the scan's ``(start_time, requests_served, id)``
+    ordering exactly: idle devices all share ``start_time == arrival`` (so
+    the scan's tie-break applies verbatim), and every idle device beats
+    every busy one because a busy device starts at ``busy_until > arrival``.
+
+    Probe times must be non-decreasing (arrivals are processed in time
+    order), so devices migrate monotonically from the busy heap to the idle
+    heap and each serve costs amortised O(log n).
+    """
+
+    def __init__(self, devices: Sequence[SprintDevice]) -> None:
+        self._devices = devices
+        self._version = [0] * len(devices)
+        self._idle: list[tuple[int, int, int]] = []
+        # Seed from each device's *actual* state (it may carry serving
+        # history); devices already free migrate to the idle heap on the
+        # first probe, so a fresh fleet behaves as all-idle.
+        self._busy: list[tuple[float, int, int, int]] = [
+            (d.busy_until_s, d.requests_served, i, 0) for i, d in enumerate(devices)
+        ]
+        heapq.heapify(self._busy)
+
+    def _advance(self, now_s: float) -> None:
+        """Migrate devices whose busy period has ended into the idle heap."""
+        busy = self._busy
+        while busy:
+            busy_until, served, pos, version = busy[0]
+            if version != self._version[pos]:
+                heapq.heappop(busy)
+                continue
+            if busy_until > now_s:
+                break
+            heapq.heappop(busy)
+            heapq.heappush(self._idle, (served, pos, version))
+
+    def pick(self, arrival_s: float) -> int:
+        """Device position the scan would pick for an arrival at ``arrival_s``."""
+        self._advance(arrival_s)
+        idle = self._idle
+        while idle:
+            served, pos, version = idle[0]
+            if version != self._version[pos]:
+                heapq.heappop(idle)
+                continue
+            return pos
+        busy = self._busy
+        while True:
+            busy_until, served, pos, version = busy[0]
+            if version != self._version[pos]:
+                heapq.heappop(busy)
+                continue
+            return pos
+
+    def update(self, pos: int) -> None:
+        """Re-key device ``pos`` after it absorbed a request."""
+        self._version[pos] += 1
+        device = self._devices[pos]
+        heapq.heappush(
+            self._busy,
+            (device.busy_until_s, device.requests_served, pos, self._version[pos]),
+        )
+
+
+@dataclass(frozen=True)
+class EngineResult:
+    """Everything one engine run produced, by request fate.
+
+    ``served`` is in completion order of the underlying event processing;
+    callers usually re-sort by ``request.index``.  ``rejected`` holds
+    arrivals bounced by a full bounded queue, ``abandoned`` the queued
+    requests whose deadline expired before a device picked them up.
+    """
+
+    served: tuple[ServedRequest, ...]
+    rejected: tuple[Request, ...]
+    abandoned: tuple[Request, ...]
+
+
+class ServingEngine:
+    """Discrete-event core shared by every fleet simulation.
+
+    Parameters
+    ----------
+    devices:
+        The fleet.  Device positions (list indices) are the engine's device
+        identity; callers conventionally construct devices whose
+        ``device_id`` equals their position.
+    dispatch, policy_name:
+        The immediate-mode dispatch policy and its name.
+    indexed:
+        Run ``least_loaded`` dispatch on the order-equivalent O(log n)
+        :class:`LeastLoadedIndex` instead of calling ``dispatch``.  Default
+        (``None``): substitute exactly when ``policy_name`` is
+        ``"least_loaded"``.  Callers resolving policies themselves (e.g.
+        :class:`~repro.traffic.fleet.FleetSimulator`) pass an explicit
+        bool so a *custom* callable that happens to be named
+        ``least_loaded`` still runs as-is.
+    mode:
+        ``"immediate"`` binds each request to a device at its arrival
+        instant (the legacy behaviour, bit-identical to the old loop);
+        ``"central_queue"`` holds requests in a shared queue until a device
+        frees.
+    discipline:
+        Central-queue ordering: ``"fifo"`` (arrival order) or ``"edf"``
+        (earliest absolute deadline first; deadline-free requests sort
+        last, among themselves in arrival order).
+    queue_bound:
+        Maximum number of requests waiting in the central queue; arrivals
+        beyond it are rejected (admission control).  ``None`` = unbounded;
+        ``0`` = a pure loss system.  Ignored in immediate mode, where
+        queueing lives on the devices.
+    """
+
+    def __init__(
+        self,
+        devices: Sequence[SprintDevice],
+        dispatch: DispatchFn = _least_loaded,
+        policy_name: str = "least_loaded",
+        mode: str = "immediate",
+        discipline: str = "fifo",
+        queue_bound: int | None = None,
+        indexed: bool | None = None,
+    ) -> None:
+        if not devices:
+            raise ValueError("the engine needs at least one device")
+        if mode not in DISPATCH_MODES:
+            raise ValueError(
+                f"unknown dispatch mode {mode!r}; available: {DISPATCH_MODES}"
+            )
+        if discipline not in QUEUE_DISCIPLINES:
+            raise ValueError(
+                f"unknown queue discipline {discipline!r}; "
+                f"available: {QUEUE_DISCIPLINES}"
+            )
+        if queue_bound is not None and queue_bound < 0:
+            raise ValueError("queue bound must be non-negative (or None)")
+        self.devices = devices
+        self.dispatch = dispatch
+        self.policy_name = policy_name
+        self.mode = mode
+        self.discipline = discipline
+        self.queue_bound = queue_bound
+        self.indexed = (policy_name == "least_loaded") if indexed is None else indexed
+
+    # -- the event loop ---------------------------------------------------------------
+
+    def run(
+        self, requests: Sequence[Request], rng: np.random.Generator
+    ) -> EngineResult:
+        """Process ``requests`` to completion and report every request's fate.
+
+        ``rng`` feeds immediate-mode policies that randomise (``random``);
+        everything else is deterministic, so identical requests, seed, and
+        engine configuration give bit-identical results.
+        """
+        ordered = sorted(requests, key=lambda r: (r.arrival_s, r.index))
+        seq = itertools.count()
+        # Entries are (time, kind, seq, payload); seq is unique, so payloads
+        # are never compared.
+        events: list[tuple[float, int, int, object]] = [
+            (r.arrival_s, _ARRIVAL, next(seq), r) for r in ordered
+        ]
+
+        served: list[ServedRequest] = []
+        rejected: list[Request] = []
+        abandoned: list[Request] = []
+
+        immediate = self.mode == "immediate"
+        index = LeastLoadedIndex(self.devices) if immediate and self.indexed else None
+        cursor = 0  # immediate-mode dispatch count, for round_robin
+
+        # Central-queue state.  The queue heap orders waiting requests by
+        # the discipline key; ``waiting`` maps a live entry's token to its
+        # request, and is the source of truth for queue membership (entries
+        # for dispatched or abandoned requests are skipped lazily).  Every
+        # device enters the idle heap through a DEVICE_FREE event at its
+        # *actual* busy-until time (0.0 for a fresh device, so a fresh
+        # fleet is all-idle before the first arrival; a device carrying
+        # serving history only becomes assignable once it really frees).
+        queue: list[tuple[float, int, Request]] = []
+        waiting: dict[int, Request] = {}
+        idle: list[tuple[int, int]] = []
+        if not immediate:
+            for pos, device in enumerate(self.devices):
+                events.append(
+                    (device.busy_until_s, _DEVICE_FREE, next(seq), pos)
+                )
+        heapq.heapify(events)
+        edf = self.discipline == "edf"
+
+        def start(request: Request, pos: int, now_s: float) -> None:
+            device = self.devices[pos]
+            served.append(device.execute(request, start_s=now_s))
+            heapq.heappush(
+                events, (device.busy_until_s, _DEVICE_FREE, next(seq), pos)
+            )
+
+        def pop_queued() -> Request | None:
+            while queue:
+                _, token, request = heapq.heappop(queue)
+                if token in waiting:
+                    del waiting[token]
+                    return request
+            return None
+
+        while events:
+            now_s, kind, _, payload = heapq.heappop(events)
+
+            if kind == _ARRIVAL:
+                request = payload
+                if immediate:
+                    if index is not None:
+                        pos = index.pick(request.arrival_s)
+                    else:
+                        pos = self.dispatch(self.devices, request, rng, cursor)
+                    cursor += 1
+                    served.append(self.devices[pos].serve(request))
+                    if index is not None:
+                        index.update(pos)
+                elif idle:
+                    _, pos = heapq.heappop(idle)
+                    start(request, pos, now_s)
+                elif (
+                    self.queue_bound is not None
+                    and len(waiting) >= self.queue_bound
+                ):
+                    rejected.append(request)
+                else:
+                    token = next(seq)
+                    key = request.deadline_at_s if edf else float(token)
+                    heapq.heappush(queue, (key, token, request))
+                    waiting[token] = request
+                    if request.deadline_s is not None:
+                        heapq.heappush(
+                            events,
+                            (request.deadline_at_s, _DEADLINE, next(seq), token),
+                        )
+
+            elif kind == _DEVICE_FREE:
+                pos = payload
+                request = pop_queued()
+                if request is not None:
+                    start(request, pos, now_s)
+                else:
+                    heapq.heappush(
+                        idle, (self.devices[pos].requests_served, pos)
+                    )
+
+            else:  # _DEADLINE
+                token = payload
+                request = waiting.pop(token, None)
+                if request is not None:
+                    abandoned.append(request)
+
+        return EngineResult(
+            served=tuple(served),
+            rejected=tuple(rejected),
+            abandoned=tuple(abandoned),
+        )

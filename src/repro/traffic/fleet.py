@@ -1,120 +1,50 @@
 """Fleet simulator: N sprint-capable devices serving a request stream.
 
-The simulator is event-driven in the simplest useful sense: requests are
-processed in arrival order, a dispatch policy picks a device for each, and
-the device's own pacing model resolves queueing (a request dispatched to a
-busy device waits behind it) and the thermal budget (a request dispatched
-to a hot device may not get to sprint).  Because every device serialises
-its queue and the policies break ties deterministically, a run is fully
-reproducible: the same requests and seed give bit-identical latencies.
+:class:`FleetSimulator` is a thin configuration shell around the
+discrete-event core in :mod:`repro.traffic.engine`: it builds the devices,
+resolves the dispatch policy, runs the engine, and packages the outcome as
+a :class:`FleetResult` with per-device accounting.
 
-Dispatch policies
------------------
-* ``round_robin`` — cycle through devices regardless of state,
-* ``least_loaded`` — the device that can start the request soonest,
-* ``thermal_aware`` — among the devices that can start soonest (within a
-  slack window), the one with the most sprint budget left at start time,
-* ``random`` — uniform choice, seeded by the run seed (the usual strawman).
+Two dispatch modes are available.  *Immediate* mode binds every request to
+a device at its arrival instant via a dispatch policy (``round_robin``,
+``least_loaded``, ``thermal_aware``, ``random``) and lets the device's own
+pacing model resolve queueing and the thermal budget; a run is fully
+reproducible — the same requests and seed give bit-identical latencies.
+*Central-queue* mode holds requests in a shared FIFO or
+earliest-deadline-first queue and assigns them only when a device frees,
+optionally bounding the queue (rejecting excess arrivals) and abandoning
+queued requests whose deadline expires — the lifecycle a real serving
+frontend imposes.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Sequence
+from typing import Sequence
 
 import numpy as np
 
 from repro.core.config import SystemConfig
 from repro.traffic.device import ServedRequest, SprintDevice
+from repro.traffic.engine import (
+    DISPATCH_MODES,
+    DISPATCH_POLICIES,
+    QUEUE_DISCIPLINES,
+    DispatchFn,
+    ServingEngine,
+)
 from repro.traffic.metrics import TrafficSummary, summarize
 from repro.traffic.request import Request
 
-#: A dispatch policy maps (devices, request, rng, round-robin cursor) to a
-#: device index.  The cursor is only meaningful to round_robin but is passed
-#: uniformly so policies stay plain functions.
-DispatchFn = Callable[[Sequence[SprintDevice], Request, np.random.Generator, int], int]
-
-
-def _round_robin(
-    devices: Sequence[SprintDevice],
-    request: Request,
-    rng: np.random.Generator,
-    cursor: int,
-) -> int:
-    return cursor % len(devices)
-
-
-def _least_loaded(
-    devices: Sequence[SprintDevice],
-    request: Request,
-    rng: np.random.Generator,
-    cursor: int,
-) -> int:
-    """Join the device that can start soonest.
-
-    Ties — the common case whenever several devices are idle — go to the
-    device that has served the fewest requests (then the lowest id), which
-    rotates light-load traffic across the fleet instead of piling every
-    request onto device 0 and turning it into a thermal hotspot.
-    """
-    return min(
-        range(len(devices)),
-        key=lambda i: (
-            devices[i].start_time_for(request.arrival_s),
-            devices[i].requests_served,
-            i,
-        ),
-    )
-
-
-def _thermal_aware(
-    devices: Sequence[SprintDevice],
-    request: Request,
-    rng: np.random.Generator,
-    cursor: int,
-) -> int:
-    """Prefer budget over pure load, without starving the queue.
-
-    Candidates are devices whose start time is within a slack window of
-    the earliest possible start; the window is 10% of the request's own
-    sustained time.  Bounding the slack by the task length keeps the trade
-    favourable in every regime: a successful full sprint saves
-    ``(1 - 1/speedup)`` of the sustained time, so waiting up to 10% of it
-    for a device with more budget is always a good exchange — whereas a
-    window scaled by the queueing backlog could, under overload, wait
-    longer than any sprint can ever save.  Among candidates the most
-    sprint budget available at start time wins; ties fall back to the
-    earliest start, then the lowest device id.
-    """
-    starts = [d.start_time_for(request.arrival_s) for d in devices]
-    earliest = min(starts)
-    slack = 0.1 * request.sustained_time_s
-    best = None
-    for i, device in enumerate(devices):
-        if starts[i] > earliest + slack:
-            continue
-        key = (-device.available_fraction_at(starts[i]), starts[i], i)
-        if best is None or key < best[0]:
-            best = (key, i)
-    assert best is not None
-    return best[1]
-
-
-def _random(
-    devices: Sequence[SprintDevice],
-    request: Request,
-    rng: np.random.Generator,
-    cursor: int,
-) -> int:
-    return int(rng.integers(len(devices)))
-
-
-DISPATCH_POLICIES: dict[str, DispatchFn] = {
-    "round_robin": _round_robin,
-    "least_loaded": _least_loaded,
-    "thermal_aware": _thermal_aware,
-    "random": _random,
-}
+__all__ = [
+    "DISPATCH_MODES",
+    "DISPATCH_POLICIES",
+    "QUEUE_DISCIPLINES",
+    "DeviceStats",
+    "DispatchFn",
+    "FleetResult",
+    "FleetSimulator",
+]
 
 
 @dataclass(frozen=True)
@@ -125,6 +55,11 @@ class DeviceStats:
     requests_served: int
     busy_seconds: float
     stored_heat_j: float
+    #: Requests that sprinted at all on this device (partial sprints included).
+    sprints_served: int = 0
+    #: Mean realised sprint fullness on this device — low values flag a
+    #: thermal hotspot that is nominally sprinting but mostly sustained.
+    sprint_fullness_mean: float = 0.0
 
 
 @dataclass(frozen=True)
@@ -134,6 +69,10 @@ class FleetResult:
     served: tuple[ServedRequest, ...]
     device_stats: tuple[DeviceStats, ...]
     policy: str
+    #: Arrivals bounced by a full bounded central queue (admission control).
+    rejected: tuple[Request, ...] = ()
+    #: Queued requests whose deadline expired before a device freed.
+    abandoned: tuple[Request, ...] = ()
     _summary_cache: dict = field(
         default_factory=dict, init=False, repr=False, compare=False
     )
@@ -146,12 +85,17 @@ class FleetResult:
     def summary(self, slo_s: float | None = None) -> TrafficSummary:
         """Aggregate serving metrics (cached per SLO)."""
         if slo_s not in self._summary_cache:
-            self._summary_cache[slo_s] = summarize(self.served, slo_s=slo_s)
+            self._summary_cache[slo_s] = summarize(
+                self.served,
+                slo_s=slo_s,
+                rejected_count=len(self.rejected),
+                abandoned_count=len(self.abandoned),
+            )
         return self._summary_cache[slo_s]
 
 
 class FleetSimulator:
-    """Discrete-event simulation of a fleet under a dispatch policy.
+    """Discrete-event simulation of a fleet under a dispatch mode and policy.
 
     Parameters
     ----------
@@ -161,6 +105,16 @@ class FleetSimulator:
         Fleet size.
     policy:
         One of :data:`DISPATCH_POLICIES` (or a custom :data:`DispatchFn`).
+        Only consulted in ``immediate`` mode; the name ``"least_loaded"``
+        runs on the engine's O(log n) index, while passing the policy
+        *function* as a custom callable forces the O(n) scan.
+    mode:
+        ``"immediate"`` (default, the legacy per-arrival binding) or
+        ``"central_queue"`` (shared queue, assignment on device-free).
+    discipline:
+        Central-queue ordering, ``"fifo"`` or ``"edf"``.
+    queue_bound:
+        Central-queue admission limit (``None`` = unbounded).
     sprint_speedup, sprint_enabled, refuse_partial_sprints:
         Forwarded to each :class:`~repro.traffic.device.SprintDevice`.
     """
@@ -173,6 +127,9 @@ class FleetSimulator:
         sprint_speedup: float = 10.0,
         sprint_enabled: bool = True,
         refuse_partial_sprints: bool = False,
+        mode: str = "immediate",
+        discipline: str = "fifo",
+        queue_bound: int | None = None,
     ) -> None:
         if n_devices < 1:
             raise ValueError("a fleet needs at least one device")
@@ -184,10 +141,17 @@ class FleetSimulator:
                 )
             self.policy_name = policy
             self._dispatch = DISPATCH_POLICIES[policy]
+            # Only the *named* policy runs on the engine's index; a custom
+            # callable — even one named "least_loaded" — must be called.
+            self._indexed = policy == "least_loaded"
         else:
             self.policy_name = getattr(policy, "__name__", "custom")
             self._dispatch = policy
+            self._indexed = False
         self.config = config
+        self.mode = mode
+        self.discipline = discipline
+        self.queue_bound = queue_bound
         self.devices = [
             SprintDevice(
                 config,
@@ -198,38 +162,53 @@ class FleetSimulator:
             )
             for i in range(n_devices)
         ]
+        # Validate mode/discipline/bound eagerly (fail at construction, not run).
+        self._make_engine()
+
+    def _make_engine(self) -> ServingEngine:
+        return ServingEngine(
+            self.devices,
+            dispatch=self._dispatch,
+            policy_name=self.policy_name,
+            mode=self.mode,
+            discipline=self.discipline,
+            queue_bound=self.queue_bound,
+            indexed=self._indexed,
+        )
 
     def run(
         self,
         requests: Sequence[Request],
         seed: int | np.random.SeedSequence = 0,
     ) -> FleetResult:
-        """Serve ``requests`` (sorted by arrival time) and collect results.
+        """Serve ``requests`` and collect results.
 
         ``seed`` only feeds policies that randomise (``random``); the
         deterministic policies ignore it, and two runs with identical
-        requests and seed produce identical per-request latencies.
+        requests and seed produce identical per-request latencies.  An
+        empty request stream is a valid (empty) run, so sweeps over sparse
+        arrival processes never crash.
         """
-        if not requests:
-            raise ValueError("at least one request is required")
-        ordered = sorted(requests, key=lambda r: (r.arrival_s, r.index))
         for device in self.devices:
             device.reset()
         rng = np.random.default_rng(seed)
-        served: list[ServedRequest] = []
-        for cursor, request in enumerate(ordered):
-            choice = self._dispatch(self.devices, request, rng, cursor)
-            served.append(self.devices[choice].serve(request))
-        served.sort(key=lambda s: s.request.index)
+        outcome = self._make_engine().run(requests, rng)
+        served = sorted(outcome.served, key=lambda s: s.request.index)
         stats = tuple(
             DeviceStats(
                 device_id=d.device_id,
                 requests_served=d.requests_served,
                 busy_seconds=d.busy_seconds,
                 stored_heat_j=d.pacer.stored_heat_j,
+                sprints_served=d.sprints_served,
+                sprint_fullness_mean=d.sprint_fullness_mean,
             )
             for d in self.devices
         )
         return FleetResult(
-            served=tuple(served), device_stats=stats, policy=self.policy_name
+            served=tuple(served),
+            device_stats=stats,
+            policy=self.policy_name,
+            rejected=outcome.rejected,
+            abandoned=outcome.abandoned,
         )

@@ -4,8 +4,10 @@ The paper argues sprinting buys *responsiveness*; at fleet scale that claim
 lives in the tail of the latency distribution.  This module reduces a list
 of :class:`~repro.traffic.device.ServedRequest` to the numbers a serving
 team actually watches: median and tail latency percentiles, the fraction of
-requests meeting a latency SLO, the fraction that sprinted, and delivered
-throughput over the run's makespan.
+requests meeting a latency SLO, the fraction that sprinted, delivered
+throughput over the run's makespan — and, for central-queue runs with a
+request lifecycle, how many requests were rejected at admission, abandoned
+in the queue, or served past their deadline.
 """
 
 from __future__ import annotations
@@ -20,7 +22,11 @@ from repro.traffic.device import ServedRequest
 
 @dataclass(frozen=True)
 class TrafficSummary:
-    """Aggregate serving metrics for one fleet run."""
+    """Aggregate serving metrics for one fleet run.
+
+    An empty run (no served requests) is valid and reports zeros
+    throughout, so sweeps over sparse arrival processes never crash.
+    """
 
     request_count: int
     makespan_s: float
@@ -39,6 +45,24 @@ class TrafficSummary:
     mean_sprint_fullness: float = 0.0
     slo_s: float | None = None
     slo_attainment: float | None = None
+    #: Lifecycle counts (central-queue runs): arrivals bounced by a full
+    #: bounded queue, queued requests abandoned at their deadline, and
+    #: served requests that completed past their deadline.
+    rejected_count: int = 0
+    abandoned_count: int = 0
+    deadline_miss_count: int = 0
+
+    @property
+    def offered_count(self) -> int:
+        """Every request that reached the frontend, whatever its fate."""
+        return self.request_count + self.rejected_count + self.abandoned_count
+
+    @property
+    def deadline_miss_fraction(self) -> float:
+        """Deadline misses among *served* requests (0.0 for an empty run)."""
+        if self.request_count == 0:
+            return 0.0
+        return self.deadline_miss_count / self.request_count
 
 
 def latency_percentiles(
@@ -65,11 +89,35 @@ def slo_attainment(
 
 
 def summarize(
-    served: Sequence[ServedRequest], slo_s: float | None = None
+    served: Sequence[ServedRequest],
+    slo_s: float | None = None,
+    rejected_count: int = 0,
+    abandoned_count: int = 0,
 ) -> TrafficSummary:
-    """Reduce a fleet run to its serving metrics."""
+    """Reduce a fleet run to its serving metrics.
+
+    An empty ``served`` sequence yields an all-zero summary rather than
+    raising, and a zero makespan (conceivable only for hand-built
+    instantaneous requests) reports zero throughput rather than ``inf``.
+    """
     if not served:
-        raise ValueError("cannot summarise an empty run")
+        return TrafficSummary(
+            request_count=0,
+            makespan_s=0.0,
+            throughput_rps=0.0,
+            mean_latency_s=0.0,
+            p50_latency_s=0.0,
+            p95_latency_s=0.0,
+            p99_latency_s=0.0,
+            max_latency_s=0.0,
+            mean_queueing_s=0.0,
+            sprint_fraction=0.0,
+            mean_sprint_fullness=0.0,
+            slo_s=slo_s,
+            slo_attainment=None,
+            rejected_count=rejected_count,
+            abandoned_count=abandoned_count,
+        )
     latencies = np.array([s.latency_s for s in served])
     queueing = np.array([s.queueing_delay_s for s in served])
     arrivals = np.array([s.request.arrival_s for s in served])
@@ -79,7 +127,7 @@ def summarize(
     return TrafficSummary(
         request_count=len(served),
         makespan_s=makespan,
-        throughput_rps=len(served) / makespan if makespan > 0 else float("inf"),
+        throughput_rps=len(served) / makespan if makespan > 0 else 0.0,
         mean_latency_s=float(latencies.mean()),
         p50_latency_s=p50,
         p95_latency_s=p95,
@@ -90,4 +138,7 @@ def summarize(
         mean_sprint_fullness=float(np.mean([s.sprint_fullness for s in served])),
         slo_s=slo_s,
         slo_attainment=None if slo_s is None else slo_attainment(latencies, slo_s),
+        rejected_count=rejected_count,
+        abandoned_count=abandoned_count,
+        deadline_miss_count=sum(1 for s in served if s.missed_deadline),
     )

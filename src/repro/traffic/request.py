@@ -39,12 +39,26 @@ class Request:
     sustained_time_s: float
     kernel: str = ""
     input_label: str = ""
+    #: Optional latency budget, relative to arrival.  A central-queue engine
+    #: abandons the request if it has not *started* by the deadline; a served
+    #: request that *completes* past it counts as a deadline miss.  ``None``
+    #: means the request waits forever and never misses.
+    deadline_s: float | None = None
 
     def __post_init__(self) -> None:
         if self.arrival_s < 0:
             raise ValueError("arrival time must be non-negative")
         if self.sustained_time_s <= 0:
             raise ValueError("sustained time must be positive")
+        if self.deadline_s is not None and self.deadline_s <= 0:
+            raise ValueError("deadline must be positive (or None)")
+
+    @property
+    def deadline_at_s(self) -> float:
+        """Absolute deadline instant (``inf`` when no deadline is set)."""
+        if self.deadline_s is None:
+            return float("inf")
+        return self.arrival_s + self.deadline_s
 
 
 class ServiceModel(ABC):
@@ -182,12 +196,15 @@ def generate_requests(
     service: ServiceModel,
     n: int,
     seed: int | np.random.SeedSequence = 0,
+    deadline_s: float | None = None,
 ) -> list[Request]:
     """Materialise ``n`` requests from an arrival process and a service model.
 
     The seed is split into independent child streams for arrivals and
     service demands, so the same seed always yields the same requests and
     changing the service model never perturbs the arrival times.
+    ``deadline_s`` attaches the same relative latency budget to every
+    request (``None`` leaves them deadline-free).
     """
     if n < 1:
         raise ValueError("at least one request is required")
@@ -206,6 +223,7 @@ def generate_requests(
             sustained_time_s=demands[i][0],
             kernel=demands[i][1],
             input_label=demands[i][2],
+            deadline_s=deadline_s,
         )
         for i in range(n)
     ]

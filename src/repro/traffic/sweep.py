@@ -1,19 +1,26 @@
-"""Scenario sweep engine: policy × arrival-rate × fleet-size grids.
+"""Scenario sweep engine: policy × rate × fleet × discipline × bound grids.
 
 One fleet run answers one question; the interesting questions — how much
 fleet does a target SLO need, which dispatch policy wins under overload,
-where does the no-sprint fleet fall off a cliff — are surfaces over a grid
-of scenarios.  :func:`run_sweep` fans a grid of
-(policy, arrival rate, fleet size) cells across worker processes with
+how much admission control buys at the tail — are surfaces over a grid of
+scenarios.  :func:`run_sweep` fans a grid of (policy, arrival rate, fleet
+size, dispatch discipline, queue bound) cells across worker processes with
 :mod:`multiprocessing`, seeding each cell deterministically from the sweep's
 base seed and the cell's position, so the full sweep is reproducible and
 bit-identical whether it runs serially or on any number of workers.
 
+The ``disciplines`` axis selects the dispatch mode per cell:
+``"immediate"`` runs the cell's policy at arrival (the legacy loop), while
+``"fifo"`` and ``"edf"`` run the central-queue engine under that queue
+discipline (the policy axis is not consulted there).  The ``queue_bounds``
+axis only affects central-queue cells; immediate cells repeat unchanged
+along it.
+
 Scenario knobs beyond the grid live in :class:`SweepSpec`: the arrival
 process family (Poisson, bursty on-off, diurnal, or deterministic — all
 parameterised by the cell's mean rate), the service-demand distribution,
-the sprint speedup, and whether sprinting is enabled at all (for paired
-sprint/no-sprint comparisons).
+an optional per-request deadline, the sprint speedup, and whether
+sprinting is enabled at all (for paired sprint/no-sprint comparisons).
 """
 
 from __future__ import annotations
@@ -32,12 +39,17 @@ from repro.traffic.arrivals import (
     MMPPArrivals,
     PoissonArrivals,
 )
+from repro.traffic.engine import QUEUE_DISCIPLINES
 from repro.traffic.fleet import DISPATCH_POLICIES, FleetSimulator
 from repro.traffic.metrics import TrafficSummary
 from repro.traffic.request import FixedService, GammaService, generate_requests
 
 #: Arrival families the sweep can instantiate from a cell's mean rate.
 ARRIVAL_KINDS = ("poisson", "bursty", "diurnal", "deterministic")
+
+#: Values of the discipline axis: immediate dispatch, or a central-queue
+#: discipline from :data:`repro.traffic.engine.QUEUE_DISCIPLINES`.
+SWEEP_DISCIPLINES = ("immediate",) + QUEUE_DISCIPLINES
 
 
 @dataclass(frozen=True)
@@ -50,15 +62,21 @@ class SweepSpec:
     expected requests, and are spaced so the long-run mean rate is
     preserved.  ``diurnal_amplitude`` and ``diurnal_period_s`` only apply
     to ``diurnal``.  ``service_cv = 0`` gives fixed-size requests.
+    ``deadline_s`` attaches the same relative latency budget to every
+    request (central-queue cells then abandon requests that miss it before
+    starting; every cell reports completion-past-deadline misses).
     """
 
     policies: tuple[str, ...] = ("least_loaded",)
     arrival_rates_hz: tuple[float, ...] = (0.05, 0.1, 0.2)
     fleet_sizes: tuple[int, ...] = (1, 2, 4)
+    disciplines: tuple[str, ...] = ("immediate",)
+    queue_bounds: tuple[int | None, ...] = (None,)
     n_requests: int = 200
     arrival_kind: str = "poisson"
     service_mean_s: float = 5.0
     service_cv: float = 0.0
+    deadline_s: float | None = None
     sprint_speedup: float = 10.0
     sprint_enabled: bool = True
     refuse_partial_sprints: bool = False
@@ -70,11 +88,26 @@ class SweepSpec:
     diurnal_period_s: float = 3600.0
 
     def __post_init__(self) -> None:
-        if not self.policies or not self.arrival_rates_hz or not self.fleet_sizes:
+        if (
+            not self.policies
+            or not self.arrival_rates_hz
+            or not self.fleet_sizes
+            or not self.disciplines
+            or not self.queue_bounds
+        ):
             raise ValueError("every grid axis needs at least one value")
         unknown = [p for p in self.policies if p not in DISPATCH_POLICIES]
         if unknown:
             raise ValueError(f"unknown dispatch policies: {unknown}")
+        bad = [d for d in self.disciplines if d not in SWEEP_DISCIPLINES]
+        if bad:
+            raise ValueError(
+                f"unknown disciplines: {bad}; available: {SWEEP_DISCIPLINES}"
+            )
+        if any(b is not None and b < 0 for b in self.queue_bounds):
+            raise ValueError("queue bounds must be non-negative (or None)")
+        if self.deadline_s is not None and self.deadline_s <= 0:
+            raise ValueError("deadline must be positive (or None)")
         if self.arrival_kind not in ARRIVAL_KINDS:
             raise ValueError(
                 f"unknown arrival kind {self.arrival_kind!r}; "
@@ -141,11 +174,16 @@ class SweepCell:
     arrival_rate_hz: float
     n_devices: int
     base_seed: int
-    #: Position on the arrival-rate axis.  The policy and fleet-size axes
-    #: are deliberately excluded: the request stream depends only on the
-    #: arrival process, so cells differing in policy or fleet size replay
-    #: the exact same stream (paired comparisons on both axes).
+    #: Position on the arrival-rate axis.  Every other axis is deliberately
+    #: excluded: the request stream depends only on the arrival process, so
+    #: cells differing in policy, fleet size, discipline, or queue bound
+    #: replay the exact same stream (paired comparisons on all of them).
     stream_key: tuple[int, ...] = (0,)
+    #: Dispatch discipline: ``"immediate"`` (the policy axis applies) or a
+    #: central-queue discipline (``"fifo"``/``"edf"``).
+    discipline: str = "immediate"
+    #: Central-queue admission limit (ignored by immediate cells).
+    queue_bound: int | None = None
 
     @property
     def seed_sequence(self) -> np.random.SeedSequence:
@@ -163,23 +201,43 @@ class CellResult:
 
 
 def expand_cells(spec: SweepSpec) -> list[SweepCell]:
-    """Enumerate the grid in deterministic (policy, rate, fleet) order."""
+    """Enumerate the grid in deterministic (policy, rate, fleet, discipline,
+    bound) order — the legacy enumeration when the new axes keep their
+    single-value defaults, so existing seeds reproduce.
+
+    Combinations that cannot differ are collapsed to one canonical cell:
+    central-queue cells ignore the policy axis (only the first policy is
+    kept) and immediate cells ignore the queue bound (only the first bound
+    is kept), so no scenario is ever simulated twice.
+    """
     grid = itertools.product(
         spec.policies,
         enumerate(spec.arrival_rates_hz),
         spec.fleet_sizes,
+        spec.disciplines,
+        spec.queue_bounds,
     )
-    return [
-        SweepCell(
-            index=i,
-            policy=policy,
-            arrival_rate_hz=rate,
-            n_devices=size,
-            base_seed=spec.base_seed,
-            stream_key=(rate_idx,),
+    cells = []
+    for policy, (rate_idx, rate), size, discipline, bound in grid:
+        if discipline == "immediate":
+            if bound != spec.queue_bounds[0]:
+                continue
+            bound = None
+        elif policy != spec.policies[0]:
+            continue
+        cells.append(
+            SweepCell(
+                index=len(cells),
+                policy=policy,
+                arrival_rate_hz=rate,
+                n_devices=size,
+                base_seed=spec.base_seed,
+                stream_key=(rate_idx,),
+                discipline=discipline,
+                queue_bound=bound,
+            )
         )
-        for i, (policy, (rate_idx, rate), size) in enumerate(grid)
-    ]
+    return cells
 
 
 def run_cell(spec: SweepSpec, cell: SweepCell, config: SystemConfig) -> CellResult:
@@ -193,7 +251,9 @@ def run_cell(spec: SweepSpec, cell: SweepCell, config: SystemConfig) -> CellResu
         service,
         spec.n_requests,
         seed=cell.seed_sequence,
+        deadline_s=spec.deadline_s,
     )
+    central = cell.discipline != "immediate"
     fleet = FleetSimulator(
         config,
         n_devices=cell.n_devices,
@@ -201,6 +261,9 @@ def run_cell(spec: SweepSpec, cell: SweepCell, config: SystemConfig) -> CellResu
         sprint_speedup=spec.sprint_speedup,
         sprint_enabled=spec.sprint_enabled,
         refuse_partial_sprints=spec.refuse_partial_sprints,
+        mode="central_queue" if central else "immediate",
+        discipline=cell.discipline if central else "fifo",
+        queue_bound=cell.queue_bound if central else None,
     )
     result = fleet.run(
         requests, seed=np.random.SeedSequence([cell.base_seed, cell.index])
@@ -226,6 +289,7 @@ class SweepResult:
         policy: str | None = None,
         arrival_rate_hz: float | None = None,
         n_devices: int | None = None,
+        discipline: str | None = None,
     ) -> list[CellResult]:
         """Cells matching the given axis values (None = any)."""
         out = []
@@ -237,6 +301,8 @@ class SweepResult:
                 continue
             if n_devices is not None and cell.n_devices != n_devices:
                 continue
+            if discipline is not None and cell.discipline != discipline:
+                continue
             out.append(result)
         return out
 
@@ -245,19 +311,30 @@ class SweepResult:
         return min(self.cells, key=lambda r: getattr(r.summary, key))
 
     def format_table(self) -> str:
-        """Human-readable grid summary (one row per cell)."""
+        """Human-readable grid summary (one row per cell).
+
+        Immediate cells show their policy; central-queue cells show the
+        queue discipline and bound (the policy axis is not consulted
+        there).  The lifecycle columns count rejected and abandoned
+        requests.
+        """
         header = (
-            f"{'policy':>14} {'rate':>8} {'fleet':>6} {'p50':>8} {'p99':>8} "
-            f"{'sprint%':>8} {'full%':>6} {'rps':>8}"
+            f"{'dispatch':>16} {'rate':>8} {'fleet':>6} {'p50':>8} {'p99':>8} "
+            f"{'sprint%':>8} {'full%':>6} {'rps':>8} {'rej':>5} {'abn':>5}"
         )
         rows = [header]
         for result in self.cells:
             cell, s = result.cell, result.summary
+            if cell.discipline == "immediate":
+                dispatch = cell.policy
+            else:
+                bound = "∞" if cell.queue_bound is None else str(cell.queue_bound)
+                dispatch = f"{cell.discipline}[{bound}]"
             rows.append(
-                f"{cell.policy:>14} {cell.arrival_rate_hz:7.3f}/s {cell.n_devices:6d} "
+                f"{dispatch:>16} {cell.arrival_rate_hz:7.3f}/s {cell.n_devices:6d} "
                 f"{s.p50_latency_s:7.2f}s {s.p99_latency_s:7.2f}s "
                 f"{s.sprint_fraction * 100:7.0f}% {s.mean_sprint_fullness * 100:5.0f}% "
-                f"{s.throughput_rps:8.3f}"
+                f"{s.throughput_rps:8.3f} {s.rejected_count:5d} {s.abandoned_count:5d}"
             )
         return "\n".join(rows)
 

@@ -107,6 +107,44 @@ class TestTaskSequences:
             pacer.task_arrival(0.0, sustained_time_s=0.0)
 
 
+class TestExecuteAt:
+    def test_task_arrival_is_execute_at_from_max_of_arrival_and_clock(self, pacer):
+        """task_arrival must stay a thin wrapper: same outcome as calling the
+        engine-facing primitive at the resolved start time."""
+        reference = SprintPacer(SystemConfig.paper_default(), sprint_speedup=10.0)
+        for arrival, task in [(0.0, 5.0), (0.2, 8.0), (3.0, 2.0), (30.0, 5.0)]:
+            via_arrival = pacer.task_arrival(arrival, task)
+            start = max(arrival, reference.busy_until_s)
+            via_execute = reference.execute_at(start, task, arrival_s=arrival)
+            assert via_arrival == via_execute
+
+    def test_execute_at_defaults_to_no_queueing_delay(self, pacer):
+        outcome = pacer.execute_at(4.0, 5.0)
+        assert outcome.arrival_s == 4.0
+        assert outcome.queueing_delay_s == 0.0
+
+    def test_execute_at_rejects_start_inside_busy_period(self, pacer):
+        pacer.execute_at(0.0, 50.0)
+        with pytest.raises(ValueError):
+            pacer.execute_at(pacer.busy_until_s - 1.0, 5.0)
+        with pytest.raises(ValueError):
+            pacer.execute_at(pacer.busy_until_s, 0.0)
+
+    def test_execute_at_advances_the_arrival_watermark(self, pacer):
+        """Mixing entry points must not defeat task_arrival's in-order
+        guard: after an execute_at at t=100, an arrival at t=5 is late."""
+        pacer.execute_at(100.0, 5.0)
+        with pytest.raises(ValueError):
+            pacer.task_arrival(5.0, 5.0)
+
+    def test_execute_at_drains_idle_gap(self, pacer):
+        first = pacer.execute_at(0.0, 5.0)
+        gap = pacer.minimum_interarrival_s(5.0) * 2
+        second = pacer.execute_at(pacer.busy_until_s + gap, 5.0)
+        assert first.stored_heat_after_j > 0
+        assert second.stored_heat_before_j == pytest.approx(0.0, abs=1e-9)
+
+
 class TestPacingProperties:
     @settings(max_examples=25, deadline=None)
     @given(
@@ -132,3 +170,47 @@ class TestPacingProperties:
         spacing = pacer.minimum_interarrival_s(task_time) * 1.05 + task_time / 10.0
         summary = pacer.simulate_periodic(spacing, task_time, tasks=8)
         assert summary.sprint_fraction == pytest.approx(1.0)
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        gaps=st.lists(
+            st.floats(min_value=0.0, max_value=40.0), min_size=1, max_size=12
+        ),
+        task_times=st.lists(
+            st.floats(min_value=0.2, max_value=10.0), min_size=12, max_size=12
+        ),
+    )
+    def test_projections_agree_with_mutating_path_after_idle_gaps(
+        self, gaps, task_times
+    ):
+        """``stored_heat_at``/``available_fraction_at`` are what dispatchers
+        rank devices by; after any sequence of tasks and arbitrary idle
+        gaps they must equal what the mutating path then actually sees."""
+        pacer = SprintPacer(SystemConfig.paper_default(), sprint_speedup=10.0)
+        for gap, task_time in zip(gaps, task_times):
+            start = pacer.busy_until_s + gap
+            projected_heat = pacer.stored_heat_at(start)
+            projected_fraction = pacer.available_fraction_at(start)
+            outcome = pacer.execute_at(start, task_time)
+            assert outcome.stored_heat_before_j == pytest.approx(
+                projected_heat, abs=1e-12
+            )
+            assert projected_fraction == pytest.approx(
+                1.0 - projected_heat / pacer.capacity_j, abs=1e-12
+            )
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        probes=st.lists(
+            st.floats(min_value=0.0, max_value=100.0), min_size=1, max_size=8
+        )
+    )
+    def test_projections_never_mutate(self, probes):
+        pacer = SprintPacer(SystemConfig.paper_default(), sprint_speedup=10.0)
+        pacer.task_arrival(0.0, 5.0)
+        heat, clock = pacer.stored_heat_j, pacer.busy_until_s
+        for probe in probes:
+            pacer.stored_heat_at(probe)
+            pacer.available_fraction_at(probe)
+        assert pacer.stored_heat_j == heat
+        assert pacer.busy_until_s == clock

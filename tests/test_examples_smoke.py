@@ -131,6 +131,8 @@ def test_fleet_serving(capsys, monkeypatch):
     assert COVERED["fleet_serving"] in out
     assert "MATCH" in out
     assert "best p99" in out
+    assert "admission control BEATS immediate dispatch" in out
+    assert "deadlines at overload" in out
 
 
 def test_reproduce_paper(

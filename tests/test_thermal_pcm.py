@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.thermal.materials import COPPER, GENERIC_PCM, ICOSANE, Material
+from repro.thermal.materials import COPPER, ICOSANE, Material
 from repro.thermal.pcm import PhaseChangeBlock
 
 

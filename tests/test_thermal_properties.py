@@ -1,11 +1,9 @@
 """Property-based tests (hypothesis) for the thermal substrate invariants."""
 
-import numpy as np
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.thermal.materials import GENERIC_PCM
 from repro.thermal.network import ThermalNetwork
 from repro.thermal.package import PcmPackage
 from repro.thermal.pcm import PhaseChangeBlock

@@ -236,7 +236,21 @@ class TestFleetSimulator:
         with pytest.raises(ValueError):
             FleetSimulator(config, 1, policy="nope")
         with pytest.raises(ValueError):
-            FleetSimulator(config, 1).run([])
+            FleetSimulator(config, 1, mode="nope")
+        with pytest.raises(ValueError):
+            FleetSimulator(config, 1, discipline="nope")
+        with pytest.raises(ValueError):
+            FleetSimulator(config, 1, queue_bound=-1)
+
+    def test_empty_request_stream_is_a_valid_run(self, config):
+        """Sparse arrival processes can materialise zero requests; a sweep
+        over them must get an empty result, not a crash."""
+        result = FleetSimulator(config, 2).run([])
+        assert result.served == ()
+        summary = result.summary(slo_s=1.0)
+        assert summary.request_count == 0
+        assert summary.throughput_rps == 0.0
+        assert summary.slo_attainment is None
 
 
 class TestMetrics:
@@ -264,6 +278,37 @@ class TestMetrics:
         assert 0.0 <= summary.slo_attainment <= 1.0
         assert summary.throughput_rps > 0
 
-    def test_summary_rejects_empty(self):
-        with pytest.raises(ValueError):
-            summarize([])
+    def test_summary_of_empty_run_is_zeroed(self):
+        summary = summarize([])
+        assert summary.request_count == 0
+        assert summary.throughput_rps == 0.0
+        assert summary.p99_latency_s == 0.0
+        assert summary.deadline_miss_fraction == 0.0
+
+    def test_zero_makespan_reports_zero_throughput(self, config):
+        """A single hand-built instantaneous request must not yield inf."""
+        from repro.traffic.device import ServedRequest
+
+        instant = ServedRequest(
+            request=Request(index=0, arrival_s=1.0, sustained_time_s=1.0),
+            device_id=0,
+            sprinted=False,
+            queueing_delay_s=0.0,
+            service_time_s=0.0,
+            stored_heat_before_j=0.0,
+            stored_heat_after_j=0.0,
+        )
+        summary = summarize([instant])
+        assert summary.makespan_s == 0.0
+        assert summary.throughput_rps == 0.0
+
+    def test_device_stats_sprint_observability(self, config):
+        """DeviceStats exposes sprint counts and mean fullness per device."""
+        result = FleetSimulator(config, 2).run(periodic_requests(30.0, 5.0, 8))
+        for stats in result.device_stats:
+            assert stats.sprints_served == stats.requests_served  # light load
+            assert stats.sprint_fullness_mean == pytest.approx(1.0)
+        hot = FleetSimulator(config, 1).run(periodic_requests(0.6, 5.0, 10))
+        (stats,) = hot.device_stats
+        assert 0 < stats.sprints_served <= stats.requests_served
+        assert 0.0 < stats.sprint_fullness_mean < 1.0

@@ -127,6 +127,64 @@ class TestSweepExecution:
         fixed = SweepSpec(arrival_rates_hz=(0.1,), fleet_sizes=(1,), n_requests=30)
         assert run_sweep(spec).cells[0] != run_sweep(fixed).cells[0]
 
+    def test_discipline_and_bound_axes_expand_the_grid(self, small_spec):
+        from dataclasses import replace
+
+        spec = replace(
+            small_spec, disciplines=("immediate", "fifo"), queue_bounds=(None, 4)
+        )
+        cells = expand_cells(spec)
+        # Redundant combinations are collapsed: immediate cells ignore the
+        # bound axis (8 = 2 policies x 2 rates x 2 fleets), central cells
+        # ignore the policy axis (8 = 2 rates x 2 fleets x 2 bounds).
+        assert len(cells) == 16
+        assert {c.discipline for c in cells} == {"immediate", "fifo"}
+        assert {c.queue_bound for c in cells if c.discipline == "fifo"} == {None, 4}
+        assert all(c.queue_bound is None for c in cells if c.discipline == "immediate")
+        assert {c.policy for c in cells if c.discipline == "fifo"} == {"round_robin"}
+        assert [c.index for c in cells] == list(range(16))
+
+    def test_default_axes_reproduce_legacy_enumeration(self, small_spec):
+        """With the new axes at their defaults the grid (and so every
+        cell's dispatch seed) must be exactly the legacy enumeration."""
+        cells = expand_cells(small_spec)
+        legacy = [
+            (policy, rate, size)
+            for policy in small_spec.policies
+            for rate in small_spec.arrival_rates_hz
+            for size in small_spec.fleet_sizes
+        ]
+        assert [(c.policy, c.arrival_rate_hz, c.n_devices) for c in cells] == legacy
+
+    def test_central_queue_cells_run_and_report_lifecycle(self):
+        spec = SweepSpec(
+            arrival_rates_hz=(1.0,),
+            fleet_sizes=(2,),
+            disciplines=("fifo", "edf"),
+            queue_bounds=(2,),
+            n_requests=40,
+            deadline_s=20.0,
+        )
+        result = run_sweep(spec)
+        assert len(result.cells) == 2
+        for cell_result in result.cells:
+            s = cell_result.summary
+            assert s.offered_count == 40
+            assert s.request_count + s.rejected_count + s.abandoned_count == 40
+            assert s.rejected_count > 0  # overloaded bounded queue must shed
+
+    def test_deadline_knob_reaches_requests(self):
+        spec = SweepSpec(
+            arrival_rates_hz=(0.5,),
+            fleet_sizes=(1,),
+            n_requests=20,
+            deadline_s=1.0,
+        )
+        result = run_sweep(spec)
+        # Immediate mode never abandons, but completion-past-deadline
+        # misses are counted.
+        assert result.cells[0].summary.deadline_miss_count > 0
+
     def test_sprint_disabled_sweeps_are_slower(self, small_spec):
         sprint = run_sweep(small_spec)
         sustained = run_sweep(small_spec.with_sprint_enabled(False))
@@ -152,7 +210,8 @@ class TestSweepResult:
 
     def test_format_table(self, small_spec):
         table = run_sweep(small_spec).format_table()
-        assert "policy" in table
+        assert "dispatch" in table
+        assert "rej" in table
         assert len(table.splitlines()) == 9
 
 
@@ -176,6 +235,14 @@ class TestValidation:
             SweepSpec(arrival_kind="bursty", burst_mean_requests=0.0)
         # Burst knobs are only read (and so only validated) for bursty kinds.
         SweepSpec(arrival_kind="poisson", burst_factor=1.0)
+        with pytest.raises(ValueError):
+            SweepSpec(disciplines=())
+        with pytest.raises(ValueError):
+            SweepSpec(disciplines=("lifo",))
+        with pytest.raises(ValueError):
+            SweepSpec(queue_bounds=(-1,))
+        with pytest.raises(ValueError):
+            SweepSpec(deadline_s=0.0)
         with pytest.raises(ValueError):
             SweepSpec(service_cv=-0.5)
         with pytest.raises(ValueError):
