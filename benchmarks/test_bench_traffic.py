@@ -23,6 +23,7 @@ from repro.traffic import (
     DISPATCH_POLICIES,
     FixedService,
     FleetSimulator,
+    GovernorSpec,
     PoissonArrivals,
     SweepSpec,
     generate_requests,
@@ -104,6 +105,48 @@ def test_bench_large_fleet_dispatch(benchmark, bench_scale):
     assert indexed_s < scan_s, (
         f"indexed dispatch ({indexed_s:.3f}s) should beat the O(n) scan "
         f"({scan_s:.3f}s) on a {LARGE_FLEET_DEVICES}-device fleet"
+    )
+
+
+def test_bench_governed_fleet_overhead(benchmark, bench_scale):
+    """Grant-handshake cost of a power-governed fleet against unlimited.
+
+    A governed run adds one acquire per sprint attempt and one release
+    event per sprint to the event heap; the benchmark times a greedy-
+    governed fleet and records the ungoverned run for the overhead ratio.
+    The ``unlimited`` governor must not appear here at all — it takes the
+    ungoverned code path, which the regression tests lock bit-identically.
+    """
+    config = SystemConfig.paper_default()
+    n = bench_scale(FLEET_REQUESTS, floor=500)
+    requests = generate_requests(PoissonArrivals(1.0), FixedService(5.0), n, seed=1)
+    governor = GovernorSpec.greedy(FLEET_DEVICES // 2)
+
+    def governed():
+        fleet = FleetSimulator(config, FLEET_DEVICES, governor=governor)
+        return fleet.run(requests)
+
+    result = benchmark.pedantic(governed, rounds=1, iterations=1)
+    governed_s = benchmark.stats.stats.mean
+
+    started = time.perf_counter()
+    unlimited_result = FleetSimulator(config, FLEET_DEVICES).run(requests)
+    unlimited_s = time.perf_counter() - started
+
+    stats = result.governor_stats
+    assert stats is not None
+    assert stats.sprints_granted - stats.grants_released_unused == sum(
+        1 for s in result.served if s.sprinted
+    )
+    assert len(result.served) == len(unlimited_result.served) == n
+    overhead = governed_s / unlimited_s
+    benchmark.extra_info["governed_requests_per_second"] = n / governed_s
+    benchmark.extra_info["unlimited_requests_per_second"] = n / unlimited_s
+    benchmark.extra_info["overhead_vs_unlimited"] = overhead
+    benchmark.extra_info["sprints_denied"] = stats.sprints_denied
+    assert overhead < 3.0, (
+        f"governed dispatch ({governed_s:.3f}s) should stay within 3x of the "
+        f"ungoverned run ({unlimited_s:.3f}s); measured {overhead:.2f}x"
     )
 
 

@@ -12,16 +12,22 @@ bursty, diurnal, or measured from a trace?  It is organised as a pipeline:
 * :mod:`repro.traffic.device` — a serving wrapper around the sprint
   pacing model, so consecutive requests share one thermal budget,
 * :mod:`repro.traffic.engine` — the heap-based discrete-event core:
-  arrival/device-free/deadline events, immediate and central-queue
-  dispatch modes, bounded queues with rejection, deadline abandonment,
-  and an O(log n) least-loaded device index,
+  arrival/device-free/deadline plus grant-release/breaker-reset events,
+  immediate and central-queue dispatch modes, bounded queues with
+  rejection, deadline abandonment, and an O(log n) least-loaded device
+  index,
+* :mod:`repro.traffic.governor` — the fleet power-budget governor:
+  sprints acquire grants from a shared budget (unlimited, greedy,
+  token-bucket, or cooperative-threshold policies) with breaker-trip
+  modelling, so racks cannot sprint past their provisioned supply,
 * :mod:`repro.traffic.fleet` — the fleet simulator built on the engine,
   with round-robin, least-loaded, thermal-aware and random dispatch,
 * :mod:`repro.traffic.metrics` — p50/p95/p99 latency, SLO attainment,
-  sprint fraction, throughput, and lifecycle (rejected/abandoned/
-  deadline-miss) summaries,
+  sprint fraction, throughput, lifecycle (rejected/abandoned/
+  deadline-miss) and sprint-governance (granted/denied/trips/time-at-cap)
+  summaries,
 * :mod:`repro.traffic.sweep` — a multiprocessing scenario sweep over
-  policy × rate × fleet × discipline × queue-bound grids with
+  policy × rate × fleet × discipline × queue-bound × governor grids with
   deterministic seeding.
 
 Quick start::
@@ -61,6 +67,16 @@ from repro.traffic.fleet import (
     FleetResult,
     FleetSimulator,
 )
+from repro.traffic.governor import (
+    GOVERNOR_POLICIES,
+    CooperativeThresholdGovernor,
+    GovernorSpec,
+    GovernorStats,
+    GreedyGovernor,
+    SprintGovernor,
+    TokenBucketGovernor,
+    UnlimitedGovernor,
+)
 from repro.traffic.metrics import (
     TrafficSummary,
     latency_percentiles,
@@ -92,6 +108,7 @@ __all__ = [
     "ARRIVAL_KINDS",
     "ArrivalProcess",
     "CellResult",
+    "CooperativeThresholdGovernor",
     "DISPATCH_MODES",
     "DISPATCH_POLICIES",
     "DeterministicArrivals",
@@ -102,7 +119,11 @@ __all__ = [
     "FixedService",
     "FleetResult",
     "FleetSimulator",
+    "GOVERNOR_POLICIES",
     "GammaService",
+    "GovernorSpec",
+    "GovernorStats",
+    "GreedyGovernor",
     "LeastLoadedIndex",
     "LognormalService",
     "MMPPArrivals",
@@ -114,12 +135,15 @@ __all__ = [
     "ServiceModel",
     "ServingEngine",
     "SprintDevice",
+    "SprintGovernor",
     "SuiteService",
     "SweepCell",
     "SweepResult",
     "SweepSpec",
+    "TokenBucketGovernor",
     "TraceArrivals",
     "TrafficSummary",
+    "UnlimitedGovernor",
     "expand_cells",
     "generate_requests",
     "latency_percentiles",

@@ -125,36 +125,50 @@ class SprintDevice:
 
     # -- serving --------------------------------------------------------------------
 
-    def serve(self, request: Request) -> ServedRequest:
+    def serve(self, request: Request, allow_sprint: bool | None = None) -> ServedRequest:
         """Execute one request; requests must be handed over in arrival order.
 
         Immediate-dispatch entry point: the request joins this device at its
         arrival time and waits behind any queued work (the pacer reports that
-        wait in ``queueing_delay_s``).
+        wait in ``queueing_delay_s``).  ``allow_sprint`` is the grant
+        handshake of a governed fleet: a power governor that denied this
+        request's sprint grant passes False to force sustained execution
+        (``None`` leaves the decision to the device's own
+        ``sprint_enabled``; a grant never overrides a sprint-disabled
+        device).
         """
         outcome = self.pacer.task_arrival(
             request.arrival_s,
             request.sustained_time_s,
             index=request.index,
-            allow_sprint=self.sprint_enabled,
+            allow_sprint=self._may_sprint(allow_sprint),
         )
         return self._record(request, outcome)
 
-    def execute(self, request: Request, start_s: float) -> ServedRequest:
+    def execute(
+        self, request: Request, start_s: float, allow_sprint: bool | None = None
+    ) -> ServedRequest:
         """Execute one request starting exactly at ``start_s``.
 
         Central-queue entry point: the engine held the request in a shared
         queue and only assigns it when this device is free, so the queueing
         delay is the engine's (``start_s - arrival_s``), not the pacer's.
+        ``allow_sprint`` carries a power governor's grant decision, as in
+        :meth:`serve`.
         """
         outcome = self.pacer.execute_at(
             start_s,
             request.sustained_time_s,
             index=request.index,
-            allow_sprint=self.sprint_enabled,
+            allow_sprint=self._may_sprint(allow_sprint),
             arrival_s=request.arrival_s,
         )
         return self._record(request, outcome)
+
+    def _may_sprint(self, allow_sprint: bool | None) -> bool:
+        if allow_sprint is None:
+            return self.sprint_enabled
+        return allow_sprint and self.sprint_enabled
 
     def _record(self, request: Request, outcome: TaskOutcome) -> ServedRequest:
         self.requests_served += 1

@@ -19,14 +19,30 @@ arrival-ordered loop could not express:
 
 Event kinds
 -----------
+``GRANT_RELEASE`` (a sprint's power grant returns to the governor),
+``BREAKER_RESET`` (a tripped breaker's penalty window ends),
 ``DEVICE_FREE`` (a device finished its request), ``ARRIVAL`` (a request
 reaches the frontend) and ``DEADLINE`` (a queued request's latency budget
-expires) — resolved in that order at equal timestamps, so a request
-arriving exactly when a device frees is served without waiting, and a
-request whose dispatch opportunity coincides with its deadline is served
-rather than abandoned.  Immediate mode only schedules arrivals: device
-queueing lives inside :class:`~repro.core.pacing.SprintPacer` there, and
-the engine reproduces the legacy loop's latencies bit-identically.
+expires) — resolved in that order at equal timestamps, so budget freed by
+a sprint ending at an instant is visible to a request dispatched at that
+same instant, a request arriving exactly when a device frees is served
+without waiting, and a request whose dispatch opportunity coincides with
+its deadline is served rather than abandoned.  Immediate mode only
+schedules arrivals (plus grant releases when governed): device queueing
+lives inside :class:`~repro.core.pacing.SprintPacer` there, and the
+engine reproduces the legacy loop's latencies bit-identically.
+
+Governed sprinting
+------------------
+With a non-trivial :class:`~repro.traffic.governor.SprintGovernor`, every
+request bound to a sprint-capable device must acquire a grant before it
+may run sprinted: denied requests execute sustained, granted requests
+that end up not sprinting (device thermally exhausted) return their grant
+immediately, and sprinting requests hold it until their completion
+instant — released by a ``GRANT_RELEASE`` event, which at equal
+timestamps resolves before ``DEVICE_FREE`` so a freed device's next
+request sees the returned budget.  An unlimited governor (or none) takes
+the exact ungoverned code path, bit-identical to PR 2's engine.
 
 Dispatch policies (immediate mode)
 ----------------------------------
@@ -47,6 +63,7 @@ from typing import Callable, Sequence
 import numpy as np
 
 from repro.traffic.device import ServedRequest, SprintDevice
+from repro.traffic.governor import GovernorStats, SprintGovernor
 from repro.traffic.request import Request
 
 #: A dispatch policy maps (devices, request, rng, round-robin cursor) to a
@@ -61,9 +78,11 @@ DISPATCH_MODES = ("immediate", "central_queue")
 QUEUE_DISCIPLINES = ("fifo", "edf")
 
 # Event kinds, in tie-break order at equal timestamps (see module docstring).
-_DEVICE_FREE = 0
-_ARRIVAL = 1
-_DEADLINE = 2
+_GRANT_RELEASE = 0
+_BREAKER_RESET = 1
+_DEVICE_FREE = 2
+_ARRIVAL = 3
+_DEADLINE = 4
 
 
 def _round_robin(
@@ -240,6 +259,8 @@ class EngineResult:
     served: tuple[ServedRequest, ...]
     rejected: tuple[Request, ...]
     abandoned: tuple[Request, ...]
+    #: Grant accounting of a governed run (None when ungoverned/unlimited).
+    governor_stats: GovernorStats | None = None
 
 
 class ServingEngine:
@@ -275,6 +296,12 @@ class ServingEngine:
         beyond it are rejected (admission control).  ``None`` = unbounded;
         ``0`` = a pure loss system.  Ignored in immediate mode, where
         queueing lives on the devices.
+    governor:
+        Shared-power-budget :class:`~repro.traffic.governor.SprintGovernor`
+        gating sprints fleet-wide.  ``None`` or an unlimited governor runs
+        the exact ungoverned code path (bit-identical to PR 2).  The engine
+        does not reset the governor between runs — callers owning the run
+        lifecycle (:class:`~repro.traffic.fleet.FleetSimulator`) do.
     """
 
     def __init__(
@@ -286,6 +313,7 @@ class ServingEngine:
         discipline: str = "fifo",
         queue_bound: int | None = None,
         indexed: bool | None = None,
+        governor: SprintGovernor | None = None,
     ) -> None:
         if not devices:
             raise ValueError("the engine needs at least one device")
@@ -306,6 +334,7 @@ class ServingEngine:
         self.mode = mode
         self.discipline = discipline
         self.queue_bound = queue_bound
+        self.governor = governor
         self.indexed = (policy_name == "least_loaded") if indexed is None else indexed
 
     # -- the event loop ---------------------------------------------------------------
@@ -335,6 +364,11 @@ class ServingEngine:
         index = LeastLoadedIndex(self.devices) if immediate and self.indexed else None
         cursor = 0  # immediate-mode dispatch count, for round_robin
 
+        # Governed sprinting: an unlimited governor (or none) takes the
+        # ungoverned code path untouched, so those runs stay bit-identical.
+        governor = self.governor
+        governed = governor is not None and not governor.is_unlimited
+
         # Central-queue state.  The queue heap orders waiting requests by
         # the discipline key; ``waiting`` maps a live entry's token to its
         # request, and is the source of truth for queue membership (entries
@@ -354,9 +388,43 @@ class ServingEngine:
         heapq.heapify(events)
         edf = self.discipline == "edf"
 
+        def push_breaker_reset() -> None:
+            """Schedule the recovery instant of a breaker trip, if one just fired."""
+            reset_at = governor.pop_pending_reset()
+            if reset_at is not None:
+                heapq.heappush(events, (reset_at, _BREAKER_RESET, next(seq), None))
+
+        def execute_governed(
+            device: SprintDevice, request: Request, start_s: float, now_s: float
+        ) -> ServedRequest:
+            """The grant handshake: acquire before sprinting, never leak budget.
+
+            A granted request that ends up not sprinting (the device's own
+            thermal reservoir was empty) returns its grant immediately;
+            a sprinting request holds it until its completion instant.
+            """
+            grant = governor.acquire(now_s)
+            push_breaker_reset()
+            if immediate:
+                outcome = device.serve(request, allow_sprint=grant)
+            else:
+                outcome = device.execute(request, start_s=start_s, allow_sprint=grant)
+            if grant:
+                if outcome.sprinted:
+                    heapq.heappush(
+                        events,
+                        (outcome.completed_at_s, _GRANT_RELEASE, next(seq), None),
+                    )
+                else:
+                    governor.release(now_s, used=False)
+            return outcome
+
         def start(request: Request, pos: int, now_s: float) -> None:
             device = self.devices[pos]
-            served.append(device.execute(request, start_s=now_s))
+            if governed and device.sprint_enabled:
+                served.append(execute_governed(device, request, now_s, now_s))
+            else:
+                served.append(device.execute(request, start_s=now_s))
             heapq.heappush(
                 events, (device.busy_until_s, _DEVICE_FREE, next(seq), pos)
             )
@@ -369,8 +437,10 @@ class ServingEngine:
                     return request
             return None
 
+        last_s = 0.0
         while events:
             now_s, kind, _, payload = heapq.heappop(events)
+            last_s = now_s
 
             if kind == _ARRIVAL:
                 request = payload
@@ -380,7 +450,13 @@ class ServingEngine:
                     else:
                         pos = self.dispatch(self.devices, request, rng, cursor)
                     cursor += 1
-                    served.append(self.devices[pos].serve(request))
+                    device = self.devices[pos]
+                    if governed and device.sprint_enabled:
+                        served.append(
+                            execute_governed(device, request, now_s, now_s)
+                        )
+                    else:
+                        served.append(device.serve(request))
                     if index is not None:
                         index.update(pos)
                 elif idle:
@@ -412,6 +488,12 @@ class ServingEngine:
                         idle, (self.devices[pos].requests_served, pos)
                     )
 
+            elif kind == _GRANT_RELEASE:
+                governor.release(now_s)
+
+            elif kind == _BREAKER_RESET:
+                governor.on_breaker_reset(now_s)
+
             else:  # _DEADLINE
                 token = payload
                 request = waiting.pop(token, None)
@@ -422,4 +504,5 @@ class ServingEngine:
             served=tuple(served),
             rejected=tuple(rejected),
             abandoned=tuple(abandoned),
+            governor_stats=governor.finalize(last_s) if governed else None,
         )

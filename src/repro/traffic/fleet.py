@@ -15,6 +15,14 @@ earliest-deadline-first queue and assigns them only when a device frees,
 optionally bounding the queue (rejecting excess arrivals) and abandoning
 queued requests whose deadline expires — the lifecycle a real serving
 frontend imposes.
+
+Either mode can be power-governed: a
+:class:`~repro.traffic.governor.GovernorSpec` (or prebuilt
+:class:`~repro.traffic.governor.SprintGovernor`) makes every sprint
+acquire a grant from a shared fleet power budget first, and the run's
+grant ledger lands in :attr:`FleetResult.governor_stats`.  The default
+``"unlimited"`` governor is bypassed entirely, so ungoverned results stay
+bit-identical across versions.
 """
 
 from __future__ import annotations
@@ -33,6 +41,7 @@ from repro.traffic.engine import (
     DispatchFn,
     ServingEngine,
 )
+from repro.traffic.governor import GovernorSpec, GovernorStats, SprintGovernor
 from repro.traffic.metrics import TrafficSummary, summarize
 from repro.traffic.request import Request
 
@@ -73,6 +82,9 @@ class FleetResult:
     rejected: tuple[Request, ...] = ()
     #: Queued requests whose deadline expired before a device freed.
     abandoned: tuple[Request, ...] = ()
+    #: Grant ledger of a power-governed run (None when the governor was
+    #: ``unlimited`` — ungoverned runs have nothing to account).
+    governor_stats: GovernorStats | None = None
     _summary_cache: dict = field(
         default_factory=dict, init=False, repr=False, compare=False
     )
@@ -90,6 +102,7 @@ class FleetResult:
                 slo_s=slo_s,
                 rejected_count=len(self.rejected),
                 abandoned_count=len(self.abandoned),
+                governor_stats=self.governor_stats,
             )
         return self._summary_cache[slo_s]
 
@@ -115,6 +128,13 @@ class FleetSimulator:
         Central-queue ordering, ``"fifo"`` or ``"edf"``.
     queue_bound:
         Central-queue admission limit (``None`` = unbounded).
+    governor:
+        Fleet power-budget governance: a policy name (only ``"unlimited"``
+        works bare — the other policies need knobs), a
+        :class:`~repro.traffic.governor.GovernorSpec`, or a prebuilt
+        :class:`~repro.traffic.governor.SprintGovernor` instance.  The
+        governor is reset at the start of every :meth:`run`, like the
+        devices.
     sprint_speedup, sprint_enabled, refuse_partial_sprints:
         Forwarded to each :class:`~repro.traffic.device.SprintDevice`.
     """
@@ -130,6 +150,7 @@ class FleetSimulator:
         mode: str = "immediate",
         discipline: str = "fifo",
         queue_bound: int | None = None,
+        governor: str | GovernorSpec | SprintGovernor = "unlimited",
     ) -> None:
         if n_devices < 1:
             raise ValueError("a fleet needs at least one device")
@@ -148,6 +169,19 @@ class FleetSimulator:
             self.policy_name = getattr(policy, "__name__", "custom")
             self._dispatch = policy
             self._indexed = False
+        if isinstance(governor, str):
+            governor = GovernorSpec(policy=governor)
+        if isinstance(governor, GovernorSpec):
+            self.governor_spec: GovernorSpec | None = governor
+            self.governor = governor.build(config)
+        elif isinstance(governor, SprintGovernor):
+            self.governor_spec = None
+            self.governor = governor
+        else:
+            raise TypeError(
+                "governor must be a policy name, a GovernorSpec, or a "
+                f"SprintGovernor, not {type(governor).__name__}"
+            )
         self.config = config
         self.mode = mode
         self.discipline = discipline
@@ -174,6 +208,7 @@ class FleetSimulator:
             discipline=self.discipline,
             queue_bound=self.queue_bound,
             indexed=self._indexed,
+            governor=self.governor,
         )
 
     def run(
@@ -191,6 +226,7 @@ class FleetSimulator:
         """
         for device in self.devices:
             device.reset()
+        self.governor.reset()
         rng = np.random.default_rng(seed)
         outcome = self._make_engine().run(requests, rng)
         served = sorted(outcome.served, key=lambda s: s.request.index)
@@ -211,4 +247,5 @@ class FleetSimulator:
             policy=self.policy_name,
             rejected=outcome.rejected,
             abandoned=outcome.abandoned,
+            governor_stats=outcome.governor_stats,
         )

@@ -7,7 +7,10 @@ team actually watches: median and tail latency percentiles, the fraction of
 requests meeting a latency SLO, the fraction that sprinted, delivered
 throughput over the run's makespan — and, for central-queue runs with a
 request lifecycle, how many requests were rejected at admission, abandoned
-in the queue, or served past their deadline.
+in the queue, or served past their deadline.  Power-governed runs
+additionally report the grant ledger (sprints granted and denied, breaker
+trips, time at the budget cap) from the run's
+:class:`~repro.traffic.governor.GovernorStats`.
 """
 
 from __future__ import annotations
@@ -18,6 +21,7 @@ from typing import Sequence
 import numpy as np
 
 from repro.traffic.device import ServedRequest
+from repro.traffic.governor import GovernorStats
 
 
 @dataclass(frozen=True)
@@ -51,6 +55,22 @@ class TrafficSummary:
     rejected_count: int = 0
     abandoned_count: int = 0
     deadline_miss_count: int = 0
+    #: Power-governance ledger (governed runs; ``unlimited`` reports the
+    #: defaults): the policy that gated sprints, grants issued and denied,
+    #: breaker trips, and total time the shared budget was exhausted.
+    governor_policy: str | None = None
+    sprints_granted: int = 0
+    sprints_denied: int = 0
+    breaker_trips: int = 0
+    time_at_cap_s: float = 0.0
+
+    @property
+    def sprint_denial_fraction(self) -> float:
+        """Denied fraction of all sprint-grant requests (0.0 if none made)."""
+        attempts = self.sprints_granted + self.sprints_denied
+        if attempts == 0:
+            return 0.0
+        return self.sprints_denied / attempts
 
     @property
     def offered_count(self) -> int:
@@ -88,17 +108,32 @@ def slo_attainment(
     return float(np.mean(values <= slo_s))
 
 
+def _governor_fields(stats: GovernorStats | None) -> dict:
+    if stats is None:
+        return {}
+    return dict(
+        governor_policy=stats.policy,
+        sprints_granted=stats.sprints_granted,
+        sprints_denied=stats.sprints_denied,
+        breaker_trips=stats.breaker_trips,
+        time_at_cap_s=stats.time_at_cap_s,
+    )
+
+
 def summarize(
     served: Sequence[ServedRequest],
     slo_s: float | None = None,
     rejected_count: int = 0,
     abandoned_count: int = 0,
+    governor_stats: GovernorStats | None = None,
 ) -> TrafficSummary:
     """Reduce a fleet run to its serving metrics.
 
     An empty ``served`` sequence yields an all-zero summary rather than
     raising, and a zero makespan (conceivable only for hand-built
     instantaneous requests) reports zero throughput rather than ``inf``.
+    ``governor_stats`` (from a power-governed run) fills the grant-ledger
+    fields; ``None`` leaves them at their ungoverned defaults.
     """
     if not served:
         return TrafficSummary(
@@ -117,6 +152,7 @@ def summarize(
             slo_attainment=None,
             rejected_count=rejected_count,
             abandoned_count=abandoned_count,
+            **_governor_fields(governor_stats),
         )
     latencies = np.array([s.latency_s for s in served])
     queueing = np.array([s.queueing_delay_s for s in served])
@@ -141,4 +177,5 @@ def summarize(
         rejected_count=rejected_count,
         abandoned_count=abandoned_count,
         deadline_miss_count=sum(1 for s in served if s.missed_deadline),
+        **_governor_fields(governor_stats),
     )

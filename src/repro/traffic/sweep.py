@@ -1,20 +1,26 @@
-"""Scenario sweep engine: policy × rate × fleet × discipline × bound grids.
+"""Scenario sweep engine: policy × rate × fleet × discipline × bound ×
+governor grids.
 
 One fleet run answers one question; the interesting questions — how much
 fleet does a target SLO need, which dispatch policy wins under overload,
-how much admission control buys at the tail — are surfaces over a grid of
+how much admission control buys at the tail, how tight a shared power
+budget can be before the tail pays — are surfaces over a grid of
 scenarios.  :func:`run_sweep` fans a grid of (policy, arrival rate, fleet
-size, dispatch discipline, queue bound) cells across worker processes with
-:mod:`multiprocessing`, seeding each cell deterministically from the sweep's
-base seed and the cell's position, so the full sweep is reproducible and
-bit-identical whether it runs serially or on any number of workers.
+size, dispatch discipline, queue bound, governor) cells across worker
+processes with :mod:`multiprocessing`, seeding each cell deterministically
+from the sweep's base seed and the cell's position, so the full sweep is
+reproducible and bit-identical whether it runs serially or on any number
+of workers.
 
 The ``disciplines`` axis selects the dispatch mode per cell:
 ``"immediate"`` runs the cell's policy at arrival (the legacy loop), while
 ``"fifo"`` and ``"edf"`` run the central-queue engine under that queue
 discipline (the policy axis is not consulted there).  The ``queue_bounds``
 axis only affects central-queue cells; immediate cells repeat unchanged
-along it.
+along it.  The ``governors`` axis applies a fleet power budget
+(:class:`~repro.traffic.governor.GovernorSpec`) per cell; the request
+stream does not depend on it, so governor comparisons are paired like
+every other non-rate axis.
 
 Scenario knobs beyond the grid live in :class:`SweepSpec`: the arrival
 process family (Poisson, bursty on-off, diurnal, or deterministic — all
@@ -41,6 +47,7 @@ from repro.traffic.arrivals import (
 )
 from repro.traffic.engine import QUEUE_DISCIPLINES
 from repro.traffic.fleet import DISPATCH_POLICIES, FleetSimulator
+from repro.traffic.governor import GovernorSpec
 from repro.traffic.metrics import TrafficSummary
 from repro.traffic.request import FixedService, GammaService, generate_requests
 
@@ -72,6 +79,10 @@ class SweepSpec:
     fleet_sizes: tuple[int, ...] = (1, 2, 4)
     disciplines: tuple[str, ...] = ("immediate",)
     queue_bounds: tuple[int | None, ...] = (None,)
+    #: Fleet power-budget axis.  Policy names are accepted and normalised
+    #: to :class:`GovernorSpec` (only ``"unlimited"`` works bare — the
+    #: other policies need knobs, so pass specs).
+    governors: tuple[GovernorSpec | str, ...] = (GovernorSpec(),)
     n_requests: int = 200
     arrival_kind: str = "poisson"
     service_mean_s: float = 5.0
@@ -94,8 +105,19 @@ class SweepSpec:
             or not self.fleet_sizes
             or not self.disciplines
             or not self.queue_bounds
+            or not self.governors
         ):
             raise ValueError("every grid axis needs at least one value")
+        # Normalise the governor axis so every cell carries a GovernorSpec
+        # (names validate themselves at construction).
+        object.__setattr__(
+            self,
+            "governors",
+            tuple(
+                g if isinstance(g, GovernorSpec) else GovernorSpec(policy=g)
+                for g in self.governors
+            ),
+        )
         unknown = [p for p in self.policies if p not in DISPATCH_POLICIES]
         if unknown:
             raise ValueError(f"unknown dispatch policies: {unknown}")
@@ -184,6 +206,8 @@ class SweepCell:
     discipline: str = "immediate"
     #: Central-queue admission limit (ignored by immediate cells).
     queue_bound: int | None = None
+    #: Fleet power budget this cell sprints under.
+    governor: GovernorSpec = GovernorSpec()
 
     @property
     def seed_sequence(self) -> np.random.SeedSequence:
@@ -202,23 +226,30 @@ class CellResult:
 
 def expand_cells(spec: SweepSpec) -> list[SweepCell]:
     """Enumerate the grid in deterministic (policy, rate, fleet, discipline,
-    bound) order — the legacy enumeration when the new axes keep their
-    single-value defaults, so existing seeds reproduce.
+    bound, governor) order — the legacy enumeration when the new axes keep
+    their single-value defaults, so existing seeds reproduce.
 
-    Combinations that cannot differ are collapsed to one canonical cell:
-    central-queue cells ignore the policy axis (only the first policy is
-    kept) and immediate cells ignore the queue bound (only the first bound
-    is kept), so no scenario is ever simulated twice.
+    Combinations that cannot differ are collapsed to one canonical cell, so
+    no scenario is ever simulated twice: central-queue cells ignore the
+    policy axis (only the first policy is kept), immediate cells ignore the
+    queue bound (only the first bound is kept), duplicate governor values
+    collapse to their first occurrence, and a sprint-disabled sweep keeps
+    only the first governor (a power governor cannot affect a fleet that
+    never sprints).
     """
+    governors = list(dict.fromkeys(spec.governors))  # ordered unique
+    if not spec.sprint_enabled:
+        governors = governors[:1]
     grid = itertools.product(
         spec.policies,
         enumerate(spec.arrival_rates_hz),
         spec.fleet_sizes,
         spec.disciplines,
         spec.queue_bounds,
+        governors,
     )
     cells = []
-    for policy, (rate_idx, rate), size, discipline, bound in grid:
+    for policy, (rate_idx, rate), size, discipline, bound, governor in grid:
         if discipline == "immediate":
             if bound != spec.queue_bounds[0]:
                 continue
@@ -235,6 +266,7 @@ def expand_cells(spec: SweepSpec) -> list[SweepCell]:
                 stream_key=(rate_idx,),
                 discipline=discipline,
                 queue_bound=bound,
+                governor=governor,
             )
         )
     return cells
@@ -264,6 +296,7 @@ def run_cell(spec: SweepSpec, cell: SweepCell, config: SystemConfig) -> CellResu
         mode="central_queue" if central else "immediate",
         discipline=cell.discipline if central else "fifo",
         queue_bound=cell.queue_bound if central else None,
+        governor=cell.governor,
     )
     result = fleet.run(
         requests, seed=np.random.SeedSequence([cell.base_seed, cell.index])
@@ -290,6 +323,7 @@ class SweepResult:
         arrival_rate_hz: float | None = None,
         n_devices: int | None = None,
         discipline: str | None = None,
+        governor_policy: str | None = None,
     ) -> list[CellResult]:
         """Cells matching the given axis values (None = any)."""
         out = []
@@ -302,6 +336,8 @@ class SweepResult:
             if n_devices is not None and cell.n_devices != n_devices:
                 continue
             if discipline is not None and cell.discipline != discipline:
+                continue
+            if governor_policy is not None and cell.governor.policy != governor_policy:
                 continue
             out.append(result)
         return out
@@ -316,11 +352,14 @@ class SweepResult:
         Immediate cells show their policy; central-queue cells show the
         queue discipline and bound (the policy axis is not consulted
         there).  The lifecycle columns count rejected and abandoned
-        requests.
+        requests; the governance columns show the cell's power budget and
+        its denied-sprint and breaker-trip counts.
         """
         header = (
-            f"{'dispatch':>16} {'rate':>8} {'fleet':>6} {'p50':>8} {'p99':>8} "
-            f"{'sprint%':>8} {'full%':>6} {'rps':>8} {'rej':>5} {'abn':>5}"
+            f"{'dispatch':>16} {'governor':>16} {'rate':>8} {'fleet':>6} "
+            f"{'p50':>8} {'p99':>8} "
+            f"{'sprint%':>8} {'full%':>6} {'rps':>8} {'rej':>5} {'abn':>5} "
+            f"{'den':>5} {'trip':>4}"
         )
         rows = [header]
         for result in self.cells:
@@ -331,10 +370,12 @@ class SweepResult:
                 bound = "∞" if cell.queue_bound is None else str(cell.queue_bound)
                 dispatch = f"{cell.discipline}[{bound}]"
             rows.append(
-                f"{dispatch:>16} {cell.arrival_rate_hz:7.3f}/s {cell.n_devices:6d} "
+                f"{dispatch:>16} {cell.governor.label:>16} "
+                f"{cell.arrival_rate_hz:7.3f}/s {cell.n_devices:6d} "
                 f"{s.p50_latency_s:7.2f}s {s.p99_latency_s:7.2f}s "
                 f"{s.sprint_fraction * 100:7.0f}% {s.mean_sprint_fullness * 100:5.0f}% "
-                f"{s.throughput_rps:8.3f} {s.rejected_count:5d} {s.abandoned_count:5d}"
+                f"{s.throughput_rps:8.3f} {s.rejected_count:5d} {s.abandoned_count:5d} "
+                f"{s.sprints_denied:5d} {s.breaker_trips:4d}"
             )
         return "\n".join(rows)
 

@@ -29,6 +29,7 @@ COVERED = {
     "sprint_policy_study": "sprint intensity",
     "thermal_design_space": "heat store",
     "fleet_serving": "degenerate case",
+    "power_budget_study": "concurrency cap",
     "reproduce_paper": "EXPERIMENTS",
 }
 
@@ -133,6 +134,20 @@ def test_fleet_serving(capsys, monkeypatch):
     assert "best p99" in out
     assert "admission control BEATS immediate dispatch" in out
     assert "deadlines at overload" in out
+
+
+def test_power_budget_study(capsys, monkeypatch):
+    module = load_example("power_budget_study")
+    monkeypatch.setattr(module, "REQUESTS", 60)
+    monkeypatch.setattr(module, "BURSTY_REQUESTS", 60)
+    monkeypatch.setattr(module, "SPRINT_CAPS", (1, 16))
+    monkeypatch.setattr(module, "SWEEP_WORKERS", 2)
+    module.main()
+    out = capsys.readouterr().out
+    assert COVERED["power_budget_study"] in out
+    assert "breaker" in out
+    assert "burst credit" in out
+    assert "governor grid" in out
 
 
 def test_reproduce_paper(
