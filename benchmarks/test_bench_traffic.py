@@ -150,6 +150,48 @@ def test_bench_governed_fleet_overhead(benchmark, bench_scale):
     )
 
 
+def test_bench_thermal_backend_overhead(benchmark, bench_scale):
+    """Per-request cost of each thermal backend (reservoir vs RC vs PCM).
+
+    The linear reservoir is the regression-locked default; the physics
+    backends add per-drain exponentials (rc) or piecewise enthalpy
+    integration (pcm).  The benchmark times the linear fleet and records
+    each backend's throughput and overhead ratio in ``extra_info`` for the
+    ``BENCH_ci.json`` artifact; the assertion keeps the physics backends
+    within a small constant factor, so fidelity never becomes a scaling
+    hazard.
+    """
+    config = SystemConfig.paper_default()
+    n = bench_scale(FLEET_REQUESTS, floor=500)
+    requests = generate_requests(PoissonArrivals(1.0), FixedService(5.0), n, seed=1)
+
+    def run_backend(thermal: str):
+        fleet = FleetSimulator(config, FLEET_DEVICES, thermal=thermal)
+        return fleet.run(requests)
+
+    result = benchmark.pedantic(run_backend, args=("linear",), rounds=3, iterations=1)
+    assert len(result.served) == n
+    # Compare minima, not single shots: one GC pause or noisy-neighbour
+    # stall in either measurement must not fail the CI gate.
+    linear_s = benchmark.stats.stats.min
+    benchmark.extra_info["linear_requests_per_second"] = n / linear_s
+
+    for backend in ("rc", "pcm"):
+        elapsed = float("inf")
+        for _ in range(3):
+            started = time.perf_counter()
+            backend_result = run_backend(backend)
+            elapsed = min(elapsed, time.perf_counter() - started)
+            assert len(backend_result.served) == n
+        overhead = elapsed / linear_s
+        benchmark.extra_info[f"{backend}_requests_per_second"] = n / elapsed
+        benchmark.extra_info[f"{backend}_overhead_vs_linear"] = overhead
+        assert overhead < 3.0, (
+            f"{backend} backend ({elapsed:.3f}s) should stay within 3x of the "
+            f"linear reservoir ({linear_s:.3f}s); measured {overhead:.2f}x"
+        )
+
+
 def test_bench_sweep_worker_scaling(benchmark, bench_scale):
     """Wall time of the full grid serially, recorded against 2 and 4 workers.
 

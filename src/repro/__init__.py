@@ -43,6 +43,8 @@ _CORE_EXPORTS = {
     "SprintResult",
     "SprintSimulation",
     "SystemConfig",
+    "ThermalBackend",
+    "ThermalSpec",
 }
 
 #: Top-level names re-exported from repro.traffic on first access.

@@ -9,6 +9,10 @@ thermal, electrical, energy and architectural substrates:
   paper proposes, and a temperature oracle for ablation),
 * :mod:`repro.core.policy` — when to sprint, with how many cores, and what
   to do when the budget runs out (migrate threads or throttle frequency),
+* :mod:`repro.core.thermal_backend` — pluggable reservoir physics for
+  pacing (linear rule-of-thumb, RC cooling, PCM enthalpy) behind one
+  :class:`ThermalBackend` interface, selected by a sweep-friendly
+  :class:`ThermalSpec`,
 * :mod:`repro.core.controller` — the sprint state machine itself,
 * :mod:`repro.core.simulation` — :class:`SprintSimulation`, which couples the
   execution engine with the thermal network and the controller to produce
@@ -28,14 +32,25 @@ from repro.core.modes import ExecutionMode, SprintMode, TerminationAction
 from repro.core.pacing import PacingSummary, SprintPacer, TaskOutcome
 from repro.core.policy import SprintPolicy
 from repro.core.simulation import SprintSimulation
+from repro.core.thermal_backend import (
+    THERMAL_BACKENDS,
+    LinearReservoir,
+    PcmReservoir,
+    RCCooling,
+    ThermalBackend,
+    ThermalSpec,
+)
 
 __all__ = [
     "EnergyBudgetEstimator",
     "ExecutionMode",
+    "LinearReservoir",
     "ModeInterval",
     "ModeTransition",
     "OracleBudgetEstimator",
     "PacingSummary",
+    "PcmReservoir",
+    "RCCooling",
     "SprintController",
     "SprintDecision",
     "SprintMetrics",
@@ -45,7 +60,10 @@ __all__ = [
     "SprintResult",
     "SprintSimulation",
     "SystemConfig",
+    "THERMAL_BACKENDS",
     "TaskOutcome",
     "TerminationAction",
+    "ThermalBackend",
     "ThermalBudgetEstimator",
+    "ThermalSpec",
 ]

@@ -8,22 +8,36 @@ user-facing question it leaves open (Section 1's "how much do end users
 tolerate the delay between sprints") needs a model of repeated sprints under
 a stream of bursty tasks — which is what this module provides.
 
-The model is deliberately coarse-grained (it does not re-run the RC network
-per task): the package is treated as a heat reservoir of capacity equal to
-the sprint budget, filled by each sprint's dissipated energy above the
-sustainable budget and drained between tasks at the package's sustainable
-power.  That is exactly the arithmetic behind the paper's cooldown rule of
-thumb, so steady-state conclusions (the minimum inter-arrival time that
-keeps every task sprintable, the fraction of tasks that can sprint at a
-given arrival rate) match the detailed simulation while costing microseconds
-to evaluate.
+The package is treated as a heat reservoir filled by each sprint's
+dissipated energy above the sustainable budget and drained between tasks.
+*How* that reservoir drains — and what temperature/enthalpy telemetry it
+reports — is a pluggable fidelity choice, selected per
+:class:`SprintPacer` by a :class:`~repro.core.thermal_backend.ThermalSpec`:
+
+* ``linear`` (default) drains at the constant sustainable power.  That is
+  exactly the arithmetic behind the paper's cooldown rule of thumb, so
+  steady-state conclusions (the minimum inter-arrival time that keeps every
+  task sprintable, the fraction of tasks that can sprint at a given arrival
+  rate) match the detailed simulation while costing microseconds.
+* ``rc`` drains with the package's exponential Newtonian cooling, which
+  slows as the package approaches ambient.
+* ``pcm`` re-runs the enthalpy formulation of :mod:`repro.thermal.pcm` per
+  task, reproducing the Figure 4 melt plateau under serving load.
+
+Whether the pacer re-runs the RC network or the PCM enthalpy physics per
+task is therefore a configuration choice, not a limitation of the model;
+``examples/thermal_fidelity_study.py`` quantifies where the coarse default
+mispredicts tail latency against the physics-backed backends.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+import numpy as np
+
 from repro.core.config import SystemConfig
+from repro.core.thermal_backend import ThermalBackend, ThermalSpec
 
 
 @dataclass(frozen=True)
@@ -47,6 +61,13 @@ class TaskOutcome:
     #: sprints (``sprinted`` alone cannot tell a barely-partial sprint
     #: from a full one).
     sprint_fullness: float = 0.0
+    #: Package temperature reported by the thermal backend after the task
+    #: (the linear backend maps fill linearly onto the ambient-to-limit
+    #: range; physics backends report their actual temperature state).
+    package_temperature_c: float = 0.0
+    #: Liquid fraction of the PCM after the task (0 for backends without
+    #: phase-change state).
+    melt_fraction: float = 0.0
 
     @property
     def completed_at_s(self) -> float:
@@ -56,12 +77,19 @@ class TaskOutcome:
 
 @dataclass(frozen=True)
 class PacingSummary:
-    """Aggregate view of a task sequence."""
+    """Aggregate view of a task sequence.
+
+    The percentile fields use the same linear interpolation as the fleet
+    serving metrics (:func:`repro.traffic.metrics.latency_percentiles`), so
+    single-device pacing studies and fleet runs read on one scale.
+    """
 
     outcomes: tuple[TaskOutcome, ...]
     sprint_fraction: float
     average_response_s: float
     worst_response_s: float
+    p95_response_s: float = 0.0
+    p99_response_s: float = 0.0
 
     @property
     def task_count(self) -> int:
@@ -87,35 +115,65 @@ class SprintPacer:
         task sprints for whatever budget remains and finishes sustained
         (mirroring the runtime's migrate-on-exhaustion behaviour), with the
         response time interpolated between the two extremes.
+    thermal:
+        Reservoir fidelity: a backend name from
+        :data:`~repro.core.thermal_backend.THERMAL_BACKENDS`, a
+        :class:`~repro.core.thermal_backend.ThermalSpec`, or a prebuilt
+        :class:`~repro.core.thermal_backend.ThermalBackend` instance (which
+        the pacer then owns — do not share one across pacers).
     """
 
     config: SystemConfig
     sprint_speedup: float = 10.0
     refuse_partial_sprints: bool = False
-    _stored_heat_j: float = field(default=0.0, init=False)
+    thermal: str | ThermalSpec | ThermalBackend = "linear"
+    _backend: ThermalBackend = field(init=False, repr=False)
     _clock_s: float = field(default=0.0, init=False)
     _last_arrival_s: float = field(default=0.0, init=False)
 
     def __post_init__(self) -> None:
         if self.sprint_speedup < 1.0:
             raise ValueError("sprint speedup must be at least 1x")
+        if isinstance(self.thermal, str):
+            self.thermal = ThermalSpec(backend=self.thermal)
+        if isinstance(self.thermal, ThermalSpec):
+            self._backend = self.thermal.build(self.config)
+        elif isinstance(self.thermal, ThermalBackend):
+            self._backend = self.thermal
+        else:
+            raise TypeError(
+                "thermal must be a backend name, a ThermalSpec, or a "
+                f"ThermalBackend, not {type(self.thermal).__name__}"
+            )
 
     # -- reservoir arithmetic --------------------------------------------------------
 
     @property
+    def backend(self) -> ThermalBackend:
+        """The thermal backend owning this pacer's reservoir state."""
+        return self._backend
+
+    @property
     def capacity_j(self) -> float:
         """Heat the package can absorb above sustained operation."""
-        return self.config.package.sprint_budget_j(self.config.sprint_power_w)
+        return self._backend.capacity_j
 
     @property
     def drain_power_w(self) -> float:
-        """Rate at which stored heat leaves the package between tasks."""
+        """Nominal rate at which stored heat leaves the package between tasks.
+
+        This is the sustainable power — the exact drain rate of the
+        ``linear`` backend and the full-reservoir rate the physics backends
+        decay from.  Deposit arithmetic (:meth:`sprint_heat_for`) and the
+        cooldown rule of thumb (:meth:`minimum_interarrival_s`) are defined
+        against it for every backend.
+        """
         return self.config.sustainable_power_w
 
     @property
     def stored_heat_j(self) -> float:
         """Heat currently stored in the package (0 = fully cooled)."""
-        return self._stored_heat_j
+        return self._backend.stored_heat_j
 
     @property
     def busy_until_s(self) -> float:
@@ -131,18 +189,18 @@ class SprintPacer:
         """Fraction of the sprint budget currently available."""
         if self.capacity_j == 0:
             return 0.0
-        return 1.0 - self._stored_heat_j / self.capacity_j
+        return 1.0 - self.stored_heat_j / self.capacity_j
 
     def stored_heat_at(self, time_s: float) -> float:
         """Projected stored heat at a future instant, without mutating state.
 
         Heat only drains while the device is idle, so the projection holds
-        the reservoir constant until :attr:`busy_until_s` and drains it at
-        the sustainable power afterwards.  Dispatchers use this to rank
-        devices by the sprint budget a request would actually find.
+        the reservoir constant until :attr:`busy_until_s` and lets the
+        backend cool it afterwards.  Dispatchers use this to rank devices
+        by the sprint budget a request would actually find.
         """
         idle = max(0.0, time_s - self._clock_s)
-        return max(0.0, self._stored_heat_j - self.drain_power_w * idle)
+        return self._backend.projected_stored_heat_j(idle)
 
     def available_fraction_at(self, time_s: float) -> float:
         """Projected :attr:`available_fraction` at a future instant."""
@@ -169,6 +227,12 @@ class SprintPacer:
 
         This is the paper's cooldown rule of thumb: the sprint's excess heat
         must drain at the sustainable power before the next task arrives.
+        It is exact for the ``linear`` backend only.  ``rc`` cools slower
+        (the exponential rate decays from the sustainable power), so it
+        needs more spacing than this; the ``pcm`` plateau drains slightly
+        *faster* than the sustainable power while melting but far slower
+        once solid — ``examples/thermal_fidelity_study.py`` quantifies
+        both gaps.
         """
         return self.sprint_heat_for(sustained_time_s) / self.drain_power_w
 
@@ -176,7 +240,7 @@ class SprintPacer:
 
     def reset(self) -> None:
         """Forget all stored heat (package back at ambient)."""
-        self._stored_heat_j = 0.0
+        self._backend.reset()
         self._clock_s = 0.0
         self._last_arrival_s = 0.0
 
@@ -244,13 +308,13 @@ class SprintPacer:
         self._last_arrival_s = max(self._last_arrival_s, arrival_s)
 
         # Stored heat drains during any idle gap before the start.
-        idle = start_s - self._clock_s
-        self._stored_heat_j = max(0.0, self._stored_heat_j - self.drain_power_w * idle)
-        before = self._stored_heat_j
+        backend = self._backend
+        backend.drain(start_s - self._clock_s)
+        before = backend.stored_heat_j
         queueing_delay = start_s - arrival_s
 
         demand = self.sprint_heat_for(sustained_time_s)
-        headroom = max(0.0, self.capacity_j - self._stored_heat_j)
+        headroom = backend.headroom_j
         sprint_time = sustained_time_s / self.sprint_speedup
 
         if not allow_sprint:
@@ -261,7 +325,7 @@ class SprintPacer:
             sprinted = True
             fullness = 1.0
             response = sprint_time
-            self._stored_heat_j += demand
+            backend.deposit(demand)
         elif self.refuse_partial_sprints or headroom <= 0.0:
             sprinted = False
             fullness = 0.0
@@ -273,7 +337,7 @@ class SprintPacer:
             sprinted = True
             fullness = headroom / demand
             response = fullness * sprint_time + (1.0 - fullness) * sustained_time_s
-            self._stored_heat_j += headroom
+            backend.deposit(headroom)
 
         self._clock_s = start_s + response
         return TaskOutcome(
@@ -282,28 +346,44 @@ class SprintPacer:
             sprinted=sprinted,
             response_time_s=response,
             stored_heat_before_j=before,
-            stored_heat_after_j=self._stored_heat_j,
+            stored_heat_after_j=backend.stored_heat_j,
             queueing_delay_s=queueing_delay,
             sprint_fullness=fullness,
+            package_temperature_c=backend.temperature_c,
+            melt_fraction=backend.melt_fraction,
         )
 
     def simulate_periodic(
-        self, interarrival_s: float, sustained_time_s: float, tasks: int
+        self,
+        interarrival_s: float,
+        sustained_time_s: float,
+        tasks: int,
+        allow_sprint: bool = True,
     ) -> PacingSummary:
-        """Run a periodic task stream and summarise responsiveness."""
+        """Run a periodic task stream and summarise responsiveness.
+
+        ``allow_sprint=False`` runs the whole stream sustained — the
+        no-sprint baseline of a responsiveness comparison — while the clock
+        and reservoir drain still advance.
+        """
         if interarrival_s <= 0:
             raise ValueError("inter-arrival time must be positive")
         if tasks < 1:
             raise ValueError("at least one task is required")
         self.reset()
         outcomes = [
-            self.task_arrival(i * interarrival_s, sustained_time_s, index=i)
+            self.task_arrival(
+                i * interarrival_s, sustained_time_s, index=i, allow_sprint=allow_sprint
+            )
             for i in range(tasks)
         ]
         responses = [o.response_time_s for o in outcomes]
+        p95, p99 = (float(p) for p in np.percentile(responses, (95.0, 99.0)))
         return PacingSummary(
             outcomes=tuple(outcomes),
             sprint_fraction=sum(o.sprinted for o in outcomes) / tasks,
             average_response_s=sum(responses) / tasks,
             worst_response_s=max(responses),
+            p95_response_s=p95,
+            p99_response_s=p99,
         )

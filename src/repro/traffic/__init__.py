@@ -10,7 +10,10 @@ bursty, diurnal, or measured from a trace?  It is organised as a pipeline:
 * :mod:`repro.traffic.request` — the request model and service-demand
   samplers, including draws from the Table 1 kernel suite,
 * :mod:`repro.traffic.device` — a serving wrapper around the sprint
-  pacing model, so consecutive requests share one thermal budget,
+  pacing model, so consecutive requests share one thermal budget whose
+  physics is a pluggable backend
+  (:class:`~repro.core.thermal_backend.ThermalSpec`: linear
+  rule-of-thumb, RC cooling, or PCM enthalpy with melt telemetry),
 * :mod:`repro.traffic.engine` — the heap-based discrete-event core:
   arrival/device-free/deadline plus grant-release/breaker-reset events,
   immediate and central-queue dispatch modes, bounded queues with
@@ -27,8 +30,8 @@ bursty, diurnal, or measured from a trace?  It is organised as a pipeline:
   deadline-miss) and sprint-governance (granted/denied/trips/time-at-cap)
   summaries,
 * :mod:`repro.traffic.sweep` — a multiprocessing scenario sweep over
-  policy × rate × fleet × discipline × queue-bound × governor grids with
-  deterministic seeding.
+  policy × rate × fleet × discipline × queue-bound × governor × thermal
+  grids with deterministic seeding.
 
 Quick start::
 
@@ -44,6 +47,14 @@ Quick start::
     print(result.summary(slo_s=2.0))
 """
 
+from repro.core.thermal_backend import (
+    THERMAL_BACKENDS,
+    LinearReservoir,
+    PcmReservoir,
+    RCCooling,
+    ThermalBackend,
+    ThermalSpec,
+)
 from repro.traffic.arrivals import (
     ArrivalProcess,
     DeterministicArrivals,
@@ -125,10 +136,13 @@ __all__ = [
     "GovernorStats",
     "GreedyGovernor",
     "LeastLoadedIndex",
+    "LinearReservoir",
     "LognormalService",
     "MMPPArrivals",
+    "PcmReservoir",
     "PoissonArrivals",
     "QUEUE_DISCIPLINES",
+    "RCCooling",
     "Request",
     "SWEEP_DISCIPLINES",
     "ServedRequest",
@@ -140,6 +154,9 @@ __all__ = [
     "SweepCell",
     "SweepResult",
     "SweepSpec",
+    "THERMAL_BACKENDS",
+    "ThermalBackend",
+    "ThermalSpec",
     "TokenBucketGovernor",
     "TraceArrivals",
     "TrafficSummary",

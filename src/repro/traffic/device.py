@@ -5,10 +5,13 @@
 request it is handed runs sprinted if the device's remaining budget allows,
 partially sprinted if only some does, or sustained otherwise — and the heat
 it deposits is still there when the next request lands, so back-to-back
-requests on a hot device genuinely see a depleted budget.  The device also
-exposes the two projections a dispatcher needs without perturbing state:
-when it will next be free, and how much sprint budget a request arriving at
-a given time would find.
+requests on a hot device genuinely see a depleted budget.  The reservoir
+physics behind that budget is the device's ``thermal`` backend
+(:mod:`repro.core.thermal_backend`): linear rule-of-thumb, RC cooling, or
+per-request PCM enthalpy, whose temperature/melt telemetry rides on every
+:class:`ServedRequest`.  The device also exposes the two projections a
+dispatcher needs without perturbing state: when it will next be free, and
+how much sprint budget a request arriving at a given time would find.
 
 Two entry points hand the device work, matching the two dispatch modes of
 :mod:`repro.traffic.engine`:
@@ -27,6 +30,7 @@ from dataclasses import dataclass
 
 from repro.core.config import SystemConfig
 from repro.core.pacing import SprintPacer, TaskOutcome
+from repro.core.thermal_backend import ThermalBackend, ThermalSpec
 from repro.traffic.request import Request
 
 
@@ -46,6 +50,13 @@ class ServedRequest:
     #: sprints (``sprinted`` alone cannot distinguish a 97%-sustained
     #: partial sprint from a full one).
     sprint_fullness: float = 0.0
+    #: Package temperature the device's thermal backend reported after the
+    #: request completed (the linear backend maps fill linearly onto the
+    #: ambient-to-limit range; physics backends report actual state).
+    package_temperature_c: float = 0.0
+    #: Liquid fraction of the device's PCM after the request (0 unless the
+    #: device paces with the ``pcm`` backend).
+    melt_fraction: float = 0.0
 
     @property
     def latency_s(self) -> float:
@@ -79,6 +90,12 @@ class SprintDevice:
         baseline fleet of a comparison — while still tracking queueing.
     refuse_partial_sprints:
         Passed through to :class:`~repro.core.pacing.SprintPacer`.
+    thermal:
+        Reservoir fidelity of this device's package — a backend name, a
+        :class:`~repro.core.thermal_backend.ThermalSpec`, or a prebuilt
+        :class:`~repro.core.thermal_backend.ThermalBackend` (owned by this
+        device; never share one instance across devices).  Passed through
+        to :class:`~repro.core.pacing.SprintPacer`.
     """
 
     def __init__(
@@ -88,6 +105,7 @@ class SprintDevice:
         sprint_speedup: float = 10.0,
         sprint_enabled: bool = True,
         refuse_partial_sprints: bool = False,
+        thermal: str | ThermalSpec | ThermalBackend = "linear",
     ) -> None:
         self.device_id = device_id
         self.sprint_enabled = sprint_enabled
@@ -95,6 +113,7 @@ class SprintDevice:
             config,
             sprint_speedup=sprint_speedup,
             refuse_partial_sprints=refuse_partial_sprints,
+            thermal=thermal,
         )
         self.requests_served = 0
         self.busy_seconds = 0.0
@@ -115,6 +134,11 @@ class SprintDevice:
     def available_fraction_at(self, time_s: float) -> float:
         """Projected sprint-budget fraction available at a future instant."""
         return self.pacer.available_fraction_at(time_s)
+
+    @property
+    def thermal_backend(self) -> ThermalBackend:
+        """The thermal backend owning this device's reservoir state."""
+        return self.pacer.backend
 
     @property
     def sprint_fullness_mean(self) -> float:
@@ -184,6 +208,8 @@ class SprintDevice:
             stored_heat_before_j=outcome.stored_heat_before_j,
             stored_heat_after_j=outcome.stored_heat_after_j,
             sprint_fullness=outcome.sprint_fullness,
+            package_temperature_c=outcome.package_temperature_c,
+            melt_fraction=outcome.melt_fraction,
         )
 
     def reset(self) -> None:

@@ -44,6 +44,18 @@ timestamps resolves before ``DEVICE_FREE`` so a freed device's next
 request sees the returned budget.  An unlimited governor (or none) takes
 the exact ungoverned code path, bit-identical to PR 2's engine.
 
+Thermal fidelity
+----------------
+The engine is agnostic to the reservoir physics a device paces against:
+each :class:`~repro.traffic.device.SprintDevice` owns a thermal backend
+(:mod:`repro.core.thermal_backend`), and the per-request
+temperature/enthalpy telemetry it produces rides inside
+:class:`~repro.traffic.device.ServedRequest` untouched through both
+dispatch modes.  The ``thermal_aware`` policy and the central queue only
+consume the backend-neutral projections (``busy_until_s``,
+``available_fraction_at``), so every dispatch mode works with every
+backend.
+
 Dispatch policies (immediate mode)
 ----------------------------------
 * ``round_robin`` — cycle through devices regardless of state,

@@ -23,6 +23,13 @@ acquire a grant from a shared fleet power budget first, and the run's
 grant ledger lands in :attr:`FleetResult.governor_stats`.  The default
 ``"unlimited"`` governor is bypassed entirely, so ungoverned results stay
 bit-identical across versions.
+
+Pacing fidelity is a third swappable axis: a
+:class:`~repro.core.thermal_backend.ThermalSpec` selects the reservoir
+physics (linear rule-of-thumb, RC cooling, or PCM enthalpy) every device
+paces against, and the per-request temperature/melt telemetry it produces
+flows through both dispatch modes untouched into the run's
+:class:`~repro.traffic.metrics.TrafficSummary`.
 """
 
 from __future__ import annotations
@@ -33,6 +40,7 @@ from typing import Sequence
 import numpy as np
 
 from repro.core.config import SystemConfig
+from repro.core.thermal_backend import ThermalSpec
 from repro.traffic.device import ServedRequest, SprintDevice
 from repro.traffic.engine import (
     DISPATCH_MODES,
@@ -69,6 +77,12 @@ class DeviceStats:
     #: Mean realised sprint fullness on this device — low values flag a
     #: thermal hotspot that is nominally sprinting but mostly sustained.
     sprint_fullness_mean: float = 0.0
+    #: Package temperature the device's thermal backend reported at the end
+    #: of the run.
+    package_temperature_c: float = 0.0
+    #: Liquid PCM fraction at the end of the run (0 unless the fleet paces
+    #: with the ``pcm`` backend).
+    melt_fraction: float = 0.0
 
 
 @dataclass(frozen=True)
@@ -135,6 +149,13 @@ class FleetSimulator:
         :class:`~repro.traffic.governor.SprintGovernor` instance.  The
         governor is reset at the start of every :meth:`run`, like the
         devices.
+    thermal:
+        Reservoir fidelity of every device's package: a backend name from
+        :data:`~repro.core.thermal_backend.THERMAL_BACKENDS` or a
+        :class:`~repro.core.thermal_backend.ThermalSpec`.  Each device
+        builds its own backend instance from the spec, so fleets never
+        share thermal state.  The default ``"linear"`` backend is
+        bit-identical to the pre-backend fleet (regression-locked).
     sprint_speedup, sprint_enabled, refuse_partial_sprints:
         Forwarded to each :class:`~repro.traffic.device.SprintDevice`.
     """
@@ -151,6 +172,7 @@ class FleetSimulator:
         discipline: str = "fifo",
         queue_bound: int | None = None,
         governor: str | GovernorSpec | SprintGovernor = "unlimited",
+        thermal: str | ThermalSpec = "linear",
     ) -> None:
         if n_devices < 1:
             raise ValueError("a fleet needs at least one device")
@@ -182,6 +204,14 @@ class FleetSimulator:
                 "governor must be a policy name, a GovernorSpec, or a "
                 f"SprintGovernor, not {type(governor).__name__}"
             )
+        if isinstance(thermal, str):
+            thermal = ThermalSpec(backend=thermal)
+        if not isinstance(thermal, ThermalSpec):
+            raise TypeError(
+                "thermal must be a backend name or a ThermalSpec, "
+                f"not {type(thermal).__name__}"
+            )
+        self.thermal_spec = thermal
         self.config = config
         self.mode = mode
         self.discipline = discipline
@@ -193,6 +223,7 @@ class FleetSimulator:
                 sprint_speedup=sprint_speedup,
                 sprint_enabled=sprint_enabled,
                 refuse_partial_sprints=refuse_partial_sprints,
+                thermal=thermal,
             )
             for i in range(n_devices)
         ]
@@ -238,6 +269,8 @@ class FleetSimulator:
                 stored_heat_j=d.pacer.stored_heat_j,
                 sprints_served=d.sprints_served,
                 sprint_fullness_mean=d.sprint_fullness_mean,
+                package_temperature_c=d.thermal_backend.temperature_c,
+                melt_fraction=d.thermal_backend.melt_fraction,
             )
             for d in self.devices
         )

@@ -11,6 +11,13 @@ in the queue, or served past their deadline.  Power-governed runs
 additionally report the grant ledger (sprints granted and denied, breaker
 trips, time at the budget cap) from the run's
 :class:`~repro.traffic.governor.GovernorStats`.
+
+Thermal telemetry from the devices' pacing backends
+(:mod:`repro.core.thermal_backend`) is summarised too: peak and mean
+stored heat across all served requests, the peak package temperature, and
+the peak PCM melt fraction — under the ``pcm`` backend a peak melt
+fraction pinned near 1.0 means the fleet is serving off the far edge of
+the Figure 4 plateau.
 """
 
 from __future__ import annotations
@@ -55,6 +62,14 @@ class TrafficSummary:
     rejected_count: int = 0
     abandoned_count: int = 0
     deadline_miss_count: int = 0
+    #: Thermal telemetry over all served requests, from the devices'
+    #: pacing backends: stored heat right after each request (peak and
+    #: mean), the hottest package temperature reported, and the largest
+    #: PCM melt fraction reached (0 unless the fleet paces with ``pcm``).
+    peak_stored_heat_j: float = 0.0
+    mean_stored_heat_j: float = 0.0
+    peak_temperature_c: float = 0.0
+    peak_melt_fraction: float = 0.0
     #: Power-governance ledger (governed runs; ``unlimited`` reports the
     #: defaults): the policy that gated sprints, grants issued and denied,
     #: breaker trips, and total time the shared budget was exhausted.
@@ -158,6 +173,7 @@ def summarize(
     queueing = np.array([s.queueing_delay_s for s in served])
     arrivals = np.array([s.request.arrival_s for s in served])
     completions = np.array([s.completed_at_s for s in served])
+    stored_heat = np.array([s.stored_heat_after_j for s in served])
     p50, p95, p99 = latency_percentiles(latencies)
     makespan = float(completions.max() - arrivals.min())
     return TrafficSummary(
@@ -172,6 +188,10 @@ def summarize(
         mean_queueing_s=float(queueing.mean()),
         sprint_fraction=float(np.mean([s.sprinted for s in served])),
         mean_sprint_fullness=float(np.mean([s.sprint_fullness for s in served])),
+        peak_stored_heat_j=float(stored_heat.max()),
+        mean_stored_heat_j=float(stored_heat.mean()),
+        peak_temperature_c=max(s.package_temperature_c for s in served),
+        peak_melt_fraction=max(s.melt_fraction for s in served),
         slo_s=slo_s,
         slo_attainment=None if slo_s is None else slo_attainment(latencies, slo_s),
         rejected_count=rejected_count,

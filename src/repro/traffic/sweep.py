@@ -1,5 +1,5 @@
 """Scenario sweep engine: policy × rate × fleet × discipline × bound ×
-governor grids.
+governor × thermal grids.
 
 One fleet run answers one question; the interesting questions — how much
 fleet does a target SLO need, which dispatch policy wins under overload,
@@ -20,7 +20,14 @@ axis only affects central-queue cells; immediate cells repeat unchanged
 along it.  The ``governors`` axis applies a fleet power budget
 (:class:`~repro.traffic.governor.GovernorSpec`) per cell; the request
 stream does not depend on it, so governor comparisons are paired like
-every other non-rate axis.
+every other non-rate axis.  The ``thermals`` axis selects the pacing
+fidelity (:class:`~repro.core.thermal_backend.ThermalSpec`: linear
+rule-of-thumb, RC cooling, or PCM enthalpy) per cell — also paired, so a
+sweep can answer "how much tail latency does the coarse reservoir hide?"
+directly.  Redundant cells collapse: duplicate thermal specs keep their
+first occurrence, and a sprint-disabled sweep keeps only the first
+backend (a fleet that never sprints deposits no heat, so every backend
+agrees).
 
 Scenario knobs beyond the grid live in :class:`SweepSpec`: the arrival
 process family (Poisson, bursty on-off, diurnal, or deterministic — all
@@ -38,6 +45,7 @@ from dataclasses import dataclass, replace
 import numpy as np
 
 from repro.core.config import SystemConfig
+from repro.core.thermal_backend import ThermalSpec
 from repro.traffic.arrivals import (
     ArrivalProcess,
     DeterministicArrivals,
@@ -83,6 +91,9 @@ class SweepSpec:
     #: to :class:`GovernorSpec` (only ``"unlimited"`` works bare — the
     #: other policies need knobs, so pass specs).
     governors: tuple[GovernorSpec | str, ...] = (GovernorSpec(),)
+    #: Pacing-fidelity axis.  Backend names are accepted and normalised to
+    #: :class:`~repro.core.thermal_backend.ThermalSpec`.
+    thermals: tuple[ThermalSpec | str, ...] = (ThermalSpec(),)
     n_requests: int = 200
     arrival_kind: str = "poisson"
     service_mean_s: float = 5.0
@@ -106,16 +117,25 @@ class SweepSpec:
             or not self.disciplines
             or not self.queue_bounds
             or not self.governors
+            or not self.thermals
         ):
             raise ValueError("every grid axis needs at least one value")
-        # Normalise the governor axis so every cell carries a GovernorSpec
-        # (names validate themselves at construction).
+        # Normalise the governor and thermal axes so every cell carries a
+        # spec (names validate themselves at construction).
         object.__setattr__(
             self,
             "governors",
             tuple(
                 g if isinstance(g, GovernorSpec) else GovernorSpec(policy=g)
                 for g in self.governors
+            ),
+        )
+        object.__setattr__(
+            self,
+            "thermals",
+            tuple(
+                t if isinstance(t, ThermalSpec) else ThermalSpec(backend=t)
+                for t in self.thermals
             ),
         )
         unknown = [p for p in self.policies if p not in DISPATCH_POLICIES]
@@ -208,6 +228,8 @@ class SweepCell:
     queue_bound: int | None = None
     #: Fleet power budget this cell sprints under.
     governor: GovernorSpec = GovernorSpec()
+    #: Pacing fidelity this cell's devices simulate with.
+    thermal: ThermalSpec = ThermalSpec()
 
     @property
     def seed_sequence(self) -> np.random.SeedSequence:
@@ -226,20 +248,23 @@ class CellResult:
 
 def expand_cells(spec: SweepSpec) -> list[SweepCell]:
     """Enumerate the grid in deterministic (policy, rate, fleet, discipline,
-    bound, governor) order — the legacy enumeration when the new axes keep
-    their single-value defaults, so existing seeds reproduce.
+    bound, governor, thermal) order — the legacy enumeration when the new
+    axes keep their single-value defaults, so existing seeds reproduce.
 
     Combinations that cannot differ are collapsed to one canonical cell, so
     no scenario is ever simulated twice: central-queue cells ignore the
     policy axis (only the first policy is kept), immediate cells ignore the
-    queue bound (only the first bound is kept), duplicate governor values
-    collapse to their first occurrence, and a sprint-disabled sweep keeps
-    only the first governor (a power governor cannot affect a fleet that
-    never sprints).
+    queue bound (only the first bound is kept), duplicate governor and
+    thermal values collapse to their first occurrence, and a
+    sprint-disabled sweep keeps only the first governor and the first
+    thermal backend (a fleet that never sprints deposits no heat, so no
+    power governor and no reservoir physics can affect it).
     """
     governors = list(dict.fromkeys(spec.governors))  # ordered unique
+    thermals = list(dict.fromkeys(spec.thermals))
     if not spec.sprint_enabled:
         governors = governors[:1]
+        thermals = thermals[:1]
     grid = itertools.product(
         spec.policies,
         enumerate(spec.arrival_rates_hz),
@@ -247,9 +272,10 @@ def expand_cells(spec: SweepSpec) -> list[SweepCell]:
         spec.disciplines,
         spec.queue_bounds,
         governors,
+        thermals,
     )
     cells = []
-    for policy, (rate_idx, rate), size, discipline, bound, governor in grid:
+    for policy, (rate_idx, rate), size, discipline, bound, governor, thermal in grid:
         if discipline == "immediate":
             if bound != spec.queue_bounds[0]:
                 continue
@@ -267,6 +293,7 @@ def expand_cells(spec: SweepSpec) -> list[SweepCell]:
                 discipline=discipline,
                 queue_bound=bound,
                 governor=governor,
+                thermal=thermal,
             )
         )
     return cells
@@ -297,6 +324,7 @@ def run_cell(spec: SweepSpec, cell: SweepCell, config: SystemConfig) -> CellResu
         discipline=cell.discipline if central else "fifo",
         queue_bound=cell.queue_bound if central else None,
         governor=cell.governor,
+        thermal=cell.thermal,
     )
     result = fleet.run(
         requests, seed=np.random.SeedSequence([cell.base_seed, cell.index])
@@ -324,6 +352,7 @@ class SweepResult:
         n_devices: int | None = None,
         discipline: str | None = None,
         governor_policy: str | None = None,
+        thermal_backend: str | None = None,
     ) -> list[CellResult]:
         """Cells matching the given axis values (None = any)."""
         out = []
@@ -339,6 +368,8 @@ class SweepResult:
                 continue
             if governor_policy is not None and cell.governor.policy != governor_policy:
                 continue
+            if thermal_backend is not None and cell.thermal.backend != thermal_backend:
+                continue
             out.append(result)
         return out
 
@@ -351,13 +382,14 @@ class SweepResult:
 
         Immediate cells show their policy; central-queue cells show the
         queue discipline and bound (the policy axis is not consulted
-        there).  The lifecycle columns count rejected and abandoned
-        requests; the governance columns show the cell's power budget and
-        its denied-sprint and breaker-trip counts.
+        there).  The thermal column is the cell's pacing-fidelity backend.
+        The lifecycle columns count rejected and abandoned requests; the
+        governance columns show the cell's power budget and its
+        denied-sprint and breaker-trip counts.
         """
         header = (
-            f"{'dispatch':>16} {'governor':>16} {'rate':>8} {'fleet':>6} "
-            f"{'p50':>8} {'p99':>8} "
+            f"{'dispatch':>16} {'governor':>16} {'thermal':>10} {'rate':>8} "
+            f"{'fleet':>6} {'p50':>8} {'p99':>8} "
             f"{'sprint%':>8} {'full%':>6} {'rps':>8} {'rej':>5} {'abn':>5} "
             f"{'den':>5} {'trip':>4}"
         )
@@ -370,7 +402,7 @@ class SweepResult:
                 bound = "∞" if cell.queue_bound is None else str(cell.queue_bound)
                 dispatch = f"{cell.discipline}[{bound}]"
             rows.append(
-                f"{dispatch:>16} {cell.governor.label:>16} "
+                f"{dispatch:>16} {cell.governor.label:>16} {cell.thermal.label:>10} "
                 f"{cell.arrival_rate_hz:7.3f}/s {cell.n_devices:6d} "
                 f"{s.p50_latency_s:7.2f}s {s.p99_latency_s:7.2f}s "
                 f"{s.sprint_fraction * 100:7.0f}% {s.mean_sprint_fullness * 100:5.0f}% "

@@ -1,5 +1,6 @@
 """Tests for the sprint-pacing model (repeated sprints on bursty task streams)."""
 
+import numpy as np
 import pytest
 from hypothesis import given, settings, strategies as st
 
@@ -105,6 +106,45 @@ class TestTaskSequences:
             pacer.simulate_periodic(1.0, 5.0, 0)
         with pytest.raises(ValueError):
             pacer.task_arrival(0.0, sustained_time_s=0.0)
+
+
+class TestPacingSummaryParity:
+    """PacingSummary matches TrafficSummary's percentile vocabulary."""
+
+    def test_percentiles_match_numpy_linear_interpolation(self, pacer):
+        summary = pacer.simulate_periodic(
+            interarrival_s=0.8, sustained_time_s=5.0, tasks=15
+        )
+        responses = [o.response_time_s for o in summary.outcomes]
+        assert summary.p95_response_s == pytest.approx(
+            float(np.percentile(responses, 95.0))
+        )
+        assert summary.p99_response_s == pytest.approx(
+            float(np.percentile(responses, 99.0))
+        )
+        assert summary.p95_response_s <= summary.p99_response_s
+        assert summary.p99_response_s <= summary.worst_response_s
+
+    def test_uniform_stream_has_flat_percentiles(self, pacer):
+        spacing = pacer.minimum_interarrival_s(5.0) * 1.2 + 0.5
+        summary = pacer.simulate_periodic(spacing, 5.0, tasks=10)
+        assert summary.p95_response_s == pytest.approx(0.5, rel=0.01)
+        assert summary.p99_response_s == pytest.approx(0.5, rel=0.01)
+
+    def test_no_sprint_baseline_runs_everything_sustained(self, pacer):
+        summary = pacer.simulate_periodic(
+            interarrival_s=1.0, sustained_time_s=5.0, tasks=8, allow_sprint=False
+        )
+        assert summary.sprint_fraction == 0.0
+        assert all(o.response_time_s == pytest.approx(5.0) for o in summary.outcomes)
+        assert summary.p99_response_s == pytest.approx(5.0)
+        assert pacer.stored_heat_j == 0.0  # nothing was ever deposited
+
+    def test_no_sprint_baseline_brackets_the_sprinting_run(self, pacer):
+        sprinting = pacer.simulate_periodic(2.0, 5.0, tasks=10)
+        baseline = pacer.simulate_periodic(2.0, 5.0, tasks=10, allow_sprint=False)
+        assert sprinting.average_response_s <= baseline.average_response_s
+        assert sprinting.p99_response_s <= baseline.p99_response_s
 
 
 class TestExecuteAt:

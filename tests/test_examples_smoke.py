@@ -30,6 +30,7 @@ COVERED = {
     "thermal_design_space": "heat store",
     "fleet_serving": "degenerate case",
     "power_budget_study": "concurrency cap",
+    "thermal_fidelity_study": "melt plateau",
     "reproduce_paper": "EXPERIMENTS",
 }
 
@@ -148,6 +149,20 @@ def test_power_budget_study(capsys, monkeypatch):
     assert "breaker" in out
     assert "burst credit" in out
     assert "governor grid" in out
+
+
+def test_thermal_fidelity_study(capsys, monkeypatch):
+    module = load_example("thermal_fidelity_study")
+    monkeypatch.setattr(module, "REQUESTS", 60)
+    monkeypatch.setattr(module, "ARRIVAL_RATES_HZ", (0.2, 0.8))
+    monkeypatch.setattr(module, "SWEEP_WORKERS", 2)
+    module.main()
+    out = capsys.readouterr().out
+    assert COVERED["thermal_fidelity_study"] in out
+    assert "holds full sprint capacity through the melt plateau" in out
+    assert "cooldown fidelity" in out
+    assert "linear err" in out
+    assert "thermal grid" in out
 
 
 def test_reproduce_paper(
