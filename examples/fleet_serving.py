@@ -12,14 +12,18 @@ example uses :mod:`repro.traffic` to show three things:
    traffic, sprinting holds the p99 latency near the sprinted service time
    until the thermal budget saturates, while a no-sprint fleet sits at the
    sustained service time and collapses much earlier.
-3. **Dispatch policies under bursty load**: a policy × fleet-size sweep
+3. **Error bars on the headline claim**: the sprint-vs-no-sprint p99 gap
+   replicated under common random numbers
+   (:mod:`repro.traffic.experiments`), reported as a paired delta with a
+   confidence interval and sign test instead of two bare numbers.
+4. **Dispatch policies under bursty load**: a policy × fleet-size sweep
    (run across worker processes) showing thermal-aware dispatch beating
    round-robin and least-loaded on tail latency.
-4. **Central queue vs immediate dispatch at overload**: when demand
+5. **Central queue vs immediate dispatch at overload**: when demand
    exceeds fleet capacity, a bounded central queue (admission control)
    keeps the served p99 flat by shedding load, while immediate dispatch's
    backlog — and tail — grows without bound.
-5. **Deadlines and abandonment**: an earliest-deadline-first central queue
+6. **Deadlines and abandonment**: an earliest-deadline-first central queue
    under per-request latency budgets, reporting abandonment and
    deadline-miss rates against FIFO.
 
@@ -42,7 +46,9 @@ from repro.traffic import (
     FleetSimulator,
     GammaService,
     PoissonArrivals,
+    Scenario,
     SweepSpec,
+    compare,
     generate_requests,
     run_sweep,
 )
@@ -57,6 +63,8 @@ SWEEP_WORKERS = 4
 OVERLOAD_RATE_HZ = 2.0
 QUEUE_BOUND = 8
 DEADLINE_S = 15.0
+ERROR_BAR_RATE_HZ = 0.3
+REPLICATIONS = 8
 
 
 def degenerate_case(config: SystemConfig) -> None:
@@ -120,6 +128,48 @@ def latency_vs_rate(config: SystemConfig) -> None:
             f"{ns.slo_attainment * 100:5.0f}%"
         )
     print()
+
+
+def latency_error_bars(config: SystemConfig) -> None:
+    """The sprint-vs-no-sprint p99 gap, with a CI instead of two bare numbers.
+
+    The table above compares single replications; this replays the
+    comparison at one rate as a common-random-numbers paired experiment,
+    so the claimed gap carries a confidence interval and a sign test.
+    """
+    print(
+        f"-- error bars: sprint vs no-sprint at {ERROR_BAR_RATE_HZ:.1f}/s, "
+        f"{REPLICATIONS} CRN-paired replications --"
+    )
+    sprinting = Scenario(
+        arrivals=PoissonArrivals(ERROR_BAR_RATE_HZ),
+        service=GammaService(mean_s=TASK_SUSTAINED_S, cv=0.5),
+        n_requests=REQUESTS,
+        n_devices=FLEET_SIZE,
+        sprint_speedup=SPRINT_SPEEDUP,
+        slo_s=SLO_S,
+    )
+    duel = compare(
+        sprinting.with_options(sprint_enabled=False),
+        sprinting,
+        n_replications=REPLICATIONS,
+        config=config,
+        workers=SWEEP_WORKERS,
+    )
+    for label, arm in (("no-sprint", duel.baseline), ("sprint", duel.treatment)):
+        p99 = arm.estimate("p99_latency_s")
+        slo = arm.estimate("slo_attainment")
+        print(
+            f"{label:>10}: p99 {p99.mean:6.2f}s ± {p99.half_width:4.2f}s   "
+            f"SLO {slo.mean * 100:5.1f}% ± {slo.half_width * 100:4.1f}%"
+        )
+    delta = duel.delta("p99_latency_s")
+    print(
+        f"sprinting moves p99 by {delta.mean_delta:+.2f}s ± {delta.half_width:.2f}s "
+        f"(95% CI, sign test p={delta.sign_test_p:.3g}) — "
+        f"{'significant' if delta.significant else 'not significant'} "
+        f"at this replication budget\n"
+    )
 
 
 def dispatch_policy_sweep(config: SystemConfig) -> None:
@@ -253,6 +303,7 @@ def main() -> None:
     )
     degenerate_case(config)
     latency_vs_rate(config)
+    latency_error_bars(config)
     dispatch_policy_sweep(config)
     central_queue_at_overload(config)
     deadline_scenario(config)

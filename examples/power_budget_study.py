@@ -22,6 +22,10 @@ uses :mod:`repro.traffic.governor` to show four things:
    during bursts, the capacitance argument at rack scale.
 4. **Governor grid**: a parallel :func:`repro.traffic.run_sweep` over the
    governor axis, showing the whole policy × budget surface at once.
+5. **Governance with error bars**: the greedy-vs-cooperative tail claim
+   replicated under common random numbers
+   (:mod:`repro.traffic.experiments`) — the p99 difference as a paired
+   confidence interval and sign test, not a single-seed anecdote.
 
 Run with::
 
@@ -37,7 +41,9 @@ from repro.traffic import (
     GovernorSpec,
     MMPPArrivals,
     PoissonArrivals,
+    Scenario,
     SweepSpec,
+    compare,
     generate_requests,
     run_sweep,
 )
@@ -55,6 +61,7 @@ TOKEN_RATE_HZ = 1.5
 TOKEN_BURSTS = (1, 30)
 BURSTY_REQUESTS = 400
 SWEEP_WORKERS = 4
+REPLICATIONS = 8
 
 
 def offered_requests(seed: int = 11):
@@ -199,6 +206,55 @@ def governor_sweep(config: SystemConfig) -> None:
     )
 
 
+def governance_error_bars(config: SystemConfig) -> None:
+    """Greedy vs cooperative-threshold, replicated: the gap with a CI.
+
+    The breaker study above is one seed; here the same duel runs as a
+    common-random-numbers paired experiment, so the cooperative governor's
+    tail win is reported with a confidence interval and a sign test.
+    """
+    excess_w = config.sprint_power_w - config.sustainable_power_w
+    trip_w = TRIP_SPRINTS * excess_w
+    print(
+        f"\n-- governance error bars: greedy vs cooperative at the same "
+        f"{trip_w:.0f} W breaker, {REPLICATIONS} CRN-paired replications --"
+    )
+    greedy = Scenario(
+        arrivals=PoissonArrivals(ARRIVAL_RATE_HZ),
+        service=GammaService(mean_s=TASK_SUSTAINED_S, cv=SERVICE_CV),
+        n_requests=REQUESTS,
+        n_devices=FLEET_SIZE,
+        governor=GovernorSpec.greedy(
+            FLEET_SIZE, trip_headroom_w=trip_w, penalty_s=PENALTY_S
+        ),
+        slo_s=SLO_S,
+    )
+    cooperative = greedy.with_options(
+        governor=GovernorSpec.cooperative(trip_w, penalty_s=PENALTY_S)
+    )
+    duel = compare(
+        greedy,
+        cooperative,
+        n_replications=REPLICATIONS,
+        config=config,
+        workers=SWEEP_WORKERS,
+    )
+    for label, arm in (("greedy", duel.baseline), ("cooperative", duel.treatment)):
+        p99 = arm.estimate("p99_latency_s")
+        trips = arm.estimate("breaker_trips")
+        print(
+            f"{label:>12}: p99 {p99.mean:6.2f}s ± {p99.half_width:5.2f}s   "
+            f"trips {trips.mean:5.1f} ± {trips.half_width:4.1f}"
+        )
+    delta = duel.delta("p99_latency_s")
+    print(
+        f"cooperative moves p99 by {delta.mean_delta:+.2f}s ± {delta.half_width:.2f}s "
+        f"(95% CI, sign test p={delta.sign_test_p:.3g}) — "
+        f"{'significant' if delta.significant else 'not significant'}: "
+        f"breaker avoidance is a claim that survives error bars"
+    )
+
+
 def main() -> None:
     config = SystemConfig.paper_default()
     excess_w = config.sprint_power_w - config.sustainable_power_w
@@ -211,6 +267,7 @@ def main() -> None:
     breaker_study(config)
     burst_credit_study(config)
     governor_sweep(config)
+    governance_error_bars(config)
 
 
 if __name__ == "__main__":

@@ -31,7 +31,11 @@ bursty, diurnal, or measured from a trace?  It is organised as a pipeline:
   summaries,
 * :mod:`repro.traffic.sweep` — a multiprocessing scenario sweep over
   policy × rate × fleet × discipline × queue-bound × governor × thermal
-  grids with deterministic seeding.
+  grids with deterministic seeding and a replication axis,
+* :mod:`repro.traffic.experiments` — the replicated-experiment layer:
+  frozen scenarios replayed N times under controlled seed streams, with
+  per-metric confidence intervals, common-random-numbers paired
+  comparisons (variance reduction), and CI-driven sequential stopping.
 
 Quick start::
 
@@ -62,8 +66,18 @@ from repro.traffic.arrivals import (
     MMPPArrivals,
     PoissonArrivals,
     TraceArrivals,
+    seed_stream,
 )
 from repro.traffic.device import ServedRequest, SprintDevice
+from repro.traffic.experiments import (
+    ComparisonResult,
+    ExperimentResult,
+    ReplicationPlan,
+    Scenario,
+    compare,
+    run_replications,
+    run_until,
+)
 from repro.traffic.engine import (
     DISPATCH_MODES,
     DISPATCH_POLICIES,
@@ -89,9 +103,19 @@ from repro.traffic.governor import (
     UnlimitedGovernor,
 )
 from repro.traffic.metrics import (
+    SUMMARY_STAT_FIELDS,
+    MetricEstimate,
+    PairedDelta,
     TrafficSummary,
+    aggregate_summaries,
+    batch_means_ci,
     latency_percentiles,
+    mean_ci,
+    paired_delta,
+    sign_test_p,
     slo_attainment,
+    student_t_cdf,
+    student_t_ppf,
     summarize,
 )
 from repro.traffic.request import (
@@ -105,12 +129,15 @@ from repro.traffic.request import (
 )
 from repro.traffic.sweep import (
     ARRIVAL_KINDS,
+    PAIRING_MODES,
     SWEEP_DISCIPLINES,
     CellResult,
     SweepCell,
     SweepResult,
     SweepSpec,
+    cell_is_deterministic,
     expand_cells,
+    pool_map,
     run_cell,
     run_sweep,
 )
@@ -119,6 +146,7 @@ __all__ = [
     "ARRIVAL_KINDS",
     "ArrivalProcess",
     "CellResult",
+    "ComparisonResult",
     "CooperativeThresholdGovernor",
     "DISPATCH_MODES",
     "DISPATCH_POLICIES",
@@ -127,6 +155,7 @@ __all__ = [
     "DispatchFn",
     "DiurnalArrivals",
     "EngineResult",
+    "ExperimentResult",
     "FixedService",
     "FleetResult",
     "FleetSimulator",
@@ -139,12 +168,18 @@ __all__ = [
     "LinearReservoir",
     "LognormalService",
     "MMPPArrivals",
+    "MetricEstimate",
+    "PAIRING_MODES",
+    "PairedDelta",
     "PcmReservoir",
     "PoissonArrivals",
     "QUEUE_DISCIPLINES",
     "RCCooling",
+    "ReplicationPlan",
     "Request",
+    "SUMMARY_STAT_FIELDS",
     "SWEEP_DISCIPLINES",
+    "Scenario",
     "ServedRequest",
     "ServiceModel",
     "ServingEngine",
@@ -161,11 +196,24 @@ __all__ = [
     "TraceArrivals",
     "TrafficSummary",
     "UnlimitedGovernor",
+    "aggregate_summaries",
+    "batch_means_ci",
+    "cell_is_deterministic",
+    "compare",
     "expand_cells",
     "generate_requests",
     "latency_percentiles",
+    "mean_ci",
+    "paired_delta",
+    "pool_map",
     "run_cell",
+    "run_replications",
     "run_sweep",
+    "run_until",
+    "seed_stream",
+    "sign_test_p",
     "slo_attainment",
+    "student_t_cdf",
+    "student_t_ppf",
     "summarize",
 ]

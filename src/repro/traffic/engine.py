@@ -273,6 +273,15 @@ class EngineResult:
     abandoned: tuple[Request, ...]
     #: Grant accounting of a governed run (None when ungoverned/unlimited).
     governor_stats: GovernorStats | None = None
+    #: Timestamp of the last event the engine processed.  Event times are
+    #: popped from a min-heap, so this is the latest instant the engine
+    #: acted at.  In central-queue mode every device's final DEVICE_FREE
+    #: is an event, so this bounds all completions; in immediate mode
+    #: completions resolve inside the devices' pacers and may extend past
+    #: the final arrival — callers wanting a completion-inclusive horizon
+    #: take ``max(final_time_s, max completed_at_s)``
+    #: (:attr:`repro.traffic.fleet.FleetResult.horizon_s` does).
+    final_time_s: float = 0.0
 
 
 class ServingEngine:
@@ -517,4 +526,5 @@ class ServingEngine:
             rejected=tuple(rejected),
             abandoned=tuple(abandoned),
             governor_stats=governor.finalize(last_s) if governed else None,
+            final_time_s=last_s,
         )

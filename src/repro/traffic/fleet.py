@@ -99,6 +99,9 @@ class FleetResult:
     #: Grant ledger of a power-governed run (None when the governor was
     #: ``unlimited`` — ungoverned runs have nothing to account).
     governor_stats: GovernorStats | None = None
+    #: Last event instant the engine processed (see
+    #: :attr:`repro.traffic.engine.EngineResult.final_time_s`).
+    final_event_s: float = 0.0
     _summary_cache: dict = field(
         default_factory=dict, init=False, repr=False, compare=False
     )
@@ -107,6 +110,18 @@ class FleetResult:
     def latencies_s(self) -> np.ndarray:
         """Per-request latencies in request-index order."""
         return np.array([s.latency_s for s in self.served])
+
+    @property
+    def horizon_s(self) -> float:
+        """Instant by which every request's fate had resolved.
+
+        The later of the engine's final event and the last served
+        completion; at this instant nothing is in flight — arrivals equal
+        served + rejected + abandoned, the conservation law the invariant
+        suite asserts.
+        """
+        completions = [s.completed_at_s for s in self.served]
+        return max([self.final_event_s, *completions])
 
     def summary(self, slo_s: float | None = None) -> TrafficSummary:
         """Aggregate serving metrics (cached per SLO)."""
@@ -281,4 +296,5 @@ class FleetSimulator:
             rejected=outcome.rejected,
             abandoned=outcome.abandoned,
             governor_stats=outcome.governor_stats,
+            final_event_s=outcome.final_time_s,
         )

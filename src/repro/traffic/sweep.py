@@ -53,10 +53,11 @@ from repro.traffic.arrivals import (
     MMPPArrivals,
     PoissonArrivals,
 )
+from repro.traffic.arrivals import seed_stream
 from repro.traffic.engine import QUEUE_DISCIPLINES
 from repro.traffic.fleet import DISPATCH_POLICIES, FleetSimulator
 from repro.traffic.governor import GovernorSpec
-from repro.traffic.metrics import TrafficSummary
+from repro.traffic.metrics import MetricEstimate, TrafficSummary, mean_ci
 from repro.traffic.request import FixedService, GammaService, generate_requests
 
 #: Arrival families the sweep can instantiate from a cell's mean rate.
@@ -65,6 +66,32 @@ ARRIVAL_KINDS = ("poisson", "bursty", "diurnal", "deterministic")
 #: Values of the discipline axis: immediate dispatch, or a central-queue
 #: discipline from :data:`repro.traffic.engine.QUEUE_DISCIPLINES`.
 SWEEP_DISCIPLINES = ("immediate",) + QUEUE_DISCIPLINES
+
+#: Replication seeding modes: ``"crn"`` (common random numbers — every
+#: cell at the same arrival rate replays the same request stream per
+#: replication, so comparisons along all non-rate axes stay paired) or
+#: ``"independent"`` (each cell draws its own streams — the noisy
+#: classical design, kept so the variance reduction can be measured).
+PAIRING_MODES = ("crn", "independent")
+
+
+def pool_map(fn, jobs, workers: int) -> list:
+    """Map ``fn`` over ``jobs``, optionally fanned across worker processes.
+
+    The shared fan-out primitive of the traffic stack: :func:`run_sweep`
+    spreads grid cells through it and
+    :func:`repro.traffic.experiments.run_replications` spreads replication
+    jobs.  ``workers=1`` (or a single job) runs serially in-process;
+    results always come back in job order, so callers are bit-identical
+    for any worker count provided ``fn`` is deterministic per job.
+    """
+    if workers < 1:
+        raise ValueError("worker count must be at least 1")
+    jobs = list(jobs)
+    if workers == 1 or len(jobs) <= 1:
+        return [fn(job) for job in jobs]
+    with multiprocessing.Pool(processes=min(workers, len(jobs))) as pool:
+        return pool.map(fn, jobs)
 
 
 @dataclass(frozen=True)
@@ -80,6 +107,20 @@ class SweepSpec:
     ``deadline_s`` attaches the same relative latency budget to every
     request (central-queue cells then abandon requests that miss it before
     starting; every cell reports completion-past-deadline misses).
+
+    ``replications`` runs every cell that many times under distinct
+    replication seed streams and reports all replicate summaries on its
+    :class:`CellResult` (confidence intervals via
+    :meth:`CellResult.estimate`).  ``pairing`` selects the replication
+    seeding: ``"crn"`` (default) keeps cells at the same arrival rate on
+    common request streams per replication — paired comparisons along
+    every non-rate axis, with replication 0 replaying the legacy stream
+    so a default sweep is bit-identical to the pre-replication engine —
+    while ``"independent"`` keys every replication of every cell by its
+    grid index, so no two cells share a stream.
+    Deterministic cells (deterministic arrivals, ``service_cv == 0``, and
+    no ``random`` policy) collapse to a single replication: re-running an
+    identical simulation is redundant.
     """
 
     policies: tuple[str, ...] = ("least_loaded",)
@@ -108,6 +149,8 @@ class SweepSpec:
     burst_mean_requests: float = 10.0
     diurnal_amplitude: float = 0.8
     diurnal_period_s: float = 3600.0
+    replications: int = 1
+    pairing: str = "crn"
 
     def __post_init__(self) -> None:
         if (
@@ -179,6 +222,12 @@ class SweepSpec:
                 raise ValueError("diurnal amplitude must be in [0, 1)")
             if self.diurnal_period_s <= 0:
                 raise ValueError("diurnal period must be positive")
+        if self.replications < 1:
+            raise ValueError("at least one replication per cell is required")
+        if self.pairing not in PAIRING_MODES:
+            raise ValueError(
+                f"unknown pairing mode {self.pairing!r}; available: {PAIRING_MODES}"
+            )
 
     def with_sprint_enabled(self, enabled: bool) -> "SweepSpec":
         """Copy toggling sprinting (for paired sprint/no-sprint sweeps)."""
@@ -240,10 +289,47 @@ class SweepCell:
 
 @dataclass(frozen=True)
 class CellResult:
-    """A cell and its serving metrics."""
+    """A cell and its serving metrics.
+
+    ``summary`` is replication 0 (the legacy stream, so single-replication
+    sweeps are bit-identical to the pre-replication engine); a replicated
+    sweep additionally carries every replicate's summary in
+    ``replicates`` and reduces them to confidence intervals with
+    :meth:`estimate`.
+    """
 
     cell: SweepCell
     summary: TrafficSummary
+    #: All replicate summaries, in replication order (empty tuple means the
+    #: cell ran once; :attr:`summaries` normalises that to ``(summary,)``).
+    replicates: tuple[TrafficSummary, ...] = ()
+    #: True when the sweep collapsed this cell's replications because the
+    #: scenario is deterministic (its single value is exact, not sampled).
+    collapsed: bool = False
+
+    @property
+    def summaries(self) -> tuple[TrafficSummary, ...]:
+        """Every replication's summary (always at least ``(summary,)``)."""
+        return self.replicates or (self.summary,)
+
+    def estimate(
+        self, field: str = "p99_latency_s", confidence: float = 0.95
+    ) -> MetricEstimate:
+        """Replication-averaged mean / CI half-width of one summary field.
+
+        A cell that ran once reports an exact zero-width estimate when the
+        sweep collapsed it as deterministic, and an unbounded one when it
+        simply was not replicated.
+        """
+        values = [getattr(s, field) for s in self.summaries]
+        if any(v is None for v in values):
+            raise ValueError(
+                f"field {field!r} is unset on at least one replicate "
+                "(set spec.slo_s to aggregate slo_attainment)"
+            )
+        if len(values) == 1 and self.collapsed:
+            return MetricEstimate.exact(float(values[0]), confidence=confidence)
+        return mean_ci(values, confidence=confidence)
 
 
 def expand_cells(spec: SweepSpec) -> list[SweepCell]:
@@ -299,17 +385,76 @@ def expand_cells(spec: SweepSpec) -> list[SweepCell]:
     return cells
 
 
-def run_cell(spec: SweepSpec, cell: SweepCell, config: SystemConfig) -> CellResult:
-    """Simulate one grid cell end to end."""
+def cell_is_deterministic(spec: SweepSpec, cell: SweepCell) -> bool:
+    """True when replications of this cell cannot differ.
+
+    Deterministic arrivals with fixed service demands leave only the
+    dispatch RNG, consumed solely by the ``random`` immediate-mode policy
+    — every other combination replays identically, so the sweep collapses
+    its replications to one (redundant-cell collapse on the replication
+    axis).
+    """
+    if spec.arrival_kind != "deterministic" or spec.service_cv > 0:
+        return False
+    return not (cell.discipline == "immediate" and cell.policy == "random")
+
+
+# Domain tags keeping the sweep's replication streams disjoint from each
+# other and from every other seed universe (the legacy cell streams use
+# shorter keys; repro.traffic.experiments uses its own tags).
+_REP_REQUEST_DOMAIN = 17
+_REP_DISPATCH_DOMAIN = 19
+
+
+def _cell_seeds(
+    spec: SweepSpec, cell: SweepCell, replication: int
+) -> tuple[np.random.SeedSequence, np.random.SeedSequence]:
+    """Request-stream and dispatch seeds of one replication of one cell.
+
+    Under ``"crn"`` pairing, replication 0 replays the legacy streams —
+    so default (``replications=1``) sweeps are bit-identical across
+    engine versions — and later replications append a domain tag and the
+    replication index to the stream key, keeping same-rate cells paired
+    per replication.  ``"independent"`` pairing instead keys *every*
+    replication (including 0) by the cell's grid index, so no two cells
+    share a stream — which is the point of the mode, and why it forgoes
+    the legacy replay.  The domain tags keep the request and dispatch
+    universes disjoint even where ``cell.index`` happens to equal a
+    stream-key word.
+    """
+    if spec.pairing == "independent":
+        return (
+            seed_stream(
+                cell.base_seed,
+                _REP_REQUEST_DOMAIN,
+                *cell.stream_key,
+                replication,
+                1 + cell.index,
+            ),
+            seed_stream(cell.base_seed, _REP_DISPATCH_DOMAIN, cell.index, replication),
+        )
+    if replication == 0:
+        return cell.seed_sequence, np.random.SeedSequence([cell.base_seed, cell.index])
+    return (
+        seed_stream(cell.base_seed, _REP_REQUEST_DOMAIN, *cell.stream_key, replication),
+        seed_stream(cell.base_seed, _REP_DISPATCH_DOMAIN, cell.index, replication),
+    )
+
+
+def run_cell(
+    spec: SweepSpec, cell: SweepCell, config: SystemConfig, replication: int = 0
+) -> CellResult:
+    """Simulate one replication of one grid cell end to end."""
     if spec.service_cv > 0:
         service = GammaService(mean_s=spec.service_mean_s, cv=spec.service_cv)
     else:
         service = FixedService(spec.service_mean_s)
+    request_seed, run_seed = _cell_seeds(spec, cell, replication)
     requests = generate_requests(
         spec.arrival_process(cell.arrival_rate_hz),
         service,
         spec.n_requests,
-        seed=cell.seed_sequence,
+        seed=request_seed,
         deadline_s=spec.deadline_s,
     )
     central = cell.discipline != "immediate"
@@ -326,16 +471,16 @@ def run_cell(spec: SweepSpec, cell: SweepCell, config: SystemConfig) -> CellResu
         governor=cell.governor,
         thermal=cell.thermal,
     )
-    result = fleet.run(
-        requests, seed=np.random.SeedSequence([cell.base_seed, cell.index])
-    )
+    result = fleet.run(requests, seed=run_seed)
     return CellResult(cell=cell, summary=result.summary(slo_s=spec.slo_s))
 
 
-def _run_cell_job(job: tuple[SweepSpec, SweepCell, SystemConfig]) -> CellResult:
+def _run_cell_job(
+    job: tuple[SweepSpec, SweepCell, SystemConfig] | tuple,
+) -> CellResult:
     """Module-level unpacking shim so Pool.imap can pickle the work items."""
-    spec, cell, config = job
-    return run_cell(spec, cell, config)
+    spec, cell, config, *rest = job
+    return run_cell(spec, cell, config, replication=rest[0] if rest else 0)
 
 
 @dataclass(frozen=True)
@@ -385,11 +530,15 @@ class SweepResult:
         there).  The thermal column is the cell's pacing-fidelity backend.
         The lifecycle columns count rejected and abandoned requests; the
         governance columns show the cell's power budget and its
-        denied-sprint and breaker-trip counts.
+        denied-sprint and breaker-trip counts.  A replicated sweep
+        (``spec.replications > 1``) reports the replication-mean p99 with
+        its CI half-width in place of the single-run p99.
         """
+        replicated = self.spec.replications > 1
+        p99_head = f"{'p99':>8} {'±95%':>7}" if replicated else f"{'p99':>8}"
         header = (
             f"{'dispatch':>16} {'governor':>16} {'thermal':>10} {'rate':>8} "
-            f"{'fleet':>6} {'p50':>8} {'p99':>8} "
+            f"{'fleet':>6} {'p50':>8} {p99_head} "
             f"{'sprint%':>8} {'full%':>6} {'rps':>8} {'rej':>5} {'abn':>5} "
             f"{'den':>5} {'trip':>4}"
         )
@@ -401,10 +550,15 @@ class SweepResult:
             else:
                 bound = "∞" if cell.queue_bound is None else str(cell.queue_bound)
                 dispatch = f"{cell.discipline}[{bound}]"
+            if replicated:
+                p99 = result.estimate("p99_latency_s")
+                p99_text = f"{p99.mean:7.2f}s {p99.half_width:6.2f}s"
+            else:
+                p99_text = f"{s.p99_latency_s:7.2f}s"
             rows.append(
                 f"{dispatch:>16} {cell.governor.label:>16} {cell.thermal.label:>10} "
                 f"{cell.arrival_rate_hz:7.3f}/s {cell.n_devices:6d} "
-                f"{s.p50_latency_s:7.2f}s {s.p99_latency_s:7.2f}s "
+                f"{s.p50_latency_s:7.2f}s {p99_text} "
                 f"{s.sprint_fraction * 100:7.0f}% {s.mean_sprint_fullness * 100:5.0f}% "
                 f"{s.throughput_rps:8.3f} {s.rejected_count:5d} {s.abandoned_count:5d} "
                 f"{s.sprints_denied:5d} {s.breaker_trips:4d}"
@@ -419,22 +573,39 @@ def run_sweep(
 ) -> SweepResult:
     """Run every cell of the grid, optionally fanned across processes.
 
-    ``workers=1`` runs serially in-process; ``workers>1`` uses a
-    :class:`multiprocessing.Pool`.  Results are returned in grid order and
-    are bit-identical for any worker count because each cell's randomness
-    is derived deterministically from the spec alone: the request stream
-    from ``(base_seed, stream_key)`` — only the arrival-rate axis, so
-    policy and fleet-size comparisons are paired — and the dispatch RNG
-    from ``(base_seed, cell index)``.
+    ``workers=1`` runs serially in-process; ``workers>1`` fans the cell ×
+    replication jobs through :func:`pool_map`.  Results are returned in
+    grid order and are bit-identical for any worker count because every
+    job's randomness is derived deterministically from the spec alone: the
+    request stream from ``(base_seed, stream_key[, replication])`` — only
+    the arrival-rate axis (plus the replication index), so policy and
+    fleet-size comparisons are paired — and the dispatch RNG from
+    ``(base_seed, cell index[, replication])``.  Deterministic cells
+    collapse to a single replication (see :func:`cell_is_deterministic`).
     """
-    if workers < 1:
-        raise ValueError("worker count must be at least 1")
     config = config or SystemConfig.paper_default()
     cells = expand_cells(spec)
-    jobs = [(spec, cell, config) for cell in cells]
-    if workers == 1 or len(cells) == 1:
-        results = [_run_cell_job(job) for job in jobs]
-    else:
-        with multiprocessing.Pool(processes=min(workers, len(cells))) as pool:
-            results = pool.map(_run_cell_job, jobs)
-    return SweepResult(spec=spec, cells=tuple(results))
+    reps = [
+        1 if cell_is_deterministic(spec, cell) else spec.replications
+        for cell in cells
+    ]
+    jobs = [
+        (spec, cell, config, replication)
+        for cell, n in zip(cells, reps)
+        for replication in range(n)
+    ]
+    results = pool_map(_run_cell_job, jobs, workers)
+    grouped: list[CellResult] = []
+    offset = 0
+    for cell, n in zip(cells, reps):
+        replicates = tuple(r.summary for r in results[offset : offset + n])
+        offset += n
+        grouped.append(
+            CellResult(
+                cell=cell,
+                summary=replicates[0],
+                replicates=replicates if len(replicates) > 1 else (),
+                collapsed=n == 1 and spec.replications > 1,
+            )
+        )
+    return SweepResult(spec=spec, cells=tuple(grouped))

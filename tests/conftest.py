@@ -1,0 +1,27 @@
+"""Shared test configuration: hypothesis profiles for the two CI tiers.
+
+Two profiles are registered:
+
+* ``ci`` (default) — modest example counts, sized for the fast PR gate.
+* ``thorough`` — an order of magnitude more examples, run by the nightly
+  workflow (``.github/workflows/nightly.yml``) so the property suites get
+  a deep fuzz without slowing every push.
+
+Select with ``HYPOTHESIS_PROFILE=thorough python -m pytest ...``.  Tests
+that pin ``max_examples`` explicitly in their own ``@settings`` keep their
+pinned value; suites that should scale with the tier (the traffic
+invariant fuzz in ``test_traffic_invariants.py``) leave ``max_examples``
+to the profile.
+"""
+
+from __future__ import annotations
+
+import os
+
+from hypothesis import settings
+
+settings.register_profile("ci", max_examples=25, deadline=None)
+settings.register_profile(
+    "thorough", max_examples=400, deadline=None, print_blob=True
+)
+settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "ci"))

@@ -31,6 +31,7 @@ COVERED = {
     "fleet_serving": "degenerate case",
     "power_budget_study": "concurrency cap",
     "thermal_fidelity_study": "melt plateau",
+    "replication_study": "error bars",
     "reproduce_paper": "EXPERIMENTS",
 }
 
@@ -128,10 +129,13 @@ def test_fleet_serving(capsys, monkeypatch):
     monkeypatch.setattr(module, "REQUESTS", 60)
     monkeypatch.setattr(module, "ARRIVAL_RATES_HZ", (0.05, 0.2))
     monkeypatch.setattr(module, "SWEEP_WORKERS", 2)
+    monkeypatch.setattr(module, "REPLICATIONS", 5)
     module.main()
     out = capsys.readouterr().out
     assert COVERED["fleet_serving"] in out
     assert "MATCH" in out
+    assert "error bars" in out
+    assert "sign test p=" in out
     assert "best p99" in out
     assert "admission control BEATS immediate dispatch" in out
     assert "deadlines at overload" in out
@@ -143,12 +147,32 @@ def test_power_budget_study(capsys, monkeypatch):
     monkeypatch.setattr(module, "BURSTY_REQUESTS", 60)
     monkeypatch.setattr(module, "SPRINT_CAPS", (1, 16))
     monkeypatch.setattr(module, "SWEEP_WORKERS", 2)
+    monkeypatch.setattr(module, "REPLICATIONS", 5)
     module.main()
     out = capsys.readouterr().out
     assert COVERED["power_budget_study"] in out
     assert "breaker" in out
     assert "burst credit" in out
     assert "governor grid" in out
+    assert "governance error bars" in out
+    assert "sign test p=" in out
+
+
+def test_replication_study(capsys, monkeypatch):
+    module = load_example("replication_study")
+    monkeypatch.setattr(module, "REQUESTS", 40)
+    monkeypatch.setattr(module, "REPLICATIONS", 6)
+    monkeypatch.setattr(module, "MAX_REPLICATIONS", 10)
+    monkeypatch.setattr(module, "WORKERS", 2)
+    # The CRN-beats-independent claim is asserted *inside* the example, so
+    # this smoke test also covers the acceptance criterion at shrunk scale.
+    module.main()
+    out = capsys.readouterr().out
+    assert COVERED["replication_study"] in out
+    assert "CRN variance reduction" in out
+    assert "CRN pairing cuts the p99-delta CI half-width" in out
+    assert "sequential stopping" in out
+    assert "stopped after" in out
 
 
 def test_thermal_fidelity_study(capsys, monkeypatch):

@@ -1,0 +1,104 @@
+"""Golden regression lock: one frozen scenario, bit-identical forever.
+
+The traffic stack's determinism contract says a frozen scenario and seed
+produce the same :class:`~repro.traffic.metrics.TrafficSummary` on every
+platform and every commit.  This test pins that contract to a committed
+JSON fixture the way PR 4's golden matrix locked the thermal extraction:
+any refactor that perturbs a single bit of the pipeline — arrival
+sampling, seed splitting, dispatch order, pacing arithmetic, governance,
+summarisation — fails loudly here instead of silently shifting every
+published number.
+
+The scenario deliberately crosses the stack's moving parts: bursty MMPP
+arrivals, gamma service demands, a central EDF queue with a bound and
+deadlines (rejection + abandonment + deadline misses all exercised), a
+breaker-armed greedy governor, and the RC thermal backend.
+
+To regenerate after an *intentional* behaviour change::
+
+    PYTHONPATH=src python tests/test_traffic_golden.py
+
+then commit the updated fixture alongside the change that justified it.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from pathlib import Path
+
+from repro.core.config import SystemConfig
+from repro.traffic import (
+    GammaService,
+    GovernorSpec,
+    MMPPArrivals,
+    ReplicationPlan,
+    Scenario,
+    run_replications,
+)
+
+GOLDEN_PATH = Path(__file__).parent / "data" / "golden_fleet_summary.json"
+
+
+def golden_scenario() -> Scenario:
+    """The frozen scenario (never change without regenerating the fixture)."""
+    return Scenario(
+        arrivals=MMPPArrivals.bursty(
+            burst_rate_hz=1.5, mean_burst_s=8.0, mean_idle_s=24.0
+        ),
+        service=GammaService(mean_s=5.0, cv=0.8),
+        n_requests=120,
+        n_devices=3,
+        mode="central_queue",
+        discipline="edf",
+        queue_bound=10,
+        governor=GovernorSpec.greedy(4, trip_headroom_w=40.0, penalty_s=20.0),
+        thermal="rc",
+        sprint_speedup=8.0,
+        deadline_s=10.0,
+        slo_s=2.0,
+    )
+
+
+def compute_summary() -> dict:
+    plan = ReplicationPlan(golden_scenario(), n_replications=1, base_seed=7)
+    result = run_replications(plan, SystemConfig.paper_default())
+    return result.summaries[0].to_dict()
+
+
+def test_golden_summary_is_bit_identical():
+    golden = json.loads(GOLDEN_PATH.read_text())
+    current = compute_summary()
+    assert set(current) == set(golden), "TrafficSummary fields changed"
+    drifted = {
+        field: (golden[field], current[field])
+        for field in golden
+        if current[field] != golden[field]
+    }
+    assert not drifted, (
+        "frozen scenario drifted from the golden fixture (bit-exact "
+        f"comparison): {drifted}\nIf the change is intentional, regenerate "
+        "with `PYTHONPATH=src python tests/test_traffic_golden.py`."
+    )
+
+
+def test_golden_fixture_exercises_the_full_lifecycle():
+    """The fixture keeps guarding rejection/abandonment/governance paths."""
+    golden = json.loads(GOLDEN_PATH.read_text())
+    assert golden["rejected_count"] > 0
+    assert golden["abandoned_count"] > 0
+    assert golden["deadline_miss_count"] > 0
+    assert golden["sprints_granted"] > 0
+    assert golden["sprints_denied"] > 0
+    assert golden["breaker_trips"] > 0
+    assert golden["time_at_cap_s"] > 0.0
+    assert golden["governor_policy"] == "greedy"
+    assert all(
+        not isinstance(v, float) or math.isfinite(v) for v in golden.values() if v
+    )
+
+
+if __name__ == "__main__":
+    GOLDEN_PATH.parent.mkdir(parents=True, exist_ok=True)
+    GOLDEN_PATH.write_text(json.dumps(compute_summary(), indent=2, sort_keys=True) + "\n")
+    print(f"wrote {GOLDEN_PATH}")
