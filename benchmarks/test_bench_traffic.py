@@ -192,6 +192,66 @@ def test_bench_thermal_backend_overhead(benchmark, bench_scale):
         )
 
 
+def test_bench_telemetry_overhead(benchmark, bench_scale):
+    """Streaming-telemetry cost against the sample-backed baseline.
+
+    Three modes share one request stream: the legacy sample-keeping run
+    (timed as the benchmark subject), the flat-memory sketch run
+    (``keep_samples=False``), and the counts-only run with every
+    instrument off.  The sketch path must stay within a small constant
+    factor of the baseline — otherwise flat memory would cost the very
+    throughput long horizons need — and its tail estimates must agree
+    with the exact ones within the documented rank-error bound.
+    """
+    from repro.traffic import TelemetrySpec
+
+    config = SystemConfig.paper_default()
+    n = bench_scale(FLEET_REQUESTS, floor=500)
+    requests = generate_requests(PoissonArrivals(1.0), FixedService(5.0), n, seed=1)
+
+    def run_mode(**kwargs):
+        fleet = FleetSimulator(config, FLEET_DEVICES, **kwargs)
+        return fleet.run(requests)
+
+    result = benchmark.pedantic(run_mode, rounds=3, iterations=1)
+    assert len(result.served) == n
+    baseline_s = benchmark.stats.stats.min
+    benchmark.extra_info["samples_requests_per_second"] = n / baseline_s
+
+    modes = {
+        "sketch": dict(keep_samples=False),
+        "instruments_off": dict(keep_samples=False, telemetry=False),
+        "fully_instrumented": dict(
+            keep_samples=False,
+            telemetry=TelemetrySpec(timeline_cadence_s=60.0, trace_capacity=4096),
+        ),
+    }
+    exact_summary = result.summary()
+    for name, kwargs in modes.items():
+        elapsed = float("inf")
+        for _ in range(3):
+            started = time.perf_counter()
+            mode_result = run_mode(**kwargs)
+            elapsed = min(elapsed, time.perf_counter() - started)
+        assert mode_result.served_count == n
+        assert mode_result.served == ()
+        overhead = elapsed / baseline_s
+        benchmark.extra_info[f"{name}_requests_per_second"] = n / elapsed
+        benchmark.extra_info[f"{name}_overhead_vs_samples"] = overhead
+        assert overhead < 2.5, (
+            f"{name} mode ({elapsed:.3f}s) should stay within 2.5x of the "
+            f"sample-backed run ({baseline_s:.3f}s); measured {overhead:.2f}x"
+        )
+        if name != "instruments_off":
+            sketch_summary = mode_result.summary()
+            assert sketch_summary.request_count == exact_summary.request_count
+            latencies = np.sort(result.latencies_s)
+            rank = np.searchsorted(
+                latencies, sketch_summary.p99_latency_s, side="right"
+            ) / n
+            assert abs(rank - 0.99) <= sketch_summary.sketch_rank_error + 1.0 / n
+
+
 def test_bench_sweep_worker_scaling(benchmark, bench_scale):
     """Wall time of the full grid serially, recorded against 2 and 4 workers.
 

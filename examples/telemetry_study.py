@@ -1,0 +1,183 @@
+"""Streaming observability: flat-memory tails, fleet timelines, trace post-mortems.
+
+Every other example holds each request's latency in memory and summarises
+at the end — fine for hundreds of requests, fatal for the "millions of
+users" horizons the paper's datacenter story implies.  This example runs
+the telemetry layer of :mod:`repro.traffic.telemetry` end to end:
+
+1. **Flat-memory tails**: a long-horizon run with ``keep_samples=False``
+   keeps no per-request list — the p50/p99/SLO numbers come from a
+   fixed-memory quantile sketch, compared side by side against the exact
+   sample-backed run (the difference is within the sketch's documented
+   rank-error bound).
+2. **Fleet timeline**: a windowed time series of what the fleet was doing
+   — queue depth, in-flight sprints and their granted power, breaker
+   trips, thermal peaks — from a power-governed run under bursty load.
+3. **Trace post-mortem**: the ring-buffered structured event trace around
+   a breaker trip, exported as JSON-lines.
+4. **Mergeable shards**: per-replication sketches pooled into one
+   aggregate tail — "p99 over every request of every replication" in
+   O(sketch) memory, which per-replication summaries cannot express.
+
+Run with::
+
+    python examples/telemetry_study.py
+"""
+
+from __future__ import annotations
+
+from repro import SystemConfig
+from repro.traffic import (
+    FixedService,
+    FleetSimulator,
+    GammaService,
+    GovernorSpec,
+    MMPPArrivals,
+    PoissonArrivals,
+    ReplicationPlan,
+    Scenario,
+    TelemetrySpec,
+    generate_requests,
+    run_replications,
+)
+
+LONG_HORIZON_REQUESTS = 50_000
+FLEET_SIZE = 4
+REPLICATIONS = 6
+WORKERS = 4
+SLO_S = 2.0
+
+
+def flat_memory_tails(config: SystemConfig) -> None:
+    """Sketch-backed summary against the exact one, same seed, same stream."""
+    print(f"-- flat memory: {LONG_HORIZON_REQUESTS} requests, one device --")
+    requests = generate_requests(
+        PoissonArrivals(1.5), FixedService(0.5), LONG_HORIZON_REQUESTS, seed=11
+    )
+    exact = FleetSimulator(config, n_devices=1).run(requests)
+    flat = FleetSimulator(config, n_devices=1, keep_samples=False).run(requests)
+    se, sf = exact.summary(slo_s=SLO_S), flat.summary(slo_s=SLO_S)
+    sketch = flat.telemetry.stream.latency
+    print(f"{'':>14} {'exact':>10} {'sketch':>10}")
+    for name in ("p50_latency_s", "p99_latency_s", "slo_attainment"):
+        print(f"{name:>14} {getattr(se, name):10.4f} {getattr(sf, name):10.4f}")
+    print(
+        f"retained {sketch.retained} of {sketch.count} values "
+        f"(rank-error bound ±{sketch.rank_error_bound:.3f}); the sample-backed "
+        f"run held every latency, the flat run held none\n"
+    )
+
+
+def fleet_timeline(config: SystemConfig) -> None:
+    """Windowed view of a governed fleet riding out a bursty arrival process."""
+    print(f"-- timeline: bursty load into {FLEET_SIZE} devices, 2-sprint budget --")
+    requests = generate_requests(
+        MMPPArrivals.bursty(burst_rate_hz=2.0, mean_burst_s=60.0, mean_idle_s=120.0),
+        GammaService(mean_s=4.0, cv=0.8),
+        400,
+        seed=12,
+    )
+    fleet = FleetSimulator(
+        config,
+        n_devices=FLEET_SIZE,
+        mode="central_queue",
+        governor=GovernorSpec.greedy(2),
+        keep_samples=False,
+        telemetry=TelemetrySpec(timeline_cadence_s=60.0),
+    )
+    timeline = fleet.run(requests, seed=13).telemetry.timeline
+    print(f"{'window':>8} {'arrive':>7} {'serve':>6} {'queue^':>7} "
+          f"{'sprints^':>9} {'power^ W':>9} {'denied':>7}")
+    for i in range(timeline.n_windows):
+        print(
+            f"{timeline.window_start_s[i]:7.0f}s {timeline.arrivals[i]:7d} "
+            f"{timeline.served[i]:6d} {timeline.peak_queue_depth[i]:7d} "
+            f"{timeline.peak_in_flight_sprints[i]:9d} "
+            f"{timeline.peak_granted_power_w[i]:9.0f} {timeline.sprints_denied[i]:7d}"
+        )
+    conserved = (
+        int(timeline.served.sum())
+        + int(timeline.rejected.sum())
+        + int(timeline.abandoned.sum())
+    )
+    print(
+        f"bursts show up as queue spikes riding the sprint-budget ceiling; "
+        f"conservation holds: {int(timeline.arrivals.sum())} arrivals = "
+        f"{conserved} fates\n"
+    )
+
+
+def trace_post_mortem(config: SystemConfig) -> None:
+    """The last events before and after a breaker trip, as JSON-lines."""
+    print("-- trace post-mortem: greedy governor sprinting past the breaker --")
+    requests = generate_requests(
+        PoissonArrivals(1.2), FixedService(5.0), 120, seed=14
+    )
+    fleet = FleetSimulator(
+        config,
+        n_devices=FLEET_SIZE,
+        mode="central_queue",
+        governor=GovernorSpec.greedy(3, trip_headroom_w=30.0, penalty_s=20.0),
+        keep_samples=False,
+        telemetry=TelemetrySpec(sketch=False, trace_capacity=512),
+    )
+    trace = fleet.run(requests, seed=15).telemetry.trace
+    trips = trace.by_kind("trip")
+    if trips:
+        window = [r for r in trace.records if abs(r.time_s - trips[0].time_s) < 3.0]
+        print(f"{len(trips)} breaker trip(s); events within ±3s of the first:")
+        for record in window[:8]:
+            print("  " + record.to_json())
+    else:
+        print("no trips at this load; latest lifecycle records:")
+        for record in trace.records[-5:]:
+            print("  " + record.to_json())
+    print(
+        f"ring kept {len(trace)} records, dropped {trace.dropped} older ones — "
+        f"tracing cost is capped whatever the horizon\n"
+    )
+
+
+def merged_shards(config: SystemConfig) -> None:
+    """Replication sketches merged into one aggregate tail quantile."""
+    print(f"-- merged shards: {REPLICATIONS} replications pooled --")
+    scenario = Scenario(
+        arrivals=PoissonArrivals(0.4),
+        service=GammaService(mean_s=4.0, cv=1.0),
+        n_requests=300,
+        n_devices=FLEET_SIZE,
+        slo_s=SLO_S,
+        keep_samples=False,
+    )
+    result = run_replications(
+        ReplicationPlan(scenario, n_replications=REPLICATIONS),
+        config,
+        workers=WORKERS,
+    )
+    per_rep = [s.p99_latency_s for s in result.summaries]
+    pooled = result.pooled_stream()
+    print(
+        f"per-replication p99s: "
+        + ", ".join(f"{v:.2f}s" for v in per_rep)
+    )
+    print(
+        f"pooled p99 over all {pooled.request_count} requests: "
+        f"{pooled.latency.quantile(0.99):.2f}s — one number from "
+        f"{REPLICATIONS} shards' sketches, no samples ever held"
+    )
+
+
+def main() -> None:
+    config = SystemConfig.paper_default()
+    print(
+        f"platform: {config.machine.n_cores} cores, sustained "
+        f"{config.sustainable_power_w:.1f} W, sprint {config.sprint_power_w:.0f} W\n"
+    )
+    flat_memory_tails(config)
+    fleet_timeline(config)
+    trace_post_mortem(config)
+    merged_shards(config)
+
+
+if __name__ == "__main__":
+    main()

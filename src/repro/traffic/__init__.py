@@ -29,6 +29,10 @@ bursty, diurnal, or measured from a trace?  It is organised as a pipeline:
   sprint fraction, throughput, lifecycle (rejected/abandoned/
   deadline-miss) and sprint-governance (granted/denied/trips/time-at-cap)
   summaries,
+* :mod:`repro.traffic.telemetry` — streaming observability: fixed-memory
+  mergeable quantile sketches (deterministic KLL-style compaction),
+  windowed fleet timelines (queue depth, in-flight sprints, granted
+  power, thermal peaks), and ring-buffered structured event traces,
 * :mod:`repro.traffic.sweep` — a multiprocessing scenario sweep over
   policy × rate × fleet × discipline × queue-bound × governor × thermal
   grids with deterministic seeding and a replication axis,
@@ -91,6 +95,7 @@ from repro.traffic.fleet import (
     DeviceStats,
     FleetResult,
     FleetSimulator,
+    resolve_telemetry,
 )
 from repro.traffic.governor import (
     GOVERNOR_POLICIES,
@@ -141,6 +146,18 @@ from repro.traffic.sweep import (
     run_cell,
     run_sweep,
 )
+from repro.traffic.telemetry import (
+    TRACE_KINDS,
+    EventTrace,
+    FleetTimeline,
+    QuantileSketch,
+    RunTelemetry,
+    StreamingMoments,
+    TelemetrySpec,
+    TimelineProbe,
+    TraceRecord,
+    TrafficTelemetry,
+)
 
 __all__ = [
     "ARRIVAL_KINDS",
@@ -155,10 +172,12 @@ __all__ = [
     "DispatchFn",
     "DiurnalArrivals",
     "EngineResult",
+    "EventTrace",
     "ExperimentResult",
     "FixedService",
     "FleetResult",
     "FleetSimulator",
+    "FleetTimeline",
     "GOVERNOR_POLICIES",
     "GammaService",
     "GovernorSpec",
@@ -174,9 +193,11 @@ __all__ = [
     "PcmReservoir",
     "PoissonArrivals",
     "QUEUE_DISCIPLINES",
+    "QuantileSketch",
     "RCCooling",
     "ReplicationPlan",
     "Request",
+    "RunTelemetry",
     "SUMMARY_STAT_FIELDS",
     "SWEEP_DISCIPLINES",
     "Scenario",
@@ -185,16 +206,22 @@ __all__ = [
     "ServingEngine",
     "SprintDevice",
     "SprintGovernor",
+    "StreamingMoments",
     "SuiteService",
     "SweepCell",
     "SweepResult",
     "SweepSpec",
     "THERMAL_BACKENDS",
+    "TRACE_KINDS",
+    "TelemetrySpec",
     "ThermalBackend",
     "ThermalSpec",
+    "TimelineProbe",
     "TokenBucketGovernor",
     "TraceArrivals",
+    "TraceRecord",
     "TrafficSummary",
+    "TrafficTelemetry",
     "UnlimitedGovernor",
     "aggregate_summaries",
     "batch_means_ci",
@@ -206,6 +233,7 @@ __all__ = [
     "mean_ci",
     "paired_delta",
     "pool_map",
+    "resolve_telemetry",
     "run_cell",
     "run_replications",
     "run_sweep",

@@ -119,6 +119,9 @@ class SprintDevice:
         self.busy_seconds = 0.0
         self.sprints_served = 0
         self._sprint_fullness_total = 0.0
+        self.peak_temperature_c = 0.0
+        self.peak_melt_fraction = 0.0
+        self.peak_stored_heat_j = 0.0
 
     # -- dispatcher-facing projections (read-only) --------------------------------
 
@@ -199,6 +202,14 @@ class SprintDevice:
         self.busy_seconds += outcome.response_time_s
         self.sprints_served += int(outcome.sprinted)
         self._sprint_fullness_total += outcome.sprint_fullness
+        # Running per-device thermal peaks: the hotspot record survives in
+        # O(1) even when the run keeps no ServedRequest samples.
+        if outcome.package_temperature_c > self.peak_temperature_c:
+            self.peak_temperature_c = outcome.package_temperature_c
+        if outcome.melt_fraction > self.peak_melt_fraction:
+            self.peak_melt_fraction = outcome.melt_fraction
+        if outcome.stored_heat_after_j > self.peak_stored_heat_j:
+            self.peak_stored_heat_j = outcome.stored_heat_after_j
         return ServedRequest(
             request=request,
             device_id=self.device_id,
@@ -219,3 +230,6 @@ class SprintDevice:
         self.busy_seconds = 0.0
         self.sprints_served = 0
         self._sprint_fullness_total = 0.0
+        self.peak_temperature_c = 0.0
+        self.peak_melt_fraction = 0.0
+        self.peak_stored_heat_j = 0.0

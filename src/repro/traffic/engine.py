@@ -77,6 +77,7 @@ import numpy as np
 from repro.traffic.device import ServedRequest, SprintDevice
 from repro.traffic.governor import GovernorStats, SprintGovernor
 from repro.traffic.request import Request
+from repro.traffic.telemetry import EventTrace, TimelineProbe, TrafficTelemetry
 
 #: A dispatch policy maps (devices, request, rng, round-robin cursor) to a
 #: device index.  The cursor is only meaningful to round_robin but is passed
@@ -273,6 +274,12 @@ class EngineResult:
     abandoned: tuple[Request, ...]
     #: Grant accounting of a governed run (None when ungoverned/unlimited).
     governor_stats: GovernorStats | None = None
+    #: Lifecycle counts, always valid — with ``keep_samples=False`` the
+    #: tuples above stay empty to keep memory flat, and these counters are
+    #: the only record of how many requests met each fate.
+    served_count: int = 0
+    rejected_count: int = 0
+    abandoned_count: int = 0
     #: Timestamp of the last event the engine processed.  Event times are
     #: popped from a min-heap, so this is the latest instant the engine
     #: acted at.  In central-queue mode every device's final DEVICE_FREE
@@ -323,6 +330,20 @@ class ServingEngine:
         the exact ungoverned code path (bit-identical to PR 2).  The engine
         does not reset the governor between runs — callers owning the run
         lifecycle (:class:`~repro.traffic.fleet.FleetSimulator`) do.
+    keep_samples:
+        When True (default) every served/rejected/abandoned request object
+        is retained in :class:`EngineResult`, the exact legacy behaviour.
+        When False only the lifecycle *counts* are kept — the memory of a
+        run stops growing with its horizon, and summarisation must come
+        from a streaming ``telemetry`` observer instead.
+    telemetry, probe, trace:
+        Optional streaming observers
+        (:class:`~repro.traffic.telemetry.TrafficTelemetry`,
+        :class:`~repro.traffic.telemetry.TimelineProbe`,
+        :class:`~repro.traffic.telemetry.EventTrace`), fed online as events
+        resolve.  Observers never influence event order, float paths, or
+        RNG draws, so enabling them cannot perturb a run (the golden
+        fixture locks this).
     """
 
     def __init__(
@@ -335,6 +356,10 @@ class ServingEngine:
         queue_bound: int | None = None,
         indexed: bool | None = None,
         governor: SprintGovernor | None = None,
+        keep_samples: bool = True,
+        telemetry: TrafficTelemetry | None = None,
+        probe: TimelineProbe | None = None,
+        trace: EventTrace | None = None,
     ) -> None:
         if not devices:
             raise ValueError("the engine needs at least one device")
@@ -357,6 +382,10 @@ class ServingEngine:
         self.queue_bound = queue_bound
         self.governor = governor
         self.indexed = (policy_name == "least_loaded") if indexed is None else indexed
+        self.keep_samples = keep_samples
+        self.telemetry = telemetry
+        self.probe = probe
+        self.trace = trace
 
     # -- the event loop ---------------------------------------------------------------
 
@@ -369,17 +398,84 @@ class ServingEngine:
         everything else is deterministic, so identical requests, seed, and
         engine configuration give bit-identical results.
         """
-        ordered = sorted(requests, key=lambda r: (r.arrival_s, r.index))
+        # Request generators emit in arrival order already; detecting that
+        # with an O(1)-allocation scan keeps the keyed sort (which holds an
+        # O(n) key-tuple array alive) off the long-horizon flat-memory path.
+        ordered = list(requests)
+        if any(
+            (b.arrival_s, b.index) < (a.arrival_s, a.index)
+            for a, b in itertools.pairwise(ordered)
+        ):
+            ordered.sort(key=lambda r: (r.arrival_s, r.index))
         seq = itertools.count()
         # Entries are (time, kind, seq, payload); seq is unique, so payloads
-        # are never compared.
-        events: list[tuple[float, int, int, object]] = [
-            (r.arrival_s, _ARRIVAL, next(seq), r) for r in ordered
-        ]
+        # are never compared.  Arrivals are fed into the heap one at a time
+        # from the sorted stream (each arrival pushes its successor), so the
+        # heap holds O(devices + in-flight) events rather than O(requests).
+        # seq values only break ties between equal (time, kind) pairs, and
+        # same-kind events are still pushed in the same relative order as
+        # the old materialise-everything loop, so results are bit-identical.
+        events: list[tuple[float, int, int, object]] = []
 
         served: list[ServedRequest] = []
         rejected: list[Request] = []
         abandoned: list[Request] = []
+
+        keep = self.keep_samples
+        telemetry = self.telemetry
+        probe = self.probe
+        trace = self.trace
+        observing = telemetry is not None or probe is not None or trace is not None
+
+        served_count = 0
+        rejected_count = 0
+        abandoned_count = 0
+
+        if keep and not observing:
+            emit_served = served.append  # the legacy hot path, untouched
+        else:
+
+            def emit_served(outcome: ServedRequest) -> None:
+                nonlocal served_count
+                served_count += 1
+                if keep:
+                    served.append(outcome)
+                if telemetry is not None:
+                    telemetry.observe(outcome)
+                if probe is not None:
+                    probe.on_served(outcome)
+                if trace is not None:
+                    trace.add(
+                        outcome.completed_at_s,
+                        "complete",
+                        request_index=outcome.request.index,
+                        device_id=outcome.device_id,
+                        detail=outcome.latency_s,
+                    )
+
+        def emit_rejected(request: Request, now_s: float) -> None:
+            nonlocal rejected_count
+            rejected_count += 1
+            if keep:
+                rejected.append(request)
+            if telemetry is not None:
+                telemetry.observe_rejected()
+            if probe is not None:
+                probe.on_rejected(now_s)
+            if trace is not None:
+                trace.add(now_s, "reject", request_index=request.index)
+
+        def emit_abandoned(request: Request, now_s: float) -> None:
+            nonlocal abandoned_count
+            abandoned_count += 1
+            if keep:
+                abandoned.append(request)
+            if telemetry is not None:
+                telemetry.observe_abandoned()
+            if probe is not None:
+                probe.on_abandoned(now_s)
+            if trace is not None:
+                trace.add(now_s, "abandon", request_index=request.index)
 
         immediate = self.mode == "immediate"
         index = LeastLoadedIndex(self.devices) if immediate and self.indexed else None
@@ -407,6 +503,12 @@ class ServingEngine:
                     (device.busy_until_s, _DEVICE_FREE, next(seq), pos)
                 )
         heapq.heapify(events)
+        arrival_stream = iter(ordered)
+        next_arrival = next(arrival_stream, None)
+        if next_arrival is not None:
+            heapq.heappush(
+                events, (next_arrival.arrival_s, _ARRIVAL, next(seq), next_arrival)
+            )
         edf = self.discipline == "edf"
 
         def push_breaker_reset() -> None:
@@ -424,8 +526,25 @@ class ServingEngine:
             thermal reservoir was empty) returns its grant immediately;
             a sprinting request holds it until its completion instant.
             """
+            trips_before = governor.breaker_trips if observing else 0
             grant = governor.acquire(now_s)
             push_breaker_reset()
+            if probe is not None:
+                probe.on_grant(now_s, grant)
+                if grant:
+                    probe.on_in_flight_sprints(now_s, governor.active_grants)
+            if trace is not None:
+                trace.add(
+                    now_s,
+                    "grant" if grant else "deny",
+                    request_index=request.index,
+                    device_id=device.device_id,
+                )
+            if observing and governor.breaker_trips > trips_before:
+                if probe is not None:
+                    probe.on_breaker_trip(now_s)
+                if trace is not None:
+                    trace.add(now_s, "trip", detail=governor.active_excess_draw_w)
             if immediate:
                 outcome = device.serve(request, allow_sprint=grant)
             else:
@@ -438,14 +557,26 @@ class ServingEngine:
                     )
                 else:
                     governor.release(now_s, used=False)
+                    if probe is not None:
+                        probe.on_in_flight_sprints(now_s, governor.active_grants)
+                    if trace is not None:
+                        trace.add(
+                            now_s,
+                            "release",
+                            request_index=request.index,
+                            device_id=device.device_id,
+                            detail=0.0,
+                        )
             return outcome
 
         def start(request: Request, pos: int, now_s: float) -> None:
             device = self.devices[pos]
+            if trace is not None:
+                trace.add(now_s, "dispatch", request_index=request.index, device_id=pos)
             if governed and device.sprint_enabled:
-                served.append(execute_governed(device, request, now_s, now_s))
+                emit_served(execute_governed(device, request, now_s, now_s))
             else:
-                served.append(device.execute(request, start_s=now_s))
+                emit_served(device.execute(request, start_s=now_s))
             heapq.heappush(
                 events, (device.busy_until_s, _DEVICE_FREE, next(seq), pos)
             )
@@ -465,6 +596,16 @@ class ServingEngine:
 
             if kind == _ARRIVAL:
                 request = payload
+                next_arrival = next(arrival_stream, None)
+                if next_arrival is not None:
+                    heapq.heappush(
+                        events,
+                        (next_arrival.arrival_s, _ARRIVAL, next(seq), next_arrival),
+                    )
+                if probe is not None:
+                    probe.on_arrival(now_s)
+                if trace is not None:
+                    trace.add(now_s, "arrival", request_index=request.index)
                 if immediate:
                     if index is not None:
                         pos = index.pick(request.arrival_s)
@@ -472,12 +613,16 @@ class ServingEngine:
                         pos = self.dispatch(self.devices, request, rng, cursor)
                     cursor += 1
                     device = self.devices[pos]
+                    if trace is not None:
+                        trace.add(
+                            now_s, "dispatch", request_index=request.index, device_id=pos
+                        )
                     if governed and device.sprint_enabled:
-                        served.append(
+                        emit_served(
                             execute_governed(device, request, now_s, now_s)
                         )
                     else:
-                        served.append(device.serve(request))
+                        emit_served(device.serve(request))
                     if index is not None:
                         index.update(pos)
                 elif idle:
@@ -487,12 +632,14 @@ class ServingEngine:
                     self.queue_bound is not None
                     and len(waiting) >= self.queue_bound
                 ):
-                    rejected.append(request)
+                    emit_rejected(request, now_s)
                 else:
                     token = next(seq)
                     key = request.deadline_at_s if edf else float(token)
                     heapq.heappush(queue, (key, token, request))
                     waiting[token] = request
+                    if probe is not None:
+                        probe.on_queue_depth(now_s, len(waiting))
                     if request.deadline_s is not None:
                         heapq.heappush(
                             events,
@@ -503,6 +650,8 @@ class ServingEngine:
                 pos = payload
                 request = pop_queued()
                 if request is not None:
+                    if probe is not None:
+                        probe.on_queue_depth(now_s, len(waiting))
                     start(request, pos, now_s)
                 else:
                     heapq.heappush(
@@ -511,6 +660,10 @@ class ServingEngine:
 
             elif kind == _GRANT_RELEASE:
                 governor.release(now_s)
+                if probe is not None:
+                    probe.on_in_flight_sprints(now_s, governor.active_grants)
+                if trace is not None:
+                    trace.add(now_s, "release")
 
             elif kind == _BREAKER_RESET:
                 governor.on_breaker_reset(now_s)
@@ -519,12 +672,19 @@ class ServingEngine:
                 token = payload
                 request = waiting.pop(token, None)
                 if request is not None:
-                    abandoned.append(request)
+                    if probe is not None:
+                        probe.on_queue_depth(now_s, len(waiting))
+                    emit_abandoned(request, now_s)
 
+        if keep and not observing:
+            served_count = len(served)
         return EngineResult(
             served=tuple(served),
             rejected=tuple(rejected),
             abandoned=tuple(abandoned),
             governor_stats=governor.finalize(last_s) if governed else None,
             final_time_s=last_s,
+            served_count=served_count,
+            rejected_count=rejected_count,
+            abandoned_count=abandoned_count,
         )

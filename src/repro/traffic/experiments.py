@@ -72,7 +72,7 @@ from repro.traffic.arrivals import (
     seed_stream,
 )
 from repro.traffic.engine import DISPATCH_MODES, DISPATCH_POLICIES, QUEUE_DISCIPLINES
-from repro.traffic.fleet import FleetResult, FleetSimulator
+from repro.traffic.fleet import FleetResult, FleetSimulator, resolve_telemetry
 from repro.traffic.governor import GovernorSpec
 from repro.traffic.metrics import (
     MetricEstimate,
@@ -84,6 +84,12 @@ from repro.traffic.metrics import (
 )
 from repro.traffic.request import FixedService, Request, ServiceModel, generate_requests
 from repro.traffic.sweep import PAIRING_MODES, pool_map
+from repro.traffic.telemetry import (
+    FleetTimeline,
+    RunTelemetry,
+    TelemetrySpec,
+    TrafficTelemetry,
+)
 
 __all__ = [
     "ComparisonResult",
@@ -129,6 +135,15 @@ class Scenario:
     refuse_partial_sprints: bool = False
     deadline_s: float | None = None
     slo_s: float | None = None
+    #: When False replications keep no per-request sample lists — memory
+    #: stays flat over any horizon and summaries come from the streaming
+    #: quantile sketch (within its documented rank-error bound).
+    keep_samples: bool = True
+    #: Streaming instruments each replication runs (see
+    #: :func:`repro.traffic.fleet.resolve_telemetry` for the knob's
+    #: semantics).  Replication telemetry lands in
+    #: :attr:`ExperimentResult.telemetries` and merges across workers.
+    telemetry: TelemetrySpec | bool | None = None
 
     def __post_init__(self) -> None:
         if self.n_requests < 1:
@@ -155,6 +170,7 @@ class Scenario:
             object.__setattr__(self, "governor", GovernorSpec(policy=self.governor))
         if isinstance(self.thermal, str):
             object.__setattr__(self, "thermal", ThermalSpec(backend=self.thermal))
+        resolve_telemetry(self.telemetry, self.keep_samples)  # fail fast
 
     def with_options(self, **changes) -> "Scenario":
         """A treatment variant of this scenario (``dataclasses.replace``)."""
@@ -199,6 +215,8 @@ class Scenario:
             queue_bound=self.queue_bound,
             governor=self.governor,
             thermal=self.thermal,
+            keep_samples=self.keep_samples,
+            telemetry=self.telemetry,
         )
 
     def simulate(
@@ -266,12 +284,16 @@ class ReplicationPlan:
 
 def _replication_job(
     job: tuple[Scenario, SystemConfig, np.random.SeedSequence, np.random.SeedSequence],
-) -> TrafficSummary:
-    """Module-level shim so the worker pool can pickle replication work."""
+) -> tuple[TrafficSummary, RunTelemetry | None]:
+    """Module-level shim so the worker pool can pickle replication work.
+
+    Returns the replication's summary *and* its telemetry bundle, so
+    sketches and timelines stream back from worker processes and merge —
+    fleet-wide tail quantiles never require shipping sample lists.
+    """
     scenario, config, request_seed, run_seed = job
-    return scenario.simulate(config, request_seed, run_seed).summary(
-        slo_s=scenario.slo_s
-    )
+    result = scenario.simulate(config, request_seed, run_seed)
+    return result.summary(slo_s=scenario.slo_s), result.telemetry
 
 
 @dataclass(frozen=True)
@@ -280,11 +302,57 @@ class ExperimentResult:
 
     plan: ReplicationPlan
     summaries: tuple[TrafficSummary, ...]
+    #: Per-replication telemetry bundles, aligned with ``summaries``
+    #: (``None`` entries for replications that ran without instruments).
+    telemetries: tuple[RunTelemetry | None, ...] = ()
 
     @property
     def n_replications(self) -> int:
         """Replications actually run (1 for a collapsed deterministic plan)."""
         return len(self.summaries)
+
+    def pooled_stream(self) -> TrafficTelemetry:
+        """All replications' telemetry streams merged into one.
+
+        The pooled latency sketch answers *aggregate* tail-quantile
+        queries — "p99 over every request of every replication" — which
+        per-replication summaries cannot express, in O(capacity) memory.
+        """
+        streams = [
+            t.stream
+            for t in self.telemetries
+            if t is not None and t.stream is not None
+        ]
+        if not streams:
+            raise ValueError(
+                "no replication carried a telemetry stream; run the scenario "
+                "with keep_samples=False or telemetry=TelemetrySpec()"
+            )
+        merged = TrafficTelemetry(sketch_capacity=streams[0].latency.capacity)
+        for stream in streams:
+            merged.merge(stream)
+        return merged
+
+    def pooled_quantile(self, q: float) -> float:
+        """Aggregate latency quantile across every replication's requests."""
+        return self.pooled_stream().latency.quantile(q)
+
+    def merged_timeline(self) -> FleetTimeline:
+        """All replications' fleet timelines merged window-by-window."""
+        timelines = [
+            t.timeline
+            for t in self.telemetries
+            if t is not None and t.timeline is not None
+        ]
+        if not timelines:
+            raise ValueError(
+                "no replication carried a timeline; set a timeline cadence "
+                "on the scenario's TelemetrySpec"
+            )
+        merged = timelines[0]
+        for timeline in timelines[1:]:
+            merged = merged.merge(timeline)
+        return merged
 
     def values(self, field: str) -> np.ndarray:
         """Per-replication values of one :class:`TrafficSummary` field."""
@@ -358,8 +426,11 @@ def run_replications(
         (plan.scenario, config, plan.request_seed(r), plan.run_seed(r))
         for r in range(plan.effective_replications)
     ]
+    outcomes = pool_map(_replication_job, jobs, workers)
     return ExperimentResult(
-        plan=plan, summaries=tuple(pool_map(_replication_job, jobs, workers))
+        plan=plan,
+        summaries=tuple(summary for summary, _ in outcomes),
+        telemetries=tuple(telemetry for _, telemetry in outcomes),
     )
 
 
@@ -393,14 +464,19 @@ def run_until(
     batch = max(1, workers if batch is None else batch)
     n = min(max(2, plan.n_replications), max_replications)
     summaries: list[TrafficSummary] = []
+    telemetries: list[RunTelemetry | None] = []
     while True:
         jobs = [
             (plan.scenario, config, plan.request_seed(r), plan.run_seed(r))
             for r in range(len(summaries), n)
         ]
-        summaries.extend(pool_map(_replication_job, jobs, workers))
+        for summary, telemetry in pool_map(_replication_job, jobs, workers):
+            summaries.append(summary)
+            telemetries.append(telemetry)
         result = ExperimentResult(
-            plan=plan.with_replications(len(summaries)), summaries=tuple(summaries)
+            plan=plan.with_replications(len(summaries)),
+            summaries=tuple(summaries),
+            telemetries=tuple(telemetries),
         )
         if result.estimate(metric, confidence).half_width <= target_half_width:
             return result
@@ -482,8 +558,18 @@ def compare(
         for arm, plan in enumerate((base_plan, treat_plan))
         for r in range(n)
     ]
-    summaries = pool_map(_replication_job, jobs, workers)
+    outcomes = pool_map(_replication_job, jobs, workers)
+    summaries = [summary for summary, _ in outcomes]
+    telemetries = [telemetry for _, telemetry in outcomes]
     return ComparisonResult(
-        baseline=ExperimentResult(plan=base_plan, summaries=tuple(summaries[:n])),
-        treatment=ExperimentResult(plan=treat_plan, summaries=tuple(summaries[n:])),
+        baseline=ExperimentResult(
+            plan=base_plan,
+            summaries=tuple(summaries[:n]),
+            telemetries=tuple(telemetries[:n]),
+        ),
+        treatment=ExperimentResult(
+            plan=treat_plan,
+            summaries=tuple(summaries[n:]),
+            telemetries=tuple(telemetries[n:]),
+        ),
     )

@@ -52,6 +52,7 @@ from repro.traffic.engine import (
 from repro.traffic.governor import GovernorSpec, GovernorStats, SprintGovernor
 from repro.traffic.metrics import TrafficSummary, summarize
 from repro.traffic.request import Request
+from repro.traffic.telemetry import RunTelemetry, TelemetrySpec
 
 __all__ = [
     "DISPATCH_MODES",
@@ -62,6 +63,30 @@ __all__ = [
     "FleetResult",
     "FleetSimulator",
 ]
+
+
+def resolve_telemetry(
+    telemetry: TelemetrySpec | bool | None, keep_samples: bool
+) -> TelemetrySpec | None:
+    """Resolve the user-facing telemetry knob to a concrete spec.
+
+    ``None`` means "whatever keeps summaries possible": no instruments
+    while samples are kept (the legacy zero-overhead default), the default
+    sketch when they are not.  ``True``/``False`` force the default spec
+    on or everything off, and a :class:`TelemetrySpec` passes through.
+    """
+    if isinstance(telemetry, TelemetrySpec):
+        return telemetry
+    if telemetry is None:
+        return None if keep_samples else TelemetrySpec()
+    if telemetry is True:
+        return TelemetrySpec()
+    if telemetry is False:
+        return None
+    raise TypeError(
+        "telemetry must be a TelemetrySpec, a bool, or None, "
+        f"not {type(telemetry).__name__}"
+    )
 
 
 @dataclass(frozen=True)
@@ -83,6 +108,11 @@ class DeviceStats:
     #: Liquid PCM fraction at the end of the run (0 unless the fleet paces
     #: with the ``pcm`` backend).
     melt_fraction: float = 0.0
+    #: Running peaks over the whole run (maintained in O(1) on the device,
+    #: so hotspot identification survives ``keep_samples=False`` runs).
+    peak_temperature_c: float = 0.0
+    peak_melt_fraction: float = 0.0
+    peak_stored_heat_j: float = 0.0
 
 
 @dataclass(frozen=True)
@@ -102,13 +132,26 @@ class FleetResult:
     #: Last event instant the engine processed (see
     #: :attr:`repro.traffic.engine.EngineResult.final_time_s`).
     final_event_s: float = 0.0
+    #: What the run's telemetry instruments produced (None when the run
+    #: kept samples and no instruments were requested).
+    telemetry: RunTelemetry | None = None
+    #: Lifecycle counts, always valid — with ``keep_samples=False`` the
+    #: ``served``/``rejected``/``abandoned`` tuples stay empty and these
+    #: are the only record of each fate's cardinality.
+    served_count: int = 0
+    rejected_count: int = 0
+    abandoned_count: int = 0
     _summary_cache: dict = field(
         default_factory=dict, init=False, repr=False, compare=False
     )
 
     @property
     def latencies_s(self) -> np.ndarray:
-        """Per-request latencies in request-index order."""
+        """Per-request latencies in request-index order.
+
+        Empty when the run dropped samples (``keep_samples=False``) — tail
+        statistics then live in ``telemetry.stream``.
+        """
         return np.array([s.latency_s for s in self.served])
 
     @property
@@ -121,18 +164,41 @@ class FleetResult:
         suite asserts.
         """
         completions = [s.completed_at_s for s in self.served]
+        if self.telemetry is not None and self.telemetry.stream is not None:
+            stream = self.telemetry.stream
+            if stream.request_count:
+                completions.append(stream.last_completion_s)
         return max([self.final_event_s, *completions])
 
     def summary(self, slo_s: float | None = None) -> TrafficSummary:
-        """Aggregate serving metrics (cached per SLO)."""
+        """Aggregate serving metrics (cached per SLO).
+
+        Computed exactly from the retained samples when the run kept them
+        (``telemetry_source == "samples"``, bit-identical to every prior
+        version); from the streaming telemetry otherwise
+        (``telemetry_source == "sketch"``, percentiles within the sketch's
+        rank-error bound).  A run that kept neither cannot be summarised.
+        """
         if slo_s not in self._summary_cache:
-            self._summary_cache[slo_s] = summarize(
-                self.served,
-                slo_s=slo_s,
-                rejected_count=len(self.rejected),
-                abandoned_count=len(self.abandoned),
-                governor_stats=self.governor_stats,
-            )
+            stream = self.telemetry.stream if self.telemetry is not None else None
+            if self.served or stream is None:
+                if not self.served and self.served_count:
+                    raise ValueError(
+                        "this run kept no samples and no telemetry stream; "
+                        "enable keep_samples or a TelemetrySpec with "
+                        "sketch=True to summarise it"
+                    )
+                self._summary_cache[slo_s] = summarize(
+                    self.served,
+                    slo_s=slo_s,
+                    rejected_count=len(self.rejected) or self.rejected_count,
+                    abandoned_count=len(self.abandoned) or self.abandoned_count,
+                    governor_stats=self.governor_stats,
+                )
+            else:
+                self._summary_cache[slo_s] = stream.summarize(
+                    slo_s=slo_s, governor_stats=self.governor_stats
+                )
         return self._summary_cache[slo_s]
 
 
@@ -173,6 +239,19 @@ class FleetSimulator:
         bit-identical to the pre-backend fleet (regression-locked).
     sprint_speedup, sprint_enabled, refuse_partial_sprints:
         Forwarded to each :class:`~repro.traffic.device.SprintDevice`.
+    keep_samples:
+        When True (default) the run retains every served/rejected/
+        abandoned request object, the exact legacy behaviour.  When False
+        the run's memory stays flat over any horizon: only lifecycle
+        counts and the streaming telemetry survive, and
+        :meth:`FleetResult.summary` comes from the quantile sketch.
+    telemetry:
+        What streaming instruments to run
+        (:class:`~repro.traffic.telemetry.TelemetrySpec`, a bool for the
+        default spec on/off, or ``None`` to auto-enable the sketch exactly
+        when ``keep_samples=False`` — see :func:`resolve_telemetry`).
+        Fresh instruments are built per :meth:`run`; observers never
+        perturb simulation results.
     """
 
     def __init__(
@@ -188,6 +267,8 @@ class FleetSimulator:
         queue_bound: int | None = None,
         governor: str | GovernorSpec | SprintGovernor = "unlimited",
         thermal: str | ThermalSpec = "linear",
+        keep_samples: bool = True,
+        telemetry: TelemetrySpec | bool | None = None,
     ) -> None:
         if n_devices < 1:
             raise ValueError("a fleet needs at least one device")
@@ -231,6 +312,8 @@ class FleetSimulator:
         self.mode = mode
         self.discipline = discipline
         self.queue_bound = queue_bound
+        self.keep_samples = keep_samples
+        self.telemetry_spec = resolve_telemetry(telemetry, keep_samples)
         self.devices = [
             SprintDevice(
                 config,
@@ -245,7 +328,7 @@ class FleetSimulator:
         # Validate mode/discipline/bound eagerly (fail at construction, not run).
         self._make_engine()
 
-    def _make_engine(self) -> ServingEngine:
+    def _make_engine(self, stream=None, probe=None, trace=None) -> ServingEngine:
         return ServingEngine(
             self.devices,
             dispatch=self._dispatch,
@@ -255,6 +338,10 @@ class FleetSimulator:
             queue_bound=self.queue_bound,
             indexed=self._indexed,
             governor=self.governor,
+            keep_samples=self.keep_samples,
+            telemetry=stream,
+            probe=probe,
+            trace=trace,
         )
 
     def run(
@@ -274,8 +361,28 @@ class FleetSimulator:
             device.reset()
         self.governor.reset()
         rng = np.random.default_rng(seed)
-        outcome = self._make_engine().run(requests, rng)
+        spec = self.telemetry_spec
+        stream = probe = trace = None
+        if spec is not None:
+            stream = spec.build_stream()
+            probe = spec.build_probe(excess_power_w=self.governor.excess_power_w)
+            trace = spec.build_trace()
+        outcome = self._make_engine(stream=stream, probe=probe, trace=trace).run(
+            requests, rng
+        )
         served = sorted(outcome.served, key=lambda s: s.request.index)
+        telemetry = None
+        if stream is not None or probe is not None or trace is not None:
+            horizon = [outcome.final_time_s]
+            if served:
+                horizon.append(max(s.completed_at_s for s in served))
+            if stream is not None and stream.request_count:
+                horizon.append(stream.last_completion_s)
+            telemetry = RunTelemetry(
+                stream=stream,
+                timeline=None if probe is None else probe.finalize(max(horizon)),
+                trace=trace,
+            )
         stats = tuple(
             DeviceStats(
                 device_id=d.device_id,
@@ -286,6 +393,9 @@ class FleetSimulator:
                 sprint_fullness_mean=d.sprint_fullness_mean,
                 package_temperature_c=d.thermal_backend.temperature_c,
                 melt_fraction=d.thermal_backend.melt_fraction,
+                peak_temperature_c=d.peak_temperature_c,
+                peak_melt_fraction=d.peak_melt_fraction,
+                peak_stored_heat_j=d.peak_stored_heat_j,
             )
             for d in self.devices
         )
@@ -297,4 +407,8 @@ class FleetSimulator:
             abandoned=outcome.abandoned,
             governor_stats=outcome.governor_stats,
             final_event_s=outcome.final_time_s,
+            telemetry=telemetry,
+            served_count=outcome.served_count,
+            rejected_count=outcome.rejected_count,
+            abandoned_count=outcome.abandoned_count,
         )

@@ -80,6 +80,14 @@ class TrafficSummary:
     sprints_denied: int = 0
     breaker_trips: int = 0
     time_at_cap_s: float = 0.0
+    #: Where the latency statistics came from: ``"samples"`` when computed
+    #: exactly from a materialised per-request list, ``"sketch"`` when
+    #: streamed through a fixed-memory quantile sketch
+    #: (:class:`repro.traffic.telemetry.TrafficTelemetry`).
+    telemetry_source: str = "samples"
+    #: Normalised rank-error bound of the percentile/SLO fields when
+    #: ``telemetry_source == "sketch"`` (``None`` for exact summaries).
+    sketch_rank_error: float | None = None
 
     @property
     def sprint_denial_fraction(self) -> float:
@@ -105,15 +113,43 @@ class TrafficSummary:
         """Plain-JSON form (used by golden regression fixtures and reports)."""
         return dataclasses.asdict(self)
 
+    @classmethod
+    def from_dict(cls, data: dict) -> "TrafficSummary":
+        """Rebuild a summary from its :meth:`to_dict` form (exact round-trip)."""
+        known = {f.name for f in dataclasses.fields(cls)}
+        unknown = set(data) - known
+        if unknown:
+            raise ValueError(f"unknown TrafficSummary fields: {sorted(unknown)}")
+        return cls(**data)
+
+
+def validate_latencies(
+    latencies_s: Sequence[float] | np.ndarray,
+) -> np.ndarray:
+    """Coerce latencies to a float array, rejecting an empty input.
+
+    The single validation gate for every sample-based latency reduction
+    (:func:`latency_percentiles`, :func:`slo_attainment`), so the
+    "at least one latency" contract lives in exactly one place.
+    """
+    values = np.asarray(latencies_s, dtype=float)
+    if values.size == 0:
+        raise ValueError("at least one latency is required")
+    return values
+
+
+def validate_slo(slo_s: float | None) -> None:
+    """Reject a non-positive SLO (``None`` means no SLO and is fine)."""
+    if slo_s is not None and slo_s <= 0:
+        raise ValueError("SLO must be positive")
+
 
 def latency_percentiles(
     latencies_s: Sequence[float] | np.ndarray,
     percentiles: Sequence[float] = (50.0, 95.0, 99.0),
 ) -> tuple[float, ...]:
     """Linear-interpolated latency percentiles (numpy's default method)."""
-    values = np.asarray(latencies_s, dtype=float)
-    if values.size == 0:
-        raise ValueError("at least one latency is required")
+    values = validate_latencies(latencies_s)
     return tuple(float(p) for p in np.percentile(values, percentiles))
 
 
@@ -121,11 +157,8 @@ def slo_attainment(
     latencies_s: Sequence[float] | np.ndarray, slo_s: float
 ) -> float:
     """Fraction of requests with latency at or below the SLO."""
-    if slo_s <= 0:
-        raise ValueError("SLO must be positive")
-    values = np.asarray(latencies_s, dtype=float)
-    if values.size == 0:
-        raise ValueError("at least one latency is required")
+    validate_slo(slo_s)
+    values = validate_latencies(latencies_s)
     return float(np.mean(values <= slo_s))
 
 
@@ -485,6 +518,39 @@ def _governor_fields(stats: GovernorStats | None) -> dict:
     )
 
 
+def build_summary(
+    source: str = "samples",
+    rank_error: float | None = None,
+    governor_stats: GovernorStats | None = None,
+    **fields,
+) -> TrafficSummary:
+    """Construct a :class:`TrafficSummary` with all-zero defaults.
+
+    The shared assembly point of the exact (:func:`summarize`) and
+    sketch-backed (:meth:`repro.traffic.telemetry.TrafficTelemetry.summarize`)
+    paths: omitted fields default to the empty-run zeros, ``source`` and
+    ``rank_error`` fill the telemetry provenance fields, and
+    ``governor_stats`` expands into the grant-ledger fields.
+    """
+    values = dict(
+        request_count=0,
+        makespan_s=0.0,
+        throughput_rps=0.0,
+        mean_latency_s=0.0,
+        p50_latency_s=0.0,
+        p95_latency_s=0.0,
+        p99_latency_s=0.0,
+        max_latency_s=0.0,
+        mean_queueing_s=0.0,
+        sprint_fraction=0.0,
+        telemetry_source=source,
+        sketch_rank_error=rank_error,
+    )
+    values.update(fields)
+    values.update(_governor_fields(governor_stats))
+    return TrafficSummary(**values)
+
+
 def summarize(
     served: Sequence[ServedRequest],
     slo_s: float | None = None,
@@ -499,25 +565,20 @@ def summarize(
     instantaneous requests) reports zero throughput rather than ``inf``.
     ``governor_stats`` (from a power-governed run) fills the grant-ledger
     fields; ``None`` leaves them at their ungoverned defaults.
+
+    This is the exact, sample-based path (``telemetry_source ==
+    "samples"``); long-horizon runs that kept no samples summarise
+    through the sketch instead
+    (:meth:`repro.traffic.telemetry.TrafficTelemetry.summarize`).
     """
+    validate_slo(slo_s)
     if not served:
-        return TrafficSummary(
-            request_count=0,
-            makespan_s=0.0,
-            throughput_rps=0.0,
-            mean_latency_s=0.0,
-            p50_latency_s=0.0,
-            p95_latency_s=0.0,
-            p99_latency_s=0.0,
-            max_latency_s=0.0,
-            mean_queueing_s=0.0,
-            sprint_fraction=0.0,
-            mean_sprint_fullness=0.0,
+        return build_summary(
             slo_s=slo_s,
             slo_attainment=None,
             rejected_count=rejected_count,
             abandoned_count=abandoned_count,
-            **_governor_fields(governor_stats),
+            governor_stats=governor_stats,
         )
     latencies = np.array([s.latency_s for s in served])
     queueing = np.array([s.queueing_delay_s for s in served])

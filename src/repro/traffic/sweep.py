@@ -55,10 +55,11 @@ from repro.traffic.arrivals import (
 )
 from repro.traffic.arrivals import seed_stream
 from repro.traffic.engine import QUEUE_DISCIPLINES
-from repro.traffic.fleet import DISPATCH_POLICIES, FleetSimulator
+from repro.traffic.fleet import DISPATCH_POLICIES, FleetSimulator, resolve_telemetry
 from repro.traffic.governor import GovernorSpec
 from repro.traffic.metrics import MetricEstimate, TrafficSummary, mean_ci
 from repro.traffic.request import FixedService, GammaService, generate_requests
+from repro.traffic.telemetry import RunTelemetry, TelemetrySpec, TrafficTelemetry
 
 #: Arrival families the sweep can instantiate from a cell's mean rate.
 ARRIVAL_KINDS = ("poisson", "bursty", "diurnal", "deterministic")
@@ -151,6 +152,13 @@ class SweepSpec:
     diurnal_period_s: float = 3600.0
     replications: int = 1
     pairing: str = "crn"
+    #: When False every cell runs sample-free (flat memory per cell, sketch
+    #: summaries within the documented rank-error bound).
+    keep_samples: bool = True
+    #: Streaming instruments each cell runs (see
+    #: :func:`repro.traffic.fleet.resolve_telemetry`); cell telemetry lands
+    #: on :class:`CellResult` and merges across replicates and workers.
+    telemetry: TelemetrySpec | bool | None = None
 
     def __post_init__(self) -> None:
         if (
@@ -228,6 +236,7 @@ class SweepSpec:
             raise ValueError(
                 f"unknown pairing mode {self.pairing!r}; available: {PAIRING_MODES}"
             )
+        resolve_telemetry(self.telemetry, self.keep_samples)  # fail fast
 
     def with_sprint_enabled(self, enabled: bool) -> "SweepSpec":
         """Copy toggling sprinting (for paired sprint/no-sprint sweeps)."""
@@ -306,11 +315,39 @@ class CellResult:
     #: True when the sweep collapsed this cell's replications because the
     #: scenario is deterministic (its single value is exact, not sampled).
     collapsed: bool = False
+    #: Per-replication streaming instruments, in replication order (empty
+    #: when the sweep ran with telemetry off).  :meth:`pooled_stream`
+    #: merges the sketches into one cell-level distribution.
+    telemetries: tuple[RunTelemetry | None, ...] = ()
 
     @property
     def summaries(self) -> tuple[TrafficSummary, ...]:
         """Every replication's summary (always at least ``(summary,)``)."""
         return self.replicates or (self.summary,)
+
+    @property
+    def telemetry(self) -> RunTelemetry | None:
+        """Replication 0's instruments (None when telemetry was off)."""
+        return self.telemetries[0] if self.telemetries else None
+
+    def pooled_stream(self) -> TrafficTelemetry:
+        """Merge every replication's streaming telemetry into one stream.
+
+        The merged sketch summarises the cell's pooled latency
+        distribution across replications in fixed memory — the sweep-side
+        counterpart of
+        :meth:`repro.traffic.experiments.ExperimentResult.pooled_stream`.
+        """
+        streams = [t.stream for t in self.telemetries if t is not None and t.stream]
+        if not streams:
+            raise ValueError(
+                "no streaming telemetry to pool (run the sweep with "
+                "keep_samples=False or an explicit TelemetrySpec)"
+            )
+        pooled = TrafficTelemetry(sketch_capacity=streams[0].latency.capacity)
+        for stream in streams:
+            pooled.merge(stream)
+        return pooled
 
     def estimate(
         self, field: str = "p99_latency_s", confidence: float = 0.95
@@ -470,9 +507,16 @@ def run_cell(
         queue_bound=cell.queue_bound if central else None,
         governor=cell.governor,
         thermal=cell.thermal,
+        keep_samples=spec.keep_samples,
+        telemetry=spec.telemetry,
     )
     result = fleet.run(requests, seed=run_seed)
-    return CellResult(cell=cell, summary=result.summary(slo_s=spec.slo_s))
+    telemetries = (result.telemetry,) if result.telemetry is not None else ()
+    return CellResult(
+        cell=cell,
+        summary=result.summary(slo_s=spec.slo_s),
+        telemetries=telemetries,
+    )
 
 
 def _run_cell_job(
@@ -598,14 +642,19 @@ def run_sweep(
     grouped: list[CellResult] = []
     offset = 0
     for cell, n in zip(cells, reps):
-        replicates = tuple(r.summary for r in results[offset : offset + n])
+        group = results[offset : offset + n]
         offset += n
+        replicates = tuple(r.summary for r in group)
+        telemetries = tuple(r.telemetry for r in group)
         grouped.append(
             CellResult(
                 cell=cell,
                 summary=replicates[0],
                 replicates=replicates if len(replicates) > 1 else (),
                 collapsed=n == 1 and spec.replications > 1,
+                telemetries=(
+                    telemetries if any(t is not None for t in telemetries) else ()
+                ),
             )
         )
     return SweepResult(spec=spec, cells=tuple(grouped))

@@ -32,6 +32,7 @@ COVERED = {
     "power_budget_study": "concurrency cap",
     "thermal_fidelity_study": "melt plateau",
     "replication_study": "error bars",
+    "telemetry_study": "pooled p99",
     "reproduce_paper": "EXPERIMENTS",
 }
 
@@ -173,6 +174,21 @@ def test_replication_study(capsys, monkeypatch):
     assert "CRN pairing cuts the p99-delta CI half-width" in out
     assert "sequential stopping" in out
     assert "stopped after" in out
+
+
+def test_telemetry_study(capsys, monkeypatch):
+    module = load_example("telemetry_study")
+    monkeypatch.setattr(module, "LONG_HORIZON_REQUESTS", 2_000)
+    monkeypatch.setattr(module, "REPLICATIONS", 4)
+    monkeypatch.setattr(module, "WORKERS", 2)
+    module.main()
+    out = capsys.readouterr().out
+    assert COVERED["telemetry_study"] in out
+    assert "flat memory" in out
+    assert "rank-error bound" in out
+    assert "conservation holds" in out
+    assert "ring kept" in out
+    assert "no samples ever held" in out
 
 
 def test_thermal_fidelity_study(capsys, monkeypatch):
