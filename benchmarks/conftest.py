@@ -9,16 +9,46 @@ EXPERIMENTS.md.
 
 from __future__ import annotations
 
+import cProfile
+import io
 import os
+import pstats
 
 import pytest
 
 
 @pytest.fixture
-def run_once(benchmark):
-    """Run an experiment exactly once under pytest-benchmark timing."""
+def run_once(benchmark, request):
+    """Run an experiment exactly once under pytest-benchmark timing.
+
+    Setting ``REPRO_PROFILE=1`` additionally wraps the run in
+    :mod:`cProfile` and prints the top 20 functions by cumulative time —
+    the quick answer to "where does this benchmark actually spend its
+    time?".  Profiling instruments every call, so the recorded timings
+    are distorted in that mode; use it to find hotspots, not to compare
+    against unprofiled numbers.
+    """
+    profiling = os.environ.get("REPRO_PROFILE", "") not in ("", "0")
 
     def _run(func, *args, **kwargs):
+        if profiling:
+            profile = cProfile.Profile()
+
+            def profiled(*a, **kw):
+                profile.enable()
+                try:
+                    return func(*a, **kw)
+                finally:
+                    profile.disable()
+
+            result = benchmark.pedantic(
+                profiled, args=args, kwargs=kwargs, rounds=1, iterations=1
+            )
+            out = io.StringIO()
+            stats = pstats.Stats(profile, stream=out)
+            stats.sort_stats("cumulative").print_stats(20)
+            print(f"\n[REPRO_PROFILE] {request.node.name}\n{out.getvalue()}")
+            return result
         return benchmark.pedantic(func, args=args, kwargs=kwargs, rounds=1, iterations=1)
 
     return _run

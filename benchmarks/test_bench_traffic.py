@@ -12,6 +12,7 @@ CI's smoke step can shrink them.
 
 from __future__ import annotations
 
+import os
 import time
 from dataclasses import replace
 
@@ -250,6 +251,89 @@ def test_bench_telemetry_overhead(benchmark, bench_scale):
                 latencies, sketch_summary.p99_latency_s, side="right"
             ) / n
             assert abs(rank - 0.99) <= sketch_summary.sketch_rank_error + 1.0 / n
+
+
+ENGINE_CURVE_DEVICES = 256
+ENGINE_CURVE_SCALES = (100_000, 1_000_000, 10_000_000)
+ENGINE_CURVE_RATE_HZ = 50.0
+
+
+def test_bench_engine_throughput_curve(benchmark, bench_scale):
+    """Requests/second of exact vs batched vs fluid across stream sizes.
+
+    One 256-device round-robin fleet serves Poisson/fixed-demand streams
+    of 1e5, 1e6, and 1e7 requests with ``keep_samples=False`` (flat
+    memory).  The exact event loop is measured once at the smallest size
+    (its per-request cost is size-independent; simulating 1e7 requests
+    scalar-wise would dominate the whole suite), the batched vector core
+    and the fluid limit at every size.  The full curve lands in
+    ``extra_info`` for the ``BENCH_ci.json`` artifact, and the gate
+    asserts the batched path beats the exact loop — the fast path must
+    never regress into a slow path.
+    """
+    config = SystemConfig.paper_default()
+    scales = [bench_scale(n, floor=2_000) for n in ENGINE_CURVE_SCALES]
+    arrivals = PoissonArrivals(ENGINE_CURVE_RATE_HZ)
+    service = FixedService(5.0)
+
+    def fleet(mode: str, engine: str) -> FleetSimulator:
+        return FleetSimulator(
+            config,
+            ENGINE_CURVE_DEVICES,
+            policy="round_robin",
+            mode=mode,
+            keep_samples=False,
+            telemetry=False,
+            engine=engine,
+        )
+
+    def run(mode: str, engine: str, n: int):
+        return fleet(mode, engine).run_stream(
+            arrivals, service, n, request_seed=9, run_seed=9
+        )
+
+    # Benchmark subject: the batched vector core at the smallest size
+    # (each curve point below is timed manually into extra_info).
+    result = benchmark.pedantic(
+        run, args=("immediate", "batched", scales[0]), rounds=1, iterations=1
+    )
+    assert result.served_count == scales[0]
+    batched_small_s = benchmark.stats.stats.mean
+
+    started = time.perf_counter()
+    exact_result = run("immediate", "exact", scales[0])
+    exact_s = time.perf_counter() - started
+    assert exact_result.served_count == scales[0]
+
+    curve: dict[str, float] = {
+        f"exact_rps_{scales[0]}": scales[0] / exact_s,
+        f"batched_rps_{scales[0]}": scales[0] / batched_small_s,
+    }
+    for n in scales[1:]:
+        started = time.perf_counter()
+        assert run("immediate", "batched", n).served_count == n
+        curve[f"batched_rps_{n}"] = n / (time.perf_counter() - started)
+    for n in scales:
+        started = time.perf_counter()
+        assert run("fluid", "exact", n).served_count == n
+        curve[f"fluid_rps_{n}"] = n / (time.perf_counter() - started)
+
+    speedup = exact_s / batched_small_s
+    benchmark.extra_info["devices"] = ENGINE_CURVE_DEVICES
+    benchmark.extra_info["batched_speedup_vs_exact"] = speedup
+    benchmark.extra_info.update(curve)
+    assert speedup > 1.0, (
+        f"batched engine ({batched_small_s:.3f}s) must beat the exact loop "
+        f"({exact_s:.3f}s) at {scales[0]} requests on "
+        f"{ENGINE_CURVE_DEVICES} devices; measured {speedup:.2f}x"
+    )
+    if os.environ.get("REPRO_BENCH_SCALE", "1.0") == "1.0":
+        # At full scale the vector core's amortisation is complete; hold
+        # the headline order-of-magnitude win, not just parity.
+        assert speedup >= 10.0, (
+            f"batched engine speedup degraded to {speedup:.1f}x "
+            "(expected >= 10x at full scale)"
+        )
 
 
 def test_bench_sweep_worker_scaling(benchmark, bench_scale):

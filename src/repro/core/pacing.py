@@ -244,6 +244,21 @@ class SprintPacer:
         self._clock_s = 0.0
         self._last_arrival_s = 0.0
 
+    def advance_to(self, clock_s: float, last_arrival_s: float) -> None:
+        """Move the pacer's clock forward after externally-applied work.
+
+        The engine's batched fast path executes a run of requests in numpy
+        and lands the device exactly where the scalar path would have:
+        ``clock_s`` is the completion instant of the last executed task and
+        ``last_arrival_s`` the latest arrival handed to this device (the
+        in-order guard watermark).  Rewinding is refused — batch execution
+        only ever moves time forward.
+        """
+        if clock_s < self._clock_s:
+            raise ValueError("batch execution cannot rewind the pacer clock")
+        self._clock_s = clock_s
+        self._last_arrival_s = max(self._last_arrival_s, last_arrival_s)
+
     def task_arrival(
         self,
         arrival_s: float,

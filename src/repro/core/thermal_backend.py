@@ -232,6 +232,24 @@ class LinearReservoir(ThermalBackend):
     def _reset_state(self) -> None:
         self._stored_j = 0.0
 
+    def absorb_batch(
+        self, stored_heat_j: float, deposited_j: float, drained_j: float
+    ) -> None:
+        """Apply a vectorized run's net effect in one step.
+
+        The engine's batched fast path (:mod:`repro.traffic.fastpath`)
+        replays this reservoir's exact arithmetic in numpy and hands back
+        the final stored heat plus the run's ledger deltas, so the backend
+        ends bit-identical to having processed every request scalar-wise.
+        Only the linear reservoir has the closed vector form, hence the
+        method lives here and not on the base class.
+        """
+        if stored_heat_j < 0 or deposited_j < 0 or drained_j < 0:
+            raise ValueError("batch state must be non-negative")
+        self._stored_j = stored_heat_j
+        self._deposited_j += deposited_j
+        self._drained_j += drained_j
+
 
 class RCCooling(ThermalBackend):
     """Exponential Newtonian drain with the package time constant.

@@ -85,6 +85,7 @@ from repro.traffic.experiments import (
 from repro.traffic.engine import (
     DISPATCH_MODES,
     DISPATCH_POLICIES,
+    EXECUTION_MODES,
     QUEUE_DISCIPLINES,
     DispatchFn,
     EngineResult,
@@ -92,10 +93,16 @@ from repro.traffic.engine import (
     ServingEngine,
 )
 from repro.traffic.fleet import (
+    FLEET_MODES,
     DeviceStats,
     FleetResult,
     FleetSimulator,
     resolve_telemetry,
+)
+from repro.traffic.fluid import (
+    FLUID_ACCURACY_CONTRACT,
+    FluidFleetModel,
+    FluidResult,
 )
 from repro.traffic.governor import (
     GOVERNOR_POLICIES,
@@ -128,8 +135,10 @@ from repro.traffic.request import (
     GammaService,
     LognormalService,
     Request,
+    RequestBlock,
     ServiceModel,
     SuiteService,
+    generate_request_blocks,
     generate_requests,
 )
 from repro.traffic.sweep import (
@@ -171,13 +180,18 @@ __all__ = [
     "DeviceStats",
     "DispatchFn",
     "DiurnalArrivals",
+    "EXECUTION_MODES",
     "EngineResult",
     "EventTrace",
     "ExperimentResult",
+    "FLEET_MODES",
+    "FLUID_ACCURACY_CONTRACT",
     "FixedService",
     "FleetResult",
     "FleetSimulator",
     "FleetTimeline",
+    "FluidFleetModel",
+    "FluidResult",
     "GOVERNOR_POLICIES",
     "GammaService",
     "GovernorSpec",
@@ -197,6 +211,7 @@ __all__ = [
     "RCCooling",
     "ReplicationPlan",
     "Request",
+    "RequestBlock",
     "RunTelemetry",
     "SUMMARY_STAT_FIELDS",
     "SWEEP_DISCIPLINES",
@@ -228,6 +243,7 @@ __all__ = [
     "cell_is_deterministic",
     "compare",
     "expand_cells",
+    "generate_request_blocks",
     "generate_requests",
     "latency_percentiles",
     "mean_ci",

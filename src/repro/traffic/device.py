@@ -223,6 +223,43 @@ class SprintDevice:
             melt_fraction=outcome.melt_fraction,
         )
 
+    def absorb_batch(
+        self,
+        *,
+        served: int,
+        busy_seconds: float,
+        sprints: int,
+        fullness_total: float,
+        clock_s: float,
+        last_arrival_s: float,
+        stored_heat_j: float,
+        deposited_j: float,
+        drained_j: float,
+        peak_stored_heat_j: float,
+        peak_temperature_c: float,
+    ) -> None:
+        """Fold a vectorized run's aggregates into this device's state.
+
+        The batched engine path (:mod:`repro.traffic.fastpath`) executes a
+        device's whole request chain in numpy with the exact scalar float
+        ops, then lands counters, pacer clock, reservoir heat, and thermal
+        peaks here in one step — bit-identical to having called
+        :meth:`serve` per request.  Only meaningful for runs on the linear
+        backend (the vector form exists only there); melt state never moves.
+        """
+        if served < 0 or sprints < 0 or sprints > served:
+            raise ValueError("batch counters are inconsistent")
+        self.requests_served += served
+        self.busy_seconds += busy_seconds
+        self.sprints_served += sprints
+        self._sprint_fullness_total += fullness_total
+        self.pacer.advance_to(clock_s, last_arrival_s)
+        self.pacer.backend.absorb_batch(stored_heat_j, deposited_j, drained_j)
+        if peak_temperature_c > self.peak_temperature_c:
+            self.peak_temperature_c = peak_temperature_c
+        if peak_stored_heat_j > self.peak_stored_heat_j:
+            self.peak_stored_heat_j = peak_stored_heat_j
+
     def reset(self) -> None:
         """Cool the package and forget all serving history."""
         self.pacer.reset()

@@ -87,6 +87,12 @@ DispatchFn = Callable[[Sequence[SprintDevice], Request, np.random.Generator, int
 #: How requests are bound to devices: at arrival (legacy) or from a shared queue.
 DISPATCH_MODES = ("immediate", "central_queue")
 
+#: How the engine advances time: one heap event at a time (the reference),
+#: or the numpy vector core where the configuration permits — with an
+#: automatic, bit-identical fallback to exact where it does not
+#: (see :mod:`repro.traffic.fastpath`).
+EXECUTION_MODES = ("exact", "batched")
+
 #: Orderings of the shared queue in central_queue mode.
 QUEUE_DISCIPLINES = ("fifo", "edf")
 
@@ -249,6 +255,10 @@ class LeastLoadedIndex:
                 continue
             return pos
 
+    #: Compaction floor: heaps smaller than this never rebuild, so tiny
+    #: fleets don't thrash on every update.
+    _COMPACT_MIN = 64
+
     def update(self, pos: int) -> None:
         """Re-key device ``pos`` after it absorbed a request."""
         self._version[pos] += 1
@@ -257,6 +267,49 @@ class LeastLoadedIndex:
             self._busy,
             (device.busy_until_s, device.requests_served, pos, self._version[pos]),
         )
+        # Lazy deletion leaves one stale tuple behind per re-key.  Each
+        # device has exactly one live entry, so anything beyond n entries is
+        # dead weight; once the stale fraction passes 50% (total > 2n) the
+        # heaps are rebuilt from live device state.  Rebuilding costs O(n)
+        # against the >n updates that grew the garbage, so the amortised
+        # cost stays O(1) per update and heap size stays bounded at
+        # max(2n, floor) over any horizon.
+        total = len(self._idle) + len(self._busy)
+        if total > max(2 * len(self._devices), self._COMPACT_MIN):
+            self._compact()
+
+    def _compact(self) -> None:
+        """Rebuild both heaps with one live entry per device.
+
+        A heap rebuild never changes which entry is the minimum live one,
+        so picks after compaction are identical to picks without it — only
+        the garbage goes away.  Entries still in the busy heap whose device
+        has since been migrated keep their idle residency through the
+        membership scan below.
+        """
+        live_idle = set()
+        for served, pos, version in self._idle:
+            if version == self._version[pos]:
+                live_idle.add(pos)
+        idle: list[tuple[int, int, int]] = []
+        busy: list[tuple[float, int, int, int]] = []
+        for pos, device in enumerate(self._devices):
+            version = self._version[pos]
+            if pos in live_idle:
+                idle.append((device.requests_served, pos, version))
+            else:
+                busy.append(
+                    (device.busy_until_s, device.requests_served, pos, version)
+                )
+        heapq.heapify(idle)
+        heapq.heapify(busy)
+        self._idle = idle
+        self._busy = busy
+
+    @property
+    def entry_count(self) -> int:
+        """Total live + stale heap entries (observability for the bound test)."""
+        return len(self._idle) + len(self._busy)
 
 
 @dataclass(frozen=True)
@@ -344,6 +397,15 @@ class ServingEngine:
         resolve.  Observers never influence event order, float paths, or
         RNG draws, so enabling them cannot perturb a run (the golden
         fixture locks this).
+    execution:
+        ``"exact"`` (default) resolves every event through the heap loop.
+        ``"batched"`` runs the numpy vector core where the configuration
+        permits (immediate mode, round_robin/random policy, ungoverned,
+        linear thermal backends, no observers — see
+        :mod:`repro.traffic.fastpath`) and falls back to the exact loop
+        otherwise, so results are bit-identical either way.
+        :attr:`last_run_fast_path` reports which path the latest run took,
+        and :attr:`fast_path_reason` why the vector core is (not) engaged.
     """
 
     def __init__(
@@ -360,6 +422,7 @@ class ServingEngine:
         telemetry: TrafficTelemetry | None = None,
         probe: TimelineProbe | None = None,
         trace: EventTrace | None = None,
+        execution: str = "exact",
     ) -> None:
         if not devices:
             raise ValueError("the engine needs at least one device")
@@ -374,6 +437,11 @@ class ServingEngine:
             )
         if queue_bound is not None and queue_bound < 0:
             raise ValueError("queue bound must be non-negative (or None)")
+        if execution not in EXECUTION_MODES:
+            raise ValueError(
+                f"unknown execution mode {execution!r}; "
+                f"available: {EXECUTION_MODES}"
+            )
         self.devices = devices
         self.dispatch = dispatch
         self.policy_name = policy_name
@@ -386,6 +454,22 @@ class ServingEngine:
         self.telemetry = telemetry
         self.probe = probe
         self.trace = trace
+        self.execution = execution
+        #: Whether the most recent run() / run_blocks() took the vector core.
+        self.last_run_fast_path = False
+
+    @property
+    def fast_path_reason(self) -> str | None:
+        """Why the vector core is not engaged (``None`` when it would be)."""
+        from repro.traffic.fastpath import unsupported_reason
+
+        return unsupported_reason(self)
+
+    def _use_fast_path(self) -> bool:
+        self.last_run_fast_path = (
+            self.execution == "batched" and self.fast_path_reason is None
+        )
+        return self.last_run_fast_path
 
     # -- the event loop ---------------------------------------------------------------
 
@@ -407,6 +491,16 @@ class ServingEngine:
             for a, b in itertools.pairwise(ordered)
         ):
             ordered.sort(key=lambda r: (r.arrival_s, r.index))
+        if self._use_fast_path():
+            from repro.traffic.fastpath import run_batched
+
+            times = np.fromiter(
+                (r.arrival_s for r in ordered), dtype=float, count=len(ordered)
+            )
+            demands = np.fromiter(
+                (r.sustained_time_s for r in ordered), dtype=float, count=len(ordered)
+            )
+            return run_batched(self, [(times, demands, ordered)], rng)
         seq = itertools.count()
         # Entries are (time, kind, seq, payload); seq is unique, so payloads
         # are never compared.  Arrivals are fed into the heap one at a time
@@ -688,3 +782,31 @@ class ServingEngine:
             rejected_count=rejected_count,
             abandoned_count=abandoned_count,
         )
+
+    def run_blocks(self, blocks, rng: np.random.Generator) -> EngineResult:
+        """Process a stream of :class:`~repro.traffic.request.RequestBlock`s.
+
+        The streaming counterpart of :meth:`run`: blocks must be globally
+        time-ordered (as :func:`~repro.traffic.request.generate_request_blocks`
+        emits them).  Under ``execution="batched"`` on a supported
+        configuration the columns feed the vector core directly — with
+        ``keep_samples=False`` peak memory is one chunk regardless of
+        horizon.  Any other configuration materialises the requests and
+        takes the exact loop (O(n) requests in memory), so results are
+        bit-identical in every case.
+        """
+        if self._use_fast_path():
+            from repro.traffic.fastpath import run_batched
+
+            keep = self.keep_samples
+            stream = (
+                (
+                    block.arrival_s,
+                    block.sustained_time_s,
+                    block.to_requests() if keep else None,
+                )
+                for block in blocks
+            )
+            return run_batched(self, stream, rng)
+        requests = [request for block in blocks for request in block.to_requests()]
+        return self.run(requests, rng)

@@ -71,8 +71,9 @@ from repro.traffic.arrivals import (
     TraceArrivals,
     seed_stream,
 )
-from repro.traffic.engine import DISPATCH_MODES, DISPATCH_POLICIES, QUEUE_DISCIPLINES
-from repro.traffic.fleet import FleetResult, FleetSimulator, resolve_telemetry
+from repro.traffic.engine import DISPATCH_POLICIES, EXECUTION_MODES, QUEUE_DISCIPLINES
+from repro.traffic.fleet import FLEET_MODES, FleetResult, FleetSimulator, resolve_telemetry
+from repro.traffic.fluid import FluidResult
 from repro.traffic.governor import GovernorSpec
 from repro.traffic.metrics import (
     MetricEstimate,
@@ -144,6 +145,11 @@ class Scenario:
     #: semantics).  Replication telemetry lands in
     #: :attr:`ExperimentResult.telemetries` and merges across workers.
     telemetry: TelemetrySpec | bool | None = None
+    #: Engine execution strategy for the discrete-event modes:
+    #: ``"exact"`` (scalar event loop) or ``"batched"`` (vectorized fast
+    #: path where eligible, bit-identical results either way).  Ignored
+    #: by ``mode="fluid"``.
+    engine: str = "exact"
 
     def __post_init__(self) -> None:
         if self.n_requests < 1:
@@ -155,9 +161,14 @@ class Scenario:
                 f"unknown dispatch policy {self.policy!r}; "
                 f"available: {sorted(DISPATCH_POLICIES)}"
             )
-        if self.mode not in DISPATCH_MODES:
+        if self.mode not in FLEET_MODES:
             raise ValueError(
-                f"unknown dispatch mode {self.mode!r}; available: {DISPATCH_MODES}"
+                f"unknown fleet mode {self.mode!r}; available: {FLEET_MODES}"
+            )
+        if self.engine not in EXECUTION_MODES:
+            raise ValueError(
+                f"unknown engine execution {self.engine!r}; "
+                f"available: {EXECUTION_MODES}"
             )
         if self.discipline not in QUEUE_DISCIPLINES:
             raise ValueError(
@@ -170,6 +181,19 @@ class Scenario:
             object.__setattr__(self, "governor", GovernorSpec(policy=self.governor))
         if isinstance(self.thermal, str):
             object.__setattr__(self, "thermal", ThermalSpec(backend=self.thermal))
+        if self.mode == "fluid":
+            # Fail at construction, not inside a worker process: the fluid
+            # limit is ungoverned and instrument-free by construction.
+            if self.governor.policy != "unlimited":
+                raise ValueError(
+                    "fluid mode is ungoverned; use the unlimited governor"
+                )
+            if self.queue_bound is not None:
+                raise ValueError("fluid mode has no bounded central queue")
+            if self.telemetry not in (None, False):
+                raise ValueError(
+                    "fluid mode carries no streaming instruments"
+                )
         resolve_telemetry(self.telemetry, self.keep_samples)  # fail fast
 
     def with_options(self, **changes) -> "Scenario":
@@ -217,6 +241,7 @@ class Scenario:
             thermal=self.thermal,
             keep_samples=self.keep_samples,
             telemetry=self.telemetry,
+            engine=self.engine,
         )
 
     def simulate(
@@ -224,7 +249,7 @@ class Scenario:
         config: SystemConfig,
         request_seed: int | np.random.SeedSequence,
         run_seed: int | np.random.SeedSequence,
-    ) -> FleetResult:
+    ) -> FleetResult | FluidResult:
         """One full replication: generate requests, run the fleet."""
         return self.build_fleet(config).run(self.requests(request_seed), seed=run_seed)
 

@@ -1,0 +1,341 @@
+"""Vectorized immediate-mode execution: the engine's numpy fast path.
+
+The exact engine (:mod:`repro.traffic.engine`) resolves one heap event per
+request in pure Python.  For the configurations where nothing *interesting*
+can happen between arrivals — immediate dispatch under a precomputable
+policy, no power governor gating sprints, every device pacing against the
+closed-form :class:`~repro.core.thermal_backend.LinearReservoir`, and no
+streaming observers watching individual events — the whole run collapses to
+arithmetic that numpy can do in blocks:
+
+* the device assignment sequence is known up front (``round_robin`` is
+  ``(cursor + i) mod n``; ``random`` is one block draw of ``rng.integers``,
+  bit-identical to the scalar per-request draws),
+* each device's request chain is independent once assignments are fixed, so
+  all devices advance in lockstep *rounds*: round ``k`` executes the
+  ``k``-th request of every device that has one, as ~30 vectorized ops over
+  the active-device axis,
+* the linear-reservoir sprint decision (drain, headroom, full / partial /
+  sustained, deposit) is elementwise ``max``/``where`` arithmetic whose
+  float operations are exactly the scalar pacer's, so every latency, heat,
+  and temperature matches the exact engine bit-for-bit — the equivalence
+  suite locks this across the scenario matrix.
+
+Configurations outside this envelope (central queues, governed sprints,
+physics thermal backends, state-dependent policies like ``least_loaded``,
+attached telemetry) keep the exact event loop: the engine's ``batched``
+execution mode falls back honestly rather than approximate.  The
+:func:`unsupported_reason` predicate is the single source of truth for that
+envelope, and ``ServingEngine.last_run_fast_path`` reports which path a run
+actually took.
+
+Requests are consumed as ``(times, demands, requests)`` column blocks, so
+the streaming entry point (``ServingEngine.run_blocks`` under
+``keep_samples=False``) holds one chunk in memory regardless of horizon.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterable, Sequence
+
+import numpy as np
+
+from repro.core.thermal_backend import LinearReservoir
+from repro.traffic.device import ServedRequest, SprintDevice
+from repro.traffic.request import Request
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.traffic.engine import EngineResult, ServingEngine
+
+#: Immediate-mode policies whose assignment sequence is precomputable.
+BATCHABLE_POLICIES = ("round_robin", "random")
+
+
+def unsupported_reason(engine: "ServingEngine") -> str | None:
+    """Why this engine configuration cannot take the vector fast path.
+
+    Returns ``None`` when the fast path applies.  The conditions mirror the
+    module docstring: anything that makes event *interleaving* matter —
+    shared queues, grant handshakes, state-dependent dispatch, open-form
+    thermal physics, per-event observers — forces the exact heap loop.
+    """
+    from repro.traffic.engine import DISPATCH_POLICIES
+
+    if engine.mode != "immediate":
+        return "central-queue dispatch serializes on shared-queue events"
+    if engine.policy_name not in BATCHABLE_POLICIES:
+        return (
+            f"policy {engine.policy_name!r} depends on per-request fleet state"
+        )
+    if engine.dispatch is not DISPATCH_POLICIES[engine.policy_name]:
+        return "custom dispatch callable must be consulted per request"
+    if engine.governor is not None and not engine.governor.is_unlimited:
+        return "governed sprinting requires the per-event grant handshake"
+    if (
+        engine.telemetry is not None
+        or engine.probe is not None
+        or engine.trace is not None
+    ):
+        return "streaming observers consume events one at a time"
+    for device in engine.devices:
+        if type(device.thermal_backend) is not LinearReservoir:
+            return (
+                f"thermal backend {device.thermal_backend.name!r} has no "
+                "closed vector form"
+            )
+    return None
+
+
+class _FleetState:
+    """Columnar mirror of per-device pacer/reservoir state for one run."""
+
+    def __init__(self, devices: Sequence[SprintDevice]) -> None:
+        self.devices = devices
+        n = len(devices)
+        pacers = [d.pacer for d in devices]
+        backends = [p.backend for p in pacers]
+        self.device_ids = np.array([d.device_id for d in devices], dtype=np.int64)
+        self.drain_w = np.array([b.drain_power_w for b in backends])
+        self.excess_w = np.array(
+            [p.config.sprint_power_w - p.drain_power_w for p in pacers]
+        )
+        self.speedup = np.array([p.sprint_speedup for p in pacers])
+        self.capacity = np.array([b.capacity_j for b in backends])
+        self.ambient = np.array([b.limits.ambient_c for b in backends])
+        self.headroom_c = np.array([b.limits.headroom_c for b in backends])
+        self.allow = np.array([d.sprint_enabled for d in devices], dtype=bool)
+        self.refuse = np.array(
+            [p.refuse_partial_sprints for p in pacers], dtype=bool
+        )
+        # Mutable state, synced back through absorb_batch() at the end.
+        self.clock = np.array([p.busy_until_s for p in pacers])
+        self.stored = np.array([b.stored_heat_j for b in backends])
+        self.served = np.zeros(n, dtype=np.int64)
+        self.sprints = np.zeros(n, dtype=np.int64)
+        self.busy_seconds = np.zeros(n)
+        self.fullness_total = np.zeros(n)
+        self.deposited = np.zeros(n)
+        self.drained = np.zeros(n)
+        self.peak_stored = np.full(n, -np.inf)
+        self.last_arrival = np.full(n, -np.inf)
+
+    def sync_back(self) -> None:
+        """Fold the run's aggregates into the live device objects.
+
+        Counters and heat land exactly where the scalar path would have left
+        them; per-device peaks use the linear backend's monotone
+        heat-to-temperature map, so the run's hottest instant is the request
+        with the most stored heat.
+        """
+        for pos, device in enumerate(self.devices):
+            count = int(self.served[pos])
+            if count == 0:
+                continue
+            peak_stored = float(self.peak_stored[pos])
+            capacity = self.capacity[pos]
+            if capacity > 0.0:
+                peak_temp = float(
+                    self.ambient[pos]
+                    + (peak_stored / capacity) * self.headroom_c[pos]
+                )
+            else:
+                peak_temp = float(self.ambient[pos])
+            device.absorb_batch(
+                served=count,
+                busy_seconds=float(self.busy_seconds[pos]),
+                sprints=int(self.sprints[pos]),
+                fullness_total=float(self.fullness_total[pos]),
+                clock_s=float(self.clock[pos]),
+                last_arrival_s=float(self.last_arrival[pos]),
+                stored_heat_j=float(self.stored[pos]),
+                deposited_j=float(self.deposited[pos]),
+                drained_j=float(self.drained[pos]),
+                peak_stored_heat_j=peak_stored,
+                peak_temperature_c=peak_temp,
+            )
+
+
+def _assignments(
+    engine: "ServingEngine", count: int, cursor: int, rng: np.random.Generator
+) -> np.ndarray:
+    """Device position of each request in a chunk, matching the scalar policy."""
+    n_devices = len(engine.devices)
+    if engine.policy_name == "round_robin":
+        return (cursor + np.arange(count, dtype=np.int64)) % n_devices
+    # random: one block draw consumes the bit stream exactly like the
+    # scalar loop's per-request rng.integers(n) calls.
+    return rng.integers(n_devices, size=count)
+
+
+def _advance_chunk(
+    state: _FleetState,
+    assign: np.ndarray,
+    times: np.ndarray,
+    demands: np.ndarray,
+    keep: bool,
+) -> tuple[np.ndarray, ...] | None:
+    """Advance every device through its requests in this chunk.
+
+    Requests for one device execute in arrival order; lockstep round ``k``
+    processes the ``k``-th request of every device that has one.  Returns
+    per-request output columns (in chunk order) when ``keep`` is set.
+    """
+    count = times.size
+    order = np.argsort(assign, kind="stable")
+    counts = np.bincount(assign, minlength=len(state.devices))
+    offsets = np.concatenate(([0], np.cumsum(counts)[:-1]))
+
+    if keep:
+        out_queueing = np.empty(count)
+        out_response = np.empty(count)
+        out_before = np.empty(count)
+        out_after = np.empty(count)
+        out_fullness = np.empty(count)
+        out_temp = np.empty(count)
+        out_sprinted = np.empty(count, dtype=bool)
+
+    rounds = int(counts.max()) if count else 0
+    for k in range(rounds):
+        active = np.flatnonzero(counts > k)
+        idx = order[offsets[active] + k]
+        t_k = times[idx]
+        s_k = demands[idx]
+
+        clock_a = state.clock[active]
+        stored_a = state.stored[active]
+        start = np.maximum(t_k, clock_a)
+        # Idle-gap drain, then the sprint decision — the exact elementwise
+        # float ops of SprintPacer.execute_at over a LinearReservoir.
+        after_drain = np.maximum(
+            0.0, stored_a - state.drain_w[active] * (start - clock_a)
+        )
+        headroom = np.maximum(0.0, state.capacity[active] - after_drain)
+        sprint_time = s_k / state.speedup[active]
+        demand = np.maximum(0.0, state.excess_w[active] * sprint_time)
+        allow = state.allow[active]
+        full = allow & (demand <= headroom)
+        partial = allow & ~full & ~state.refuse[active] & (headroom > 0.0)
+
+        response = s_k.copy()
+        fullness = np.zeros(active.size)
+        deposit = np.zeros(active.size)
+        response[full] = sprint_time[full]
+        fullness[full] = 1.0
+        deposit[full] = demand[full]
+        if partial.any():
+            frac = headroom[partial] / demand[partial]
+            fullness[partial] = frac
+            response[partial] = (
+                frac * sprint_time[partial] + (1.0 - frac) * s_k[partial]
+            )
+            deposit[partial] = headroom[partial]
+        stored_new = after_drain + deposit
+        sprinted = full | partial
+
+        state.clock[active] = start + response
+        state.stored[active] = stored_new
+        state.served[active] += 1
+        state.sprints[active] += sprinted
+        state.busy_seconds[active] += response
+        state.fullness_total[active] += fullness
+        state.deposited[active] += deposit
+        state.drained[active] += stored_a - after_drain
+        state.peak_stored[active] = np.maximum(state.peak_stored[active], stored_new)
+        state.last_arrival[active] = t_k
+
+        if keep:
+            out_queueing[idx] = start - t_k
+            out_response[idx] = response
+            out_before[idx] = after_drain
+            out_after[idx] = stored_new
+            out_fullness[idx] = fullness
+            out_sprinted[idx] = sprinted
+            capacity = state.capacity[active]
+            fill = np.divide(
+                stored_new,
+                capacity,
+                out=np.zeros(active.size),
+                where=capacity > 0.0,
+            )
+            out_temp[idx] = state.ambient[active] + fill * state.headroom_c[active]
+
+    if not keep:
+        return None
+    return (
+        out_queueing,
+        out_response,
+        out_before,
+        out_after,
+        out_fullness,
+        out_temp,
+        out_sprinted,
+    )
+
+
+def run_batched(
+    engine: "ServingEngine",
+    stream: Iterable[tuple[np.ndarray, np.ndarray, Sequence[Request] | None]],
+    rng: np.random.Generator,
+) -> "EngineResult":
+    """Run time-ordered request blocks through the vector core.
+
+    ``stream`` yields ``(times, demands, requests)`` columns; ``requests``
+    is only consulted when the engine keeps samples (it becomes the
+    ``ServedRequest.request`` back-references).  The caller guarantees the
+    concatenated times are non-decreasing — arrival processes emit sorted
+    streams and ``ServingEngine.run`` sorts — which is asserted cheaply per
+    chunk.
+    """
+    from repro.traffic.engine import EngineResult
+
+    state = _FleetState(engine.devices)
+    keep = engine.keep_samples
+    served: list[ServedRequest] = []
+    served_count = 0
+    cursor = 0
+    last_s = 0.0
+    previous_end = -np.inf
+
+    for times, demands, requests in stream:
+        count = times.size
+        if count == 0:
+            continue
+        if times[0] < previous_end or np.any(np.diff(times) < 0):
+            raise ValueError("batched execution needs time-ordered arrivals")
+        previous_end = times[-1]
+        assign = _assignments(engine, count, cursor, rng)
+        cursor += count
+        outputs = _advance_chunk(state, assign, times, demands, keep)
+        served_count += count
+        last_s = float(times[-1])
+        if keep:
+            assert requests is not None
+            queueing, response, before, after, fullness, temp, sprinted = outputs
+            device_ids = state.device_ids[assign]
+            served.extend(
+                ServedRequest(
+                    request=requests[i],
+                    device_id=int(device_ids[i]),
+                    sprinted=bool(sprinted[i]),
+                    queueing_delay_s=float(queueing[i]),
+                    service_time_s=float(response[i]),
+                    stored_heat_before_j=float(before[i]),
+                    stored_heat_after_j=float(after[i]),
+                    sprint_fullness=float(fullness[i]),
+                    package_temperature_c=float(temp[i]),
+                    melt_fraction=0.0,
+                )
+                for i in range(count)
+            )
+
+    state.sync_back()
+    return EngineResult(
+        served=tuple(served),
+        rejected=(),
+        abandoned=(),
+        governor_stats=None,
+        final_time_s=last_s,
+        served_count=served_count,
+        rejected_count=0,
+        abandoned_count=0,
+    )

@@ -41,28 +41,39 @@ import numpy as np
 
 from repro.core.config import SystemConfig
 from repro.core.thermal_backend import ThermalSpec
+from repro.traffic.arrivals import DEFAULT_CHUNK, ArrivalProcess
 from repro.traffic.device import ServedRequest, SprintDevice
 from repro.traffic.engine import (
     DISPATCH_MODES,
     DISPATCH_POLICIES,
+    EXECUTION_MODES,
     QUEUE_DISCIPLINES,
     DispatchFn,
     ServingEngine,
 )
+from repro.traffic.fluid import FluidFleetModel, FluidResult
 from repro.traffic.governor import GovernorSpec, GovernorStats, SprintGovernor
 from repro.traffic.metrics import TrafficSummary, summarize
-from repro.traffic.request import Request
+from repro.traffic.request import Request, ServiceModel, generate_request_blocks
 from repro.traffic.telemetry import RunTelemetry, TelemetrySpec
 
 __all__ = [
     "DISPATCH_MODES",
     "DISPATCH_POLICIES",
+    "EXECUTION_MODES",
+    "FLEET_MODES",
     "QUEUE_DISCIPLINES",
     "DeviceStats",
     "DispatchFn",
     "FleetResult",
     "FleetSimulator",
 ]
+
+#: Simulation modes a fleet can run: the two discrete-event dispatch
+#: modes (every request simulated) plus the calibrated fluid limit
+#: (:mod:`repro.traffic.fluid` — deterministic mean-field integration,
+#: accuracy per :data:`repro.traffic.fluid.FLUID_ACCURACY_CONTRACT`).
+FLEET_MODES = DISPATCH_MODES + ("fluid",)
 
 
 def resolve_telemetry(
@@ -269,9 +280,19 @@ class FleetSimulator:
         thermal: str | ThermalSpec = "linear",
         keep_samples: bool = True,
         telemetry: TelemetrySpec | bool | None = None,
+        engine: str = "exact",
     ) -> None:
         if n_devices < 1:
             raise ValueError("a fleet needs at least one device")
+        if mode not in FLEET_MODES:
+            raise ValueError(
+                f"unknown fleet mode {mode!r}; available: {FLEET_MODES}"
+            )
+        if engine not in EXECUTION_MODES:
+            raise ValueError(
+                f"unknown engine execution {engine!r}; "
+                f"available: {EXECUTION_MODES}"
+            )
         if isinstance(policy, str):
             if policy not in DISPATCH_POLICIES:
                 raise ValueError(
@@ -313,6 +334,34 @@ class FleetSimulator:
         self.discipline = discipline
         self.queue_bound = queue_bound
         self.keep_samples = keep_samples
+        self.execution = engine
+        self._fluid: FluidFleetModel | None = None
+        if mode == "fluid":
+            # The fluid limit is work-conserving across the whole pool and
+            # ungoverned by construction; knobs it cannot honour are
+            # rejected rather than silently ignored.
+            if not self.governor.is_unlimited:
+                raise ValueError(
+                    "fluid mode is ungoverned; use the unlimited governor"
+                )
+            if queue_bound is not None:
+                raise ValueError("fluid mode has no bounded central queue")
+            if telemetry not in (None, False):
+                raise ValueError(
+                    "fluid mode carries no streaming instruments; its result "
+                    "arrays are already the full trajectory"
+                )
+            self.telemetry_spec = None
+            self.devices: list[SprintDevice] = []
+            self._fluid = FluidFleetModel(
+                config,
+                n_devices=n_devices,
+                sprint_speedup=sprint_speedup,
+                sprint_enabled=sprint_enabled,
+                refuse_partial_sprints=refuse_partial_sprints,
+                thermal=thermal,
+            )
+            return
         self.telemetry_spec = resolve_telemetry(telemetry, keep_samples)
         self.devices = [
             SprintDevice(
@@ -342,34 +391,111 @@ class FleetSimulator:
             telemetry=stream,
             probe=probe,
             trace=trace,
+            execution=self.execution,
         )
 
-    def run(
-        self,
-        requests: Sequence[Request],
-        seed: int | np.random.SeedSequence = 0,
-    ) -> FleetResult:
-        """Serve ``requests`` and collect results.
-
-        ``seed`` only feeds policies that randomise (``random``); the
-        deterministic policies ignore it, and two runs with identical
-        requests and seed produce identical per-request latencies.  An
-        empty request stream is a valid (empty) run, so sweeps over sparse
-        arrival processes never crash.
-        """
-        for device in self.devices:
-            device.reset()
-        self.governor.reset()
-        rng = np.random.default_rng(seed)
+    def _prepare_observers(self):
         spec = self.telemetry_spec
         stream = probe = trace = None
         if spec is not None:
             stream = spec.build_stream()
             probe = spec.build_probe(excess_power_w=self.governor.excess_power_w)
             trace = spec.build_trace()
+        return stream, probe, trace
+
+    def run(
+        self,
+        requests: Sequence[Request],
+        seed: int | np.random.SeedSequence = 0,
+    ) -> FleetResult | FluidResult:
+        """Serve ``requests`` and collect results.
+
+        ``seed`` only feeds policies that randomise (``random``); the
+        deterministic policies ignore it, and two runs with identical
+        requests and seed produce identical per-request latencies.  An
+        empty request stream is a valid (empty) run, so sweeps over sparse
+        arrival processes never crash.  A ``mode="fluid"`` fleet returns a
+        :class:`~repro.traffic.fluid.FluidResult` instead (same
+        ``summary()`` surface, array-backed).
+        """
+        if self._fluid is not None:
+            arrival = np.array([r.arrival_s for r in requests], dtype=float)
+            sustained = np.array([r.sustained_time_s for r in requests], dtype=float)
+            deadlines = np.array([r.deadline_at_s for r in requests], dtype=float)
+            if arrival.size == 0 or np.all(np.isinf(deadlines)):
+                deadlines = None
+            return self._fluid.run(arrival, sustained, deadline_at_s=deadlines)
+        for device in self.devices:
+            device.reset()
+        self.governor.reset()
+        rng = np.random.default_rng(seed)
+        stream, probe, trace = self._prepare_observers()
         outcome = self._make_engine(stream=stream, probe=probe, trace=trace).run(
             requests, rng
         )
+        return self._package(outcome, stream, probe, trace)
+
+    def run_stream(
+        self,
+        arrivals: ArrivalProcess,
+        service: ServiceModel,
+        n_requests: int,
+        *,
+        request_seed: int | np.random.SeedSequence = 0,
+        run_seed: int | np.random.SeedSequence = 0,
+        deadline_s: float | None = None,
+        chunk_size: int = DEFAULT_CHUNK,
+    ) -> FleetResult | FluidResult:
+        """Generate and serve a request stream without materialising it.
+
+        The streaming counterpart of :func:`generate_requests` +
+        :meth:`run`: arrival and service draws are produced as numpy
+        blocks (:func:`repro.traffic.request.generate_request_blocks`,
+        bit-identical to the scalar stream) and fed straight to the
+        engine.  On a fast-path-eligible fleet
+        (:attr:`~repro.traffic.engine.ServingEngine.fast_path_reason` is
+        ``None``) with ``keep_samples=False`` the whole run stays in
+        vectorized block processing with flat memory; otherwise requests
+        are materialised chunk by chunk and served exactly.  A
+        ``mode="fluid"`` fleet integrates the blocks' arrays directly.
+        """
+        if self._fluid is not None:
+            times = []
+            demands = []
+            for block in generate_request_blocks(
+                arrivals,
+                service,
+                n_requests,
+                seed=request_seed,
+                deadline_s=deadline_s,
+                chunk_size=chunk_size,
+            ):
+                times.append(block.arrival_s)
+                demands.append(block.sustained_time_s)
+            arrival = np.concatenate(times)
+            sustained = np.concatenate(demands)
+            deadlines = None
+            if deadline_s is not None:
+                deadlines = arrival + deadline_s
+            return self._fluid.run(arrival, sustained, deadline_at_s=deadlines)
+        for device in self.devices:
+            device.reset()
+        self.governor.reset()
+        rng = np.random.default_rng(run_seed)
+        stream, probe, trace = self._prepare_observers()
+        engine = self._make_engine(stream=stream, probe=probe, trace=trace)
+        blocks = generate_request_blocks(
+            arrivals,
+            service,
+            n_requests,
+            seed=request_seed,
+            deadline_s=deadline_s,
+            chunk_size=chunk_size,
+        )
+        outcome = engine.run_blocks(blocks, rng)
+        return self._package(outcome, stream, probe, trace)
+
+    def _package(self, outcome, stream, probe, trace) -> FleetResult:
         served = sorted(outcome.served, key=lambda s: s.request.index)
         telemetry = None
         if stream is not None or probe is not None or trace is not None:

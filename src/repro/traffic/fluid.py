@@ -1,0 +1,370 @@
+"""Calibrated fluid (mean-field) approximation of a sprinting fleet.
+
+The exact engine (:mod:`repro.traffic.engine`) and its vectorized fast
+path (:mod:`repro.traffic.fastpath`) simulate every request.  At fleet
+scales where even that is too slow — parameter scans over tens of
+millions of requests — the interesting quantities (throughput, mean and
+tail latency under load, sprint fraction, reservoir trajectory) are
+well approximated by a deterministic fluid limit: the fleet becomes a
+work-conserving pool of ``N`` servers draining a continuous backlog,
+and the thermal state becomes one *representative* per-device reservoir
+advanced bin by bin.
+
+:class:`FluidFleetModel` integrates that limit over time bins:
+
+* Arrivals are binned on a uniform grid over the arrival horizon
+  (``max(32, min(4096, n // 4))`` bins, so resolution grows with the
+  stream but the integration loop stays trivially short).
+* Within a bin, the sprint decision is made once for the *average*
+  device: the bin's aggregate sprint-heat demand per device is compared
+  against the representative reservoir's headroom, yielding a fullness
+  ``f`` in [0, 1] exactly mirroring the pacer's full / partial / refuse
+  branches (:meth:`repro.core.pacing.SprintPacer.task_arrival`).
+* Request latencies come from the deterministic fluid queue: a request
+  arriving when the fleet holds ``W`` machine-seconds of backlog waits
+  ``W / N``, with the backlog advanced continuously within the bin
+  (work arrived earlier in the bin minus capacity already spent).
+* The representative reservoir deposits the realised sprint heat and
+  drains over the bin's idle fraction, so any
+  :class:`~repro.core.thermal_backend.ThermalBackend` (linear, RC,
+  PCM) supplies the cooling physics.
+
+The approximation is *calibrated*, not asserted: the accuracy contract
+in :data:`FLUID_ACCURACY_CONTRACT` states the relative error bands the
+fluid mode is tested to hold against the exact engine under CRN-paired
+replications (:func:`repro.traffic.experiments.compare`), on the
+reference regime it is intended for — many devices, light per-device
+load, stochastic arrivals (the capacity-planning question: "how much
+fleet does this demand need?").  Outside that regime the limit's known
+deficiency applies: a deterministic fluid has no stochastic queueing,
+so under moderate-to-heavy load it reproduces throughput and the
+sprint/thermal budget arithmetic but *understates* waiting-time metrics
+— use the exact engine (or its bit-identical batched fast path) when
+tail latency under load is the question.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.config import SystemConfig
+from repro.core.thermal_backend import ThermalSpec
+from repro.traffic.metrics import (
+    TrafficSummary,
+    build_summary,
+    latency_percentiles,
+    slo_attainment,
+    validate_slo,
+)
+
+__all__ = [
+    "FLUID_ACCURACY_CONTRACT",
+    "FluidFleetModel",
+    "FluidResult",
+]
+
+#: Relative error bands the fluid mode is tested to hold against the
+#: exact engine, per :class:`~repro.traffic.metrics.TrafficSummary`
+#: field: ``|fluid - exact| <= band * |exact| + CI half-width`` on
+#: CRN-paired replications of the **reference regime** — Poisson
+#: arrivals, at least 8 devices, at least 50 requests per device, and
+#: per-device sustained utilisation at or below ~0.25 (the
+#: capacity-planning regime fluid models are built for).  Throughput
+#: holds its band at any load against the work-conserving exact system
+#: (central-queue dispatch) — immediate dispatch adds per-device queue
+#: imbalance at overload that the pooled fluid deliberately has none of;
+#: the latency and sprint fields hold theirs only in the reference
+#: regime, because the deterministic limit has no stochastic queueing —
+#: under moderate-to-heavy load it *understates* waiting, by design.
+#: Fields not listed (max latency, per-request thermal trajectories)
+#: carry no accuracy claim: the mean-field reservoir is a bin-averaged
+#: representative device, not a per-deposit spike record.
+FLUID_ACCURACY_CONTRACT: dict[str, float] = {
+    "throughput_rps": 0.05,
+    "mean_latency_s": 0.15,
+    "p50_latency_s": 0.15,
+    "p99_latency_s": 0.25,
+    "sprint_fraction": 0.10,
+    "mean_sprint_fullness": 0.10,
+}
+
+
+@dataclass(frozen=True)
+class FluidResult:
+    """Outcome of one fluid-mode run.
+
+    Duck-compatible with :class:`repro.traffic.fleet.FleetResult` where
+    the replication and sweep layers need it (:meth:`summary`,
+    :attr:`telemetry`, the lifecycle counts), while storing per-request
+    results as flat float arrays instead of object tuples — a fluid run
+    over ten million requests holds a few hundred megabytes of arrays,
+    not tens of gigabytes of ``ServedRequest`` objects.
+    """
+
+    #: Per-request arrays, all aligned in arrival (== request-index) order.
+    arrival_s: np.ndarray
+    latencies_s: np.ndarray
+    queueing_s: np.ndarray
+    sprint_fullness: np.ndarray
+    sprinted: np.ndarray
+    #: Representative-reservoir trajectory sampled at each request's bin.
+    stored_heat_j: np.ndarray
+    temperature_c: np.ndarray
+    n_devices: int = 1
+    policy: str = "fluid"
+    deadline_at_s: np.ndarray | None = None
+    peak_melt_fraction: float = 0.0
+    final_event_s: float = 0.0
+    #: Fluid runs carry no streaming instruments (the arrays above are
+    #: already the full trajectory) and no grant ledger.
+    telemetry: None = None
+    governor_stats: None = None
+    rejected_count: int = 0
+    abandoned_count: int = 0
+    _summary_cache: dict = field(
+        default_factory=dict, init=False, repr=False, compare=False
+    )
+
+    @property
+    def served_count(self) -> int:
+        """Every request is served — the fluid queue never rejects."""
+        return int(self.latencies_s.size)
+
+    @property
+    def request_count(self) -> int:
+        return int(self.latencies_s.size)
+
+    @property
+    def completions_s(self) -> np.ndarray:
+        """Absolute completion instants, in arrival order."""
+        return self.arrival_s + self.latencies_s
+
+    @property
+    def horizon_s(self) -> float:
+        """Instant by which every request's fate had resolved."""
+        if self.latencies_s.size == 0:
+            return self.final_event_s
+        return max(self.final_event_s, float(self.completions_s.max()))
+
+    @property
+    def deadline_miss_count(self) -> int:
+        if self.deadline_at_s is None or self.latencies_s.size == 0:
+            return 0
+        return int(np.count_nonzero(self.completions_s > self.deadline_at_s))
+
+    def summary(self, slo_s: float | None = None) -> TrafficSummary:
+        """Aggregate serving metrics (cached per SLO).
+
+        ``telemetry_source == "fluid"`` marks the provenance: the numbers
+        are the deterministic fluid limit, accurate within
+        :data:`FLUID_ACCURACY_CONTRACT` on the reference regime, not an
+        exact simulation.
+        """
+        validate_slo(slo_s)
+        if slo_s not in self._summary_cache:
+            if self.latencies_s.size == 0:
+                self._summary_cache[slo_s] = build_summary(
+                    source="fluid", slo_s=slo_s, slo_attainment=None
+                )
+            else:
+                latencies = self.latencies_s
+                p50, p95, p99 = latency_percentiles(latencies)
+                makespan = float(self.completions_s.max() - self.arrival_s.min())
+                self._summary_cache[slo_s] = build_summary(
+                    source="fluid",
+                    request_count=int(latencies.size),
+                    makespan_s=makespan,
+                    throughput_rps=(
+                        latencies.size / makespan if makespan > 0 else 0.0
+                    ),
+                    mean_latency_s=float(latencies.mean()),
+                    p50_latency_s=p50,
+                    p95_latency_s=p95,
+                    p99_latency_s=p99,
+                    max_latency_s=float(latencies.max()),
+                    mean_queueing_s=float(self.queueing_s.mean()),
+                    sprint_fraction=float(self.sprinted.mean()),
+                    mean_sprint_fullness=float(self.sprint_fullness.mean()),
+                    peak_stored_heat_j=float(self.stored_heat_j.max()),
+                    mean_stored_heat_j=float(self.stored_heat_j.mean()),
+                    peak_temperature_c=float(self.temperature_c.max()),
+                    peak_melt_fraction=self.peak_melt_fraction,
+                    slo_s=slo_s,
+                    slo_attainment=(
+                        None if slo_s is None else slo_attainment(latencies, slo_s)
+                    ),
+                    deadline_miss_count=self.deadline_miss_count,
+                )
+        return self._summary_cache[slo_s]
+
+
+class FluidFleetModel:
+    """Deterministic fluid integrator for a sprint-capable fleet.
+
+    Parameters mirror :class:`repro.traffic.fleet.FleetSimulator` where
+    they are meaningful in the fluid limit; dispatch policy, queue
+    discipline, and power governance are not (the fluid queue is
+    work-conserving across the whole pool and ungoverned by
+    construction), which :class:`~repro.traffic.fleet.FleetSimulator`
+    enforces before delegating here.
+    """
+
+    #: Bin-count bounds of the uniform integration grid.
+    MIN_BINS = 32
+    MAX_BINS = 4096
+
+    def __init__(
+        self,
+        config: SystemConfig,
+        n_devices: int,
+        sprint_speedup: float = 10.0,
+        sprint_enabled: bool = True,
+        refuse_partial_sprints: bool = False,
+        thermal: str | ThermalSpec = "linear",
+    ) -> None:
+        if n_devices < 1:
+            raise ValueError("a fleet needs at least one device")
+        if sprint_speedup < 1.0:
+            raise ValueError("sprint speedup must be at least 1x")
+        if isinstance(thermal, str):
+            thermal = ThermalSpec(backend=thermal)
+        if not isinstance(thermal, ThermalSpec):
+            raise TypeError(
+                "thermal must be a backend name or a ThermalSpec, "
+                f"not {type(thermal).__name__}"
+            )
+        self.config = config
+        self.n_devices = n_devices
+        self.sprint_speedup = sprint_speedup
+        self.sprint_enabled = sprint_enabled
+        self.refuse_partial_sprints = refuse_partial_sprints
+        self.thermal_spec = thermal
+        thermal.build(config)  # validate the spec eagerly
+
+    @property
+    def excess_power_w(self) -> float:
+        """Sprint heat rate above what the package dissipates (pacer's)."""
+        return self.config.sprint_power_w - self.config.sustainable_power_w
+
+    def _bin_count(self, n: int, span_s: float) -> int:
+        if span_s <= 0.0:
+            return 1
+        return max(self.MIN_BINS, min(self.MAX_BINS, n // 4))
+
+    def run(
+        self,
+        arrival_s: np.ndarray,
+        sustained_time_s: np.ndarray,
+        deadline_at_s: np.ndarray | None = None,
+    ) -> FluidResult:
+        """Integrate the fluid limit over one request stream.
+
+        ``arrival_s`` must be sorted ascending (the engine's contract);
+        ``sustained_time_s`` aligns with it.  The run is deterministic —
+        no RNG is consumed — so replicated experiments over fluid arms
+        measure only the stream's randomness.
+        """
+        arrival = np.ascontiguousarray(arrival_s, dtype=float)
+        sustained = np.ascontiguousarray(sustained_time_s, dtype=float)
+        if arrival.ndim != 1 or arrival.shape != sustained.shape:
+            raise ValueError("arrival and sustained arrays must be 1-D and aligned")
+        if arrival.size and np.any(np.diff(arrival) < 0):
+            raise ValueError("arrivals must be sorted by arrival time")
+        if np.any(sustained < 0):
+            raise ValueError("sustained service times must be non-negative")
+        backend = self.thermal_spec.build(config=self.config)
+        n = arrival.size
+        if n == 0:
+            empty = np.empty(0)
+            return FluidResult(
+                arrival_s=empty,
+                latencies_s=empty,
+                queueing_s=empty,
+                sprint_fullness=empty,
+                sprinted=np.empty(0, dtype=bool),
+                stored_heat_j=empty,
+                temperature_c=empty,
+                n_devices=self.n_devices,
+            )
+
+        t0, t_end = float(arrival[0]), float(arrival[-1])
+        n_bins = self._bin_count(n, t_end - t0)
+        edges = np.linspace(t0, t_end, n_bins + 1)
+        # Arrivals are sorted, so each bin owns a contiguous slice; the
+        # last bin is closed on the right (t_end lands inside it).
+        starts = np.searchsorted(arrival, edges[:-1], side="left")
+        ends = np.append(starts[1:], n)
+
+        queueing = np.zeros(n)
+        latency = np.zeros(n)
+        fullness = np.zeros(n)
+        sprinted = np.zeros(n, dtype=bool)
+        stored = np.zeros(n)
+        temperature = np.zeros(n)
+
+        n_dev = float(self.n_devices)
+        speedup = self.sprint_speedup
+        excess_w = self.excess_power_w
+        backlog = 0.0  # machine-seconds of unfinished work across the fleet
+        peak_melt = backend.melt_fraction
+        for i in range(n_bins):
+            lo, hi = int(starts[i]), int(ends[i])
+            dt = float(edges[i + 1] - edges[i])
+            backlog_before = backlog
+            exec_sum = 0.0
+            if hi > lo:
+                s = sustained[lo:hi]
+                s_sum = float(s.sum())
+                # One sprint decision for the average device of this bin,
+                # mirroring the pacer's full / partial / refuse branches.
+                demand_pd = excess_w * (s_sum / speedup) / n_dev
+                headroom = backend.headroom_j
+                if not self.sprint_enabled or demand_pd <= 0.0:
+                    f = 0.0
+                elif demand_pd <= headroom:
+                    f = 1.0
+                elif self.refuse_partial_sprints or headroom <= 0.0:
+                    f = 0.0
+                else:
+                    f = headroom / demand_pd
+                exec_times = s * (f / speedup + (1.0 - f))
+                exec_sum = float(exec_times.sum())
+                # Deterministic fluid queue: backlog seen by request j is
+                # what stood at the bin edge, plus work arrived earlier in
+                # the bin, minus the capacity the fleet spent meanwhile.
+                arrived_before = np.concatenate(((0.0,), np.cumsum(exec_times)[:-1]))
+                elapsed = arrival[lo:hi] - edges[i]
+                seen = np.maximum(
+                    0.0, backlog_before + arrived_before - n_dev * elapsed
+                )
+                queueing[lo:hi] = seen / n_dev
+                latency[lo:hi] = queueing[lo:hi] + exec_times
+                if f > 0.0:
+                    active = s > 0.0
+                    fullness[lo:hi] = np.where(active, f, 0.0)
+                    sprinted[lo:hi] = active
+                    backend.deposit(f * demand_pd)
+            stored[lo:hi] = backend.stored_heat_j
+            temperature[lo:hi] = backend.temperature_c
+            if backend.melt_fraction > peak_melt:
+                peak_melt = backend.melt_fraction
+            backlog = max(0.0, backlog_before + exec_sum - n_dev * dt)
+            idle_per_device = max(0.0, dt - (backlog_before + exec_sum) / n_dev)
+            if idle_per_device > 0.0:
+                backend.drain(idle_per_device)
+
+        return FluidResult(
+            arrival_s=arrival,
+            latencies_s=latency,
+            queueing_s=queueing,
+            sprint_fullness=fullness,
+            sprinted=sprinted,
+            stored_heat_j=stored,
+            temperature_c=temperature,
+            n_devices=self.n_devices,
+            deadline_at_s=deadline_at_s,
+            peak_melt_fraction=peak_melt,
+            final_event_s=t_end,
+        )

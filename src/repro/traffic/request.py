@@ -26,7 +26,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.traffic.arrivals import ArrivalProcess
+from repro.traffic.arrivals import DEFAULT_CHUNK, ArrivalProcess
 
 
 @dataclass(frozen=True)
@@ -68,6 +68,22 @@ class ServiceModel(ABC):
     def sample(self, n: int, rng: np.random.Generator) -> list[tuple[float, str, str]]:
         """Return ``n`` tuples of (sustained seconds, kernel, input label)."""
 
+    def sample_block(
+        self, n: int, rng: np.random.Generator
+    ) -> tuple[np.ndarray, tuple[str, ...] | str, tuple[str, ...] | str]:
+        """Array form of :meth:`sample`: (demands, kernels, input labels).
+
+        Demands come back as a float array; kernels and labels are either a
+        single string (when uniform across the block) or one string per
+        request.  Successive calls on one generator concatenate to the same
+        draw stream as a single whole-``n`` call — the property tests lock
+        this per model — so chunked request generation stays bit-identical
+        to :func:`generate_requests`.
+        """
+        draws = self.sample(n, rng)
+        demands = np.array([d[0] for d in draws], dtype=float)
+        return demands, tuple(d[1] for d in draws), tuple(d[2] for d in draws)
+
 
 @dataclass(frozen=True)
 class FixedService(ServiceModel):
@@ -83,6 +99,11 @@ class FixedService(ServiceModel):
 
     def sample(self, n: int, rng: np.random.Generator) -> list[tuple[float, str, str]]:
         return [(self.sustained_time_s, self.kernel, self.input_label)] * n
+
+    def sample_block(
+        self, n: int, rng: np.random.Generator
+    ) -> tuple[np.ndarray, str, str]:
+        return np.full(n, self.sustained_time_s), self.kernel, self.input_label
 
 
 @dataclass(frozen=True)
@@ -115,6 +136,15 @@ class GammaService(ServiceModel):
             draws = np.maximum(draws, np.finfo(float).tiny)
         return [(float(d), self.kernel, "") for d in draws]
 
+    def sample_block(
+        self, n: int, rng: np.random.Generator
+    ) -> tuple[np.ndarray, str, str]:
+        if self.cv == 0:
+            return np.full(n, self.mean_s), self.kernel, ""
+        shape = 1.0 / (self.cv * self.cv)
+        draws = rng.gamma(shape, self.mean_s / shape, size=n)
+        return np.maximum(draws, np.finfo(float).tiny), self.kernel, ""
+
 
 @dataclass(frozen=True)
 class LognormalService(ServiceModel):
@@ -133,6 +163,11 @@ class LognormalService(ServiceModel):
     def sample(self, n: int, rng: np.random.Generator) -> list[tuple[float, str, str]]:
         draws = self.median_s * np.exp(self.sigma * rng.standard_normal(n))
         return [(float(d), self.kernel, "") for d in draws]
+
+    def sample_block(
+        self, n: int, rng: np.random.Generator
+    ) -> tuple[np.ndarray, str, str]:
+        return self.median_s * np.exp(self.sigma * rng.standard_normal(n)), self.kernel, ""
 
 
 @dataclass
@@ -189,6 +224,100 @@ class SuiteService(ServiceModel):
             probabilities = [w / total for w in self.weights]
         picks = rng.choice(len(entries), size=n, p=probabilities)
         return [entries[int(i)] for i in picks]
+
+    def sample_block(
+        self, n: int, rng: np.random.Generator
+    ) -> tuple[np.ndarray, tuple[str, ...], tuple[str, ...]]:
+        chosen = self.sample(n, rng)
+        demands = np.array([c[0] for c in chosen], dtype=float)
+        return demands, tuple(c[1] for c in chosen), tuple(c[2] for c in chosen)
+
+
+@dataclass(frozen=True)
+class RequestBlock:
+    """A contiguous chunk of the request stream in columnar (array) form.
+
+    The batched engine path consumes these directly; :meth:`to_requests`
+    materialises the equivalent :class:`Request` objects, bit-identical to
+    what :func:`generate_requests` builds for the same indices.  Kernels and
+    input labels are a single string when uniform across the block, or one
+    entry per request otherwise.
+    """
+
+    start_index: int
+    arrival_s: np.ndarray
+    sustained_time_s: np.ndarray
+    kernels: tuple[str, ...] | str = ""
+    input_labels: tuple[str, ...] | str = ""
+    deadline_s: float | None = None
+
+    def __len__(self) -> int:
+        return self.arrival_s.size
+
+    def kernel_at(self, i: int) -> str:
+        """Kernel name of request ``i`` within the block."""
+        return self.kernels if isinstance(self.kernels, str) else self.kernels[i]
+
+    def label_at(self, i: int) -> str:
+        """Input label of request ``i`` within the block."""
+        return (
+            self.input_labels
+            if isinstance(self.input_labels, str)
+            else self.input_labels[i]
+        )
+
+    def to_requests(self) -> list[Request]:
+        """Materialise the block as :class:`Request` objects."""
+        times = self.arrival_s
+        demands = self.sustained_time_s
+        return [
+            Request(
+                index=self.start_index + i,
+                arrival_s=float(times[i]),
+                sustained_time_s=float(demands[i]),
+                kernel=self.kernel_at(i),
+                input_label=self.label_at(i),
+                deadline_s=self.deadline_s,
+            )
+            for i in range(times.size)
+        ]
+
+
+def generate_request_blocks(
+    arrivals: ArrivalProcess,
+    service: ServiceModel,
+    n: int,
+    seed: int | np.random.SeedSequence = 0,
+    deadline_s: float | None = None,
+    chunk_size: int = DEFAULT_CHUNK,
+):
+    """Stream the :func:`generate_requests` stream as :class:`RequestBlock`s.
+
+    Same seed-splitting discipline as :func:`generate_requests` — one child
+    stream for arrivals, one for service demands — and the arrival/service
+    block draws are locked bit-identical to their scalar forms, so
+    concatenating the yielded blocks reproduces ``generate_requests(...)``
+    exactly while holding only ``chunk_size`` requests in memory at a time.
+    """
+    if n < 1:
+        raise ValueError("at least one request is required")
+    root = (
+        seed
+        if isinstance(seed, np.random.SeedSequence)
+        else np.random.SeedSequence(seed)
+    )
+    arrival_seq, service_seq = root.spawn(2)
+    arrival_rng = np.random.default_rng(arrival_seq)
+    service_rng = np.random.default_rng(service_seq)
+
+    def blocks():
+        start = 0
+        for times in arrivals.sample_blocks(n, arrival_rng, chunk_size):
+            demands, kernels, labels = service.sample_block(times.size, service_rng)
+            yield RequestBlock(start, times, demands, kernels, labels, deadline_s)
+            start += times.size
+
+    return blocks()
 
 
 def generate_requests(

@@ -54,7 +54,7 @@ from repro.traffic.arrivals import (
     PoissonArrivals,
 )
 from repro.traffic.arrivals import seed_stream
-from repro.traffic.engine import QUEUE_DISCIPLINES
+from repro.traffic.engine import EXECUTION_MODES, QUEUE_DISCIPLINES
 from repro.traffic.fleet import DISPATCH_POLICIES, FleetSimulator, resolve_telemetry
 from repro.traffic.governor import GovernorSpec
 from repro.traffic.metrics import MetricEstimate, TrafficSummary, mean_ci
@@ -64,9 +64,12 @@ from repro.traffic.telemetry import RunTelemetry, TelemetrySpec, TrafficTelemetr
 #: Arrival families the sweep can instantiate from a cell's mean rate.
 ARRIVAL_KINDS = ("poisson", "bursty", "diurnal", "deterministic")
 
-#: Values of the discipline axis: immediate dispatch, or a central-queue
-#: discipline from :data:`repro.traffic.engine.QUEUE_DISCIPLINES`.
-SWEEP_DISCIPLINES = ("immediate",) + QUEUE_DISCIPLINES
+#: Values of the discipline axis: immediate dispatch, a central-queue
+#: discipline from :data:`repro.traffic.engine.QUEUE_DISCIPLINES`, or the
+#: calibrated fluid limit (``"fluid"`` — deterministic mean-field cells,
+#: accuracy per :data:`repro.traffic.fluid.FLUID_ACCURACY_CONTRACT`; the
+#: policy, bound, and governor axes do not apply and collapse).
+SWEEP_DISCIPLINES = ("immediate",) + QUEUE_DISCIPLINES + ("fluid",)
 
 #: Replication seeding modes: ``"crn"`` (common random numbers — every
 #: cell at the same arrival rate replays the same request stream per
@@ -158,7 +161,12 @@ class SweepSpec:
     #: Streaming instruments each cell runs (see
     #: :func:`repro.traffic.fleet.resolve_telemetry`); cell telemetry lands
     #: on :class:`CellResult` and merges across replicates and workers.
+    #: Fluid cells run instrument-free regardless.
     telemetry: TelemetrySpec | bool | None = None
+    #: Engine execution strategy for the discrete-event cells: ``"exact"``
+    #: or ``"batched"`` (vectorized fast path where eligible,
+    #: bit-identical results either way).  Fluid cells ignore it.
+    engine: str = "exact"
 
     def __post_init__(self) -> None:
         if (
@@ -235,6 +243,11 @@ class SweepSpec:
         if self.pairing not in PAIRING_MODES:
             raise ValueError(
                 f"unknown pairing mode {self.pairing!r}; available: {PAIRING_MODES}"
+            )
+        if self.engine not in EXECUTION_MODES:
+            raise ValueError(
+                f"unknown engine execution {self.engine!r}; "
+                f"available: {EXECUTION_MODES}"
             )
         resolve_telemetry(self.telemetry, self.keep_samples)  # fail fast
 
@@ -378,10 +391,12 @@ def expand_cells(spec: SweepSpec) -> list[SweepCell]:
     no scenario is ever simulated twice: central-queue cells ignore the
     policy axis (only the first policy is kept), immediate cells ignore the
     queue bound (only the first bound is kept), duplicate governor and
-    thermal values collapse to their first occurrence, and a
-    sprint-disabled sweep keeps only the first governor and the first
-    thermal backend (a fleet that never sprints deposits no heat, so no
-    power governor and no reservoir physics can affect it).
+    thermal values collapse to their first occurrence, a sprint-disabled
+    sweep keeps only the first governor and the first thermal backend (a
+    fleet that never sprints deposits no heat, so no power governor and no
+    reservoir physics can affect it), and fluid cells — where the policy,
+    bound, and governor axes have no meaning — keep one cell per (rate,
+    fleet, thermal) with the unlimited governor.
     """
     governors = list(dict.fromkeys(spec.governors))  # ordered unique
     thermals = list(dict.fromkeys(spec.thermals))
@@ -403,6 +418,15 @@ def expand_cells(spec: SweepSpec) -> list[SweepCell]:
             if bound != spec.queue_bounds[0]:
                 continue
             bound = None
+        elif discipline == "fluid":
+            if policy != spec.policies[0]:
+                continue
+            if bound != spec.queue_bounds[0]:
+                continue
+            if governor != governors[0]:
+                continue
+            bound = None
+            governor = GovernorSpec()
         elif policy != spec.policies[0]:
             continue
         cells.append(
@@ -494,7 +518,14 @@ def run_cell(
         seed=request_seed,
         deadline_s=spec.deadline_s,
     )
-    central = cell.discipline != "immediate"
+    fluid = cell.discipline == "fluid"
+    central = not fluid and cell.discipline != "immediate"
+    if fluid:
+        mode = "fluid"
+    elif central:
+        mode = "central_queue"
+    else:
+        mode = "immediate"
     fleet = FleetSimulator(
         config,
         n_devices=cell.n_devices,
@@ -502,13 +533,14 @@ def run_cell(
         sprint_speedup=spec.sprint_speedup,
         sprint_enabled=spec.sprint_enabled,
         refuse_partial_sprints=spec.refuse_partial_sprints,
-        mode="central_queue" if central else "immediate",
+        mode=mode,
         discipline=cell.discipline if central else "fifo",
         queue_bound=cell.queue_bound if central else None,
         governor=cell.governor,
         thermal=cell.thermal,
         keep_samples=spec.keep_samples,
-        telemetry=spec.telemetry,
+        telemetry=False if fluid else spec.telemetry,
+        engine=spec.engine,
     )
     result = fleet.run(requests, seed=run_seed)
     telemetries = (result.telemetry,) if result.telemetry is not None else ()
@@ -591,6 +623,8 @@ class SweepResult:
             cell, s = result.cell, result.summary
             if cell.discipline == "immediate":
                 dispatch = cell.policy
+            elif cell.discipline == "fluid":
+                dispatch = "fluid"
             else:
                 bound = "∞" if cell.queue_bound is None else str(cell.queue_bound)
                 dispatch = f"{cell.discipline}[{bound}]"

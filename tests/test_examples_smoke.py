@@ -34,6 +34,7 @@ COVERED = {
     "replication_study": "error bars",
     "telemetry_study": "pooled p99",
     "reproduce_paper": "EXPERIMENTS",
+    "fast_path_study": "vector core",
 }
 
 
@@ -203,6 +204,22 @@ def test_thermal_fidelity_study(capsys, monkeypatch):
     assert "cooldown fidelity" in out
     assert "linear err" in out
     assert "thermal grid" in out
+
+
+def test_fast_path_study(capsys, monkeypatch):
+    module = load_example("fast_path_study")
+    monkeypatch.setattr(module, "CURVE_DEVICES", 32)
+    monkeypatch.setattr(module, "CURVE_SIZES", (2_000,))
+    monkeypatch.setattr(module, "IDENTITY_REQUESTS", 400)
+    monkeypatch.setattr(module, "CONTRACT_REQUESTS", 300)
+    monkeypatch.setattr(module, "REPLICATIONS", 5)
+    module.main()
+    out = capsys.readouterr().out
+    assert COVERED["fast_path_study"] in out
+    assert "bit-identical" in out
+    assert "exact loop: policy 'least_loaded'" in out
+    assert "within contract" in out
+    assert "understated by design" in out
 
 
 def test_reproduce_paper(

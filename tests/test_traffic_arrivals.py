@@ -16,6 +16,7 @@ from repro.traffic.request import (
     LognormalService,
     Request,
     SuiteService,
+    generate_request_blocks,
     generate_requests,
 )
 
@@ -193,3 +194,96 @@ class TestGenerateRequests:
             Request(index=0, arrival_s=0.0, sustained_time_s=0.0)
         with pytest.raises(ValueError):
             generate_requests(PoissonArrivals(1.0), FixedService(1.0), 0)
+
+
+ALL_SERVICES = [
+    FixedService(2.0),
+    GammaService(3.0, cv=0.0),
+    GammaService(3.0, cv=1.5),
+    LognormalService(2.0, sigma=0.8),
+    SuiteService(kernels=("sobel", "kmeans")),
+]
+
+CHUNK_SIZES = [1, 7, 64, 1000]
+
+
+class TestBlockDeterminism:
+    """Chunked block pre-generation is bit-identical to the scalar stream.
+
+    The batched engine fast path consumes pre-generated numpy blocks; these
+    properties are what make that safe — any chunk size must reproduce the
+    whole-``n`` draw exactly, so streaming a workload never changes it.
+    """
+
+    @pytest.mark.parametrize("chunk", CHUNK_SIZES)
+    @pytest.mark.parametrize("process", ALL_PROCESSES, ids=lambda p: type(p).__name__)
+    def test_arrival_blocks_match_scalar_sample(self, process, chunk):
+        n = 500
+        whole = process.sample(n, np.random.default_rng(11))
+        blocks = list(process.sample_blocks(n, np.random.default_rng(11), chunk))
+        assert all(b.size <= chunk for b in blocks)
+        assert np.array_equal(np.concatenate(blocks), whole)
+
+    @pytest.mark.parametrize("process", ALL_PROCESSES, ids=lambda p: type(p).__name__)
+    def test_arrival_blocks_cover_exactly_n(self, process):
+        blocks = list(process.sample_blocks(333, np.random.default_rng(2), 100))
+        assert sum(b.size for b in blocks) == 333
+
+    @pytest.mark.parametrize("chunk", CHUNK_SIZES)
+    @pytest.mark.parametrize("service", ALL_SERVICES, ids=lambda s: type(s).__name__)
+    def test_service_block_chunks_match_whole_draw(self, service, chunk):
+        n = 500
+        whole, _, _ = service.sample_block(n, np.random.default_rng(7))
+        rng = np.random.default_rng(7)
+        pieces = [
+            service.sample_block(min(chunk, n - start), rng)[0]
+            for start in range(0, n, chunk)
+        ]
+        assert np.array_equal(np.concatenate(pieces), whole)
+
+    @pytest.mark.parametrize("service", ALL_SERVICES, ids=lambda s: type(s).__name__)
+    def test_service_block_matches_scalar_sample(self, service):
+        n = 200
+        scalar = service.sample(n, np.random.default_rng(3))
+        demands, kernels, labels = service.sample_block(n, np.random.default_rng(3))
+        assert np.array_equal(demands, np.array([d[0] for d in scalar]))
+        for i in range(n):
+            kernel = kernels if isinstance(kernels, str) else kernels[i]
+            label = labels if isinstance(labels, str) else labels[i]
+            assert kernel == scalar[i][1]
+            assert label == scalar[i][2]
+
+    @pytest.mark.parametrize("chunk", CHUNK_SIZES)
+    def test_request_blocks_match_generate_requests(self, chunk):
+        scalar = generate_requests(
+            PoissonArrivals(0.8),
+            GammaService(2.0, cv=1.0),
+            n=400,
+            seed=21,
+            deadline_s=9.0,
+        )
+        blocks = generate_request_blocks(
+            PoissonArrivals(0.8),
+            GammaService(2.0, cv=1.0),
+            n=400,
+            seed=21,
+            deadline_s=9.0,
+            chunk_size=chunk,
+        )
+        streamed = [r for block in blocks for r in block.to_requests()]
+        assert streamed == scalar
+
+    def test_request_blocks_preserve_suite_metadata(self):
+        scalar = generate_requests(
+            DeterministicArrivals(1.0), SuiteService(), n=60, seed=5
+        )
+        blocks = generate_request_blocks(
+            DeterministicArrivals(1.0), SuiteService(), n=60, seed=5, chunk_size=17
+        )
+        streamed = [r for block in blocks for r in block.to_requests()]
+        assert streamed == scalar
+        assert {r.kernel for r in streamed} == {r.kernel for r in scalar}
+
+    def test_request_blocks_validation(self):
+        with pytest.raises(ValueError):
+            list(generate_request_blocks(PoissonArrivals(1.0), FixedService(1.0), 0))

@@ -343,3 +343,62 @@ class TestEngineValidation:
         assert outcome.served == ()
         assert outcome.rejected == ()
         assert outcome.abandoned == ()
+
+
+class TestLeastLoadedIndexCompaction:
+    """Lazy deletion must not grow the heaps without bound (satellite of
+    the vectorized-engine PR): every re-key leaves one stale tuple behind,
+    so an uncompacted index holding 1e5 updates would carry 1e5 entries."""
+
+    def test_heap_size_bounded_over_many_updates(self, config):
+        from repro.traffic.engine import LeastLoadedIndex
+
+        n_devices = 8
+        devices = [SprintDevice(config, device_id=i) for i in range(n_devices)]
+        index = LeastLoadedIndex(devices)
+        bound = max(2 * n_devices, LeastLoadedIndex._COMPACT_MIN) + 1
+        t = 0.0
+        for step in range(100_000):
+            t += 0.01
+            pos = index.pick(t)
+            devices[pos].serve(
+                Request(index=step, arrival_s=t, sustained_time_s=0.05)
+            )
+            index.update(pos)
+            assert index.entry_count <= bound, (
+                f"index grew to {index.entry_count} entries after "
+                f"{step + 1} updates (bound {bound})"
+            )
+        # The bound is the point: without compaction this would be ~1e5.
+        assert index.entry_count <= bound
+
+    def test_picks_identical_with_and_without_compaction(self, config):
+        """Compaction must be invisible to dispatch decisions."""
+        from repro.traffic.engine import LeastLoadedIndex
+
+        requests = stochastic_requests(21, n=400, rate=0.8)
+
+        def picks(compact_min):
+            devices = [SprintDevice(config, device_id=i) for i in range(4)]
+            index = LeastLoadedIndex(devices)
+            index._COMPACT_MIN = compact_min
+            chosen = []
+            for request in requests:
+                pos = index.pick(request.arrival_s)
+                devices[pos].serve(request)
+                index.update(pos)
+                chosen.append(pos)
+            return chosen
+
+        # A huge floor disables compaction entirely; the default compacts
+        # many times over 400 updates on a 4-device fleet.
+        assert picks(64) == picks(10**9)
+
+    def test_indexed_engine_still_matches_scan_after_long_run(self, config):
+        """End-to-end: the compacting index vs the O(n) scan, bit-identical."""
+        requests = stochastic_requests(33, n=1_500, rate=1.2)
+        indexed = FleetSimulator(config, 4, policy="least_loaded").run(requests)
+        scan = FleetSimulator(
+            config, 4, policy=DISPATCH_POLICIES["least_loaded"]
+        ).run(requests)
+        assert indexed.served == scan.served

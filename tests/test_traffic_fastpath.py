@@ -1,0 +1,212 @@
+"""Equivalence suite for the engine's vectorized (batched) execution mode.
+
+The fast path (:mod:`repro.traffic.fastpath`) must be *bit-identical* to the
+exact heap engine wherever it engages, and must fall back honestly — with a
+stated reason — wherever it cannot.  These tests lock both properties across
+the scenario matrix of policies × modes × governors × thermal backends, plus
+the streaming entry points (``run_blocks`` / ``run_stream``) and the
+flat-memory ``keep_samples=False`` mode.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.config import SystemConfig
+from repro.traffic.arrivals import PoissonArrivals
+from repro.traffic.fleet import FleetSimulator
+from repro.traffic.governor import GovernorSpec
+from repro.traffic.request import (
+    GammaService,
+    RequestBlock,
+    generate_request_blocks,
+    generate_requests,
+)
+
+POLICIES = ("round_robin", "random", "least_loaded", "thermal_aware")
+MODES = ("immediate", "central_queue")
+GOVERNORS = (
+    GovernorSpec(),
+    GovernorSpec(policy="greedy", max_concurrent_sprints=2),
+)
+THERMALS = ("linear", "rc", "pcm")
+
+#: The envelope fastpath.unsupported_reason promises to vectorize.
+BATCHABLE = ("round_robin", "random")
+
+
+@pytest.fixture(scope="module")
+def config():
+    return SystemConfig.paper_default()
+
+
+@pytest.fixture(scope="module")
+def requests():
+    # Poisson at moderate load with bursty gamma demands: exercises idle
+    # drains, full sprints, partial sprints, and queue build-up.
+    return generate_requests(
+        PoissonArrivals(0.6), GammaService(2.0, cv=1.0), n=250, seed=13
+    )
+
+
+def build_fleet(config, engine, *, policy="round_robin", mode="immediate",
+                governor="unlimited", thermal="linear", **kw):
+    return FleetSimulator(
+        config,
+        n_devices=4,
+        policy=policy,
+        mode=mode,
+        governor=governor,
+        thermal=thermal,
+        engine=engine,
+        **kw,
+    )
+
+
+def assert_identical(exact, fast):
+    """Both runs produced the same result, bit for bit."""
+    assert exact.served == fast.served
+    assert exact.device_stats == fast.device_stats
+    assert exact.rejected == fast.rejected
+    assert exact.abandoned == fast.abandoned
+    assert exact.served_count == fast.served_count
+    assert exact.final_event_s == fast.final_event_s
+    assert np.array_equal(exact.latencies_s, fast.latencies_s)
+
+
+class TestScenarioMatrix:
+    """batched == exact on every cell of the golden scenario matrix."""
+
+    @pytest.mark.parametrize("thermal", THERMALS)
+    @pytest.mark.parametrize("governor", GOVERNORS, ids=lambda g: g.policy)
+    @pytest.mark.parametrize("mode", MODES)
+    @pytest.mark.parametrize("policy", POLICIES)
+    def test_batched_matches_exact(
+        self, config, requests, policy, mode, governor, thermal
+    ):
+        exact = build_fleet(
+            config, "exact", policy=policy, mode=mode,
+            governor=governor, thermal=thermal,
+        ).run(requests, seed=7)
+        fast = build_fleet(
+            config, "batched", policy=policy, mode=mode,
+            governor=governor, thermal=thermal,
+        ).run(requests, seed=7)
+        assert_identical(exact, fast)
+
+    @pytest.mark.parametrize("policy", POLICIES)
+    def test_engagement_matches_envelope(self, config, policy):
+        """The vector core engages exactly where the envelope says it can."""
+        engine = build_fleet(config, "batched", policy=policy)._make_engine()
+        if policy in BATCHABLE:
+            assert engine.fast_path_reason is None
+        else:
+            assert "state" in engine.fast_path_reason
+
+
+class TestFallbackReasons:
+    """Every unsupported knob names why it forces the exact loop."""
+
+    def test_exact_mode_never_engages(self, config, requests):
+        fleet = build_fleet(config, "exact")
+        engine = fleet._make_engine()
+        engine.run(requests, np.random.default_rng(0))
+        assert not engine.last_run_fast_path
+
+    def test_eligible_batched_engages(self, config, requests):
+        fleet = build_fleet(config, "batched")
+        engine = fleet._make_engine()
+        assert engine.fast_path_reason is None
+        engine.run(requests, np.random.default_rng(0))
+        assert engine.last_run_fast_path
+
+    def test_central_queue_reason(self, config):
+        engine = build_fleet(config, "batched", mode="central_queue")._make_engine()
+        assert "queue" in engine.fast_path_reason
+
+    def test_governed_reason(self, config):
+        engine = build_fleet(
+            config, "batched",
+            governor=GovernorSpec(policy="greedy", max_concurrent_sprints=1),
+        )._make_engine()
+        assert "grant" in engine.fast_path_reason
+
+    def test_physics_thermal_reason(self, config):
+        engine = build_fleet(config, "batched", thermal="rc")._make_engine()
+        assert "thermal backend" in engine.fast_path_reason
+
+    def test_observer_reason(self, config):
+        fleet = build_fleet(config, "batched", telemetry=True)
+        stream, probe, trace = fleet._prepare_observers()
+        engine = fleet._make_engine(stream=stream, probe=probe, trace=trace)
+        assert "observers" in engine.fast_path_reason
+
+    def test_custom_dispatch_callable_reason(self, config):
+        from repro.traffic.engine import DISPATCH_POLICIES
+
+        engine = build_fleet(
+            config, "batched", policy=DISPATCH_POLICIES["round_robin"]
+        )._make_engine()
+        assert engine.fast_path_reason is not None
+
+    def test_ineligible_batched_run_falls_back(self, config, requests):
+        fleet = build_fleet(config, "batched", policy="least_loaded")
+        engine = fleet._make_engine()
+        engine.run(requests, np.random.default_rng(0))
+        assert not engine.last_run_fast_path
+
+
+class TestStreamingEntryPoints:
+    ARRIVALS = PoissonArrivals(0.6)
+    SERVICE = GammaService(2.0, cv=1.0)
+
+    @pytest.mark.parametrize("chunk", [32, 1000])
+    def test_run_blocks_matches_run(self, config, chunk):
+        """Chunked block execution == materialise-then-run, same seeds."""
+        scalar = generate_requests(self.ARRIVALS, self.SERVICE, n=300, seed=17)
+        fleet = build_fleet(config, "batched")
+        via_run = fleet.run(scalar, seed=5)
+        via_stream = fleet.run_stream(
+            self.ARRIVALS, self.SERVICE, 300,
+            request_seed=17, run_seed=5, chunk_size=chunk,
+        )
+        assert_identical(via_run, via_stream)
+
+    def test_run_stream_exact_engine_matches_batched(self, config):
+        exact = build_fleet(config, "exact").run_stream(
+            self.ARRIVALS, self.SERVICE, 300, request_seed=17, run_seed=5
+        )
+        fast = build_fleet(config, "batched").run_stream(
+            self.ARRIVALS, self.SERVICE, 300, request_seed=17, run_seed=5
+        )
+        assert_identical(exact, fast)
+
+    def test_keep_samples_false_keeps_counts_and_device_state(self, config):
+        kept = build_fleet(config, "batched", keep_samples=True).run_stream(
+            self.ARRIVALS, self.SERVICE, 300, request_seed=17, run_seed=5
+        )
+        flat = build_fleet(
+            config, "batched", keep_samples=False, telemetry=False
+        ).run_stream(self.ARRIVALS, self.SERVICE, 300, request_seed=17, run_seed=5)
+        assert flat.served == ()
+        assert flat.served_count == kept.served_count == 300
+        assert flat.device_stats == kept.device_stats
+        assert flat.final_event_s == kept.final_event_s
+
+    def test_random_policy_consumes_identical_rng_stream(self, config):
+        """One block draw of assignments == per-request scalar draws."""
+        scalar = generate_requests(self.ARRIVALS, self.SERVICE, n=200, seed=3)
+        exact = build_fleet(config, "exact", policy="random").run(scalar, seed=11)
+        fast = build_fleet(config, "batched", policy="random").run(scalar, seed=11)
+        assert_identical(exact, fast)
+        assert [s.device_id for s in exact.served] == [
+            s.device_id for s in fast.served
+        ]
+
+    def test_out_of_order_blocks_rejected(self, config):
+        engine = build_fleet(config, "batched")._make_engine()
+        blocks = [
+            RequestBlock(0, np.array([5.0, 6.0]), np.array([1.0, 1.0])),
+            RequestBlock(2, np.array([1.0, 2.0]), np.array([1.0, 1.0])),
+        ]
+        with pytest.raises(ValueError, match="time-ordered"):
+            engine.run_blocks(iter(blocks), np.random.default_rng(0))

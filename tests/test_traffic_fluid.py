@@ -1,0 +1,254 @@
+"""Tests for the calibrated fluid (mean-field) fleet mode.
+
+Two kinds of guarantee are locked here: the *hard* ones (determinism,
+validation, lifecycle accounting, fleet/scenario/sweep wiring) and the
+*calibrated* one — the accuracy contract in
+:data:`repro.traffic.fluid.FLUID_ACCURACY_CONTRACT`, measured against the
+exact engine with the CRN paired-comparison machinery on the reference
+regime the contract states.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.config import SystemConfig
+from repro.traffic.arrivals import PoissonArrivals
+from repro.traffic.experiments import Scenario, compare
+from repro.traffic.fleet import FleetSimulator
+from repro.traffic.fluid import FLUID_ACCURACY_CONTRACT, FluidFleetModel, FluidResult
+from repro.traffic.request import GammaService, generate_requests
+from repro.traffic.sweep import SweepSpec, expand_cells, run_cell
+
+
+@pytest.fixture(scope="module")
+def config():
+    return SystemConfig.paper_default()
+
+
+def stream(n=400, rate=1.0, mean_s=2.0, cv=0.8, seed=7):
+    requests = generate_requests(
+        PoissonArrivals(rate), GammaService(mean_s, cv=cv), n, seed=seed
+    )
+    arrival = np.array([r.arrival_s for r in requests])
+    sustained = np.array([r.sustained_time_s for r in requests])
+    return arrival, sustained
+
+
+class TestFluidModel:
+    def test_run_is_deterministic(self, config):
+        arrival, sustained = stream()
+        model = FluidFleetModel(config, n_devices=8)
+        a = model.run(arrival, sustained)
+        b = model.run(arrival, sustained)
+        assert np.array_equal(a.latencies_s, b.latencies_s)
+        assert np.array_equal(a.stored_heat_j, b.stored_heat_j)
+        assert a.summary(2.0) == b.summary(2.0)
+
+    def test_result_shape_and_accounting(self, config):
+        arrival, sustained = stream(n=300)
+        result = FluidFleetModel(config, n_devices=8).run(arrival, sustained)
+        assert isinstance(result, FluidResult)
+        assert result.served_count == result.request_count == 300
+        assert result.latencies_s.shape == arrival.shape
+        # Latency is queueing plus execution; execution cannot exceed the
+        # sustained demand nor undercut the full-sprint time.
+        execution = result.latencies_s - result.queueing_s
+        assert np.all(execution <= sustained + 1e-12)
+        assert np.all(execution >= sustained / 10.0 - 1e-12)
+        assert np.all(result.queueing_s >= 0.0)
+        assert result.horizon_s >= float(arrival[-1])
+
+    def test_sprint_disabled_runs_sustained(self, config):
+        arrival, sustained = stream(n=200)
+        result = FluidFleetModel(config, n_devices=8, sprint_enabled=False).run(
+            arrival, sustained
+        )
+        assert not result.sprinted.any()
+        assert np.all(result.sprint_fullness == 0.0)
+        assert np.all(result.stored_heat_j == 0.0)
+
+    def test_refuse_partial_gives_all_or_nothing_fullness(self, config):
+        # Load heavy enough that headroom runs out mid-run.
+        arrival, sustained = stream(n=600, rate=4.0, mean_s=4.0)
+        result = FluidFleetModel(
+            config, n_devices=2, refuse_partial_sprints=True
+        ).run(arrival, sustained)
+        assert set(np.unique(result.sprint_fullness)) <= {0.0, 1.0}
+
+    def test_empty_stream(self, config):
+        result = FluidFleetModel(config, n_devices=4).run(
+            np.empty(0), np.empty(0)
+        )
+        assert result.served_count == 0
+        assert result.summary().request_count == 0
+
+    def test_deadline_miss_counting(self, config):
+        arrival, sustained = stream(n=200)
+        model = FluidFleetModel(config, n_devices=8)
+        generous = model.run(arrival, sustained, deadline_at_s=arrival + 1e9)
+        assert generous.deadline_miss_count == 0
+        tight = model.run(arrival, sustained, deadline_at_s=arrival + 1e-9)
+        assert tight.deadline_miss_count == 200
+        assert tight.summary().deadline_miss_count == 200
+
+    def test_summary_provenance_is_fluid(self, config):
+        arrival, sustained = stream(n=100)
+        summary = FluidFleetModel(config, n_devices=4).run(arrival, sustained).summary(2.0)
+        assert summary.telemetry_source == "fluid"
+        assert summary.slo_attainment is not None
+
+    def test_validation(self, config):
+        with pytest.raises(ValueError):
+            FluidFleetModel(config, n_devices=0)
+        with pytest.raises(ValueError):
+            FluidFleetModel(config, n_devices=1, sprint_speedup=0.5)
+        with pytest.raises(TypeError):
+            FluidFleetModel(config, n_devices=1, thermal=42)
+        model = FluidFleetModel(config, n_devices=4)
+        with pytest.raises(ValueError, match="sorted"):
+            model.run(np.array([2.0, 1.0]), np.array([1.0, 1.0]))
+        with pytest.raises(ValueError, match="aligned"):
+            model.run(np.array([1.0, 2.0]), np.array([1.0]))
+        with pytest.raises(ValueError, match="non-negative"):
+            model.run(np.array([1.0, 2.0]), np.array([1.0, -1.0]))
+
+
+class TestFleetWiring:
+    def test_fleet_mode_fluid_runs(self, config):
+        requests = generate_requests(
+            PoissonArrivals(1.0), GammaService(2.0, cv=0.8), 200, seed=3
+        )
+        fleet = FleetSimulator(config, n_devices=8, mode="fluid")
+        result = fleet.run(requests)
+        assert isinstance(result, FluidResult)
+        assert result.served_count == 200
+
+    def test_run_stream_matches_run(self, config):
+        requests = generate_requests(
+            PoissonArrivals(1.0), GammaService(2.0, cv=0.8), 200, seed=3
+        )
+        fleet = FleetSimulator(config, n_devices=8, mode="fluid")
+        via_run = fleet.run(requests)
+        via_stream = fleet.run_stream(
+            PoissonArrivals(1.0), GammaService(2.0, cv=0.8), 200, request_seed=3
+        )
+        assert np.array_equal(via_run.latencies_s, via_stream.latencies_s)
+        assert np.array_equal(via_run.arrival_s, via_stream.arrival_s)
+
+    def test_incompatible_knobs_rejected(self, config):
+        from repro.traffic.governor import GovernorSpec
+
+        governed = GovernorSpec(policy="greedy", max_concurrent_sprints=2)
+        with pytest.raises(ValueError, match="ungoverned"):
+            FleetSimulator(config, n_devices=4, mode="fluid", governor=governed)
+        with pytest.raises(ValueError, match="queue"):
+            FleetSimulator(config, n_devices=4, mode="fluid", queue_bound=10)
+        with pytest.raises(ValueError, match="instruments"):
+            FleetSimulator(config, n_devices=4, mode="fluid", telemetry=True)
+
+    def test_scenario_validation_mirrors_fleet(self):
+        base = dict(
+            arrivals=PoissonArrivals(1.0),
+            service=GammaService(2.0),
+            n_requests=50,
+            n_devices=4,
+            mode="fluid",
+        )
+        from repro.traffic.governor import GovernorSpec
+
+        Scenario(**base)  # valid
+        governed = GovernorSpec(policy="greedy", max_concurrent_sprints=2)
+        with pytest.raises(ValueError, match="ungoverned"):
+            Scenario(**base, governor=governed)
+        with pytest.raises(ValueError, match="queue"):
+            Scenario(**base, queue_bound=5)
+        with pytest.raises(ValueError, match="instruments"):
+            Scenario(**base, telemetry=True)
+
+
+class TestSweepWiring:
+    def test_fluid_cells_collapse_orthogonal_axes(self):
+        spec = SweepSpec(
+            policies=("round_robin", "least_loaded"),
+            arrival_rates_hz=(0.1, 0.2),
+            fleet_sizes=(2, 4),
+            disciplines=("immediate", "fluid"),
+            queue_bounds=(None, 8),
+            n_requests=40,
+        )
+        cells = expand_cells(spec)
+        fluid = [c for c in cells if c.discipline == "fluid"]
+        # One fluid cell per rate x fleet (policy and bound axes collapse);
+        # immediate cells keep the full policy x bound cross.
+        assert len(fluid) == 4
+        assert all(c.queue_bound is None for c in fluid)
+        assert all(c.governor.policy == "unlimited" for c in fluid)
+
+    def test_fluid_cell_runs_and_reports(self):
+        spec = SweepSpec(
+            disciplines=("fluid",),
+            arrival_rates_hz=(0.2,),
+            fleet_sizes=(4,),
+            service_cv=0.5,
+            n_requests=60,
+        )
+        (cell,) = expand_cells(spec)
+        result = run_cell(spec, cell, SystemConfig.paper_default())
+        assert result.summary.request_count == 60
+        assert result.summary.telemetry_source == "fluid"
+
+
+class TestAccuracyContract:
+    def test_contract_holds_on_reference_regime(self, config):
+        """|fluid - exact| <= band * |exact| + CI half-width, per field.
+
+        The reference regime of FLUID_ACCURACY_CONTRACT: Poisson arrivals,
+        16 devices (>= 8), 1000 requests (>= 50 per device), per-device
+        sustained utilisation 1.0 * 2.5 / 16 ~= 0.16 (<= ~0.25).  CRN
+        pairing replays identical request streams through both arms, so
+        the paired deltas measure pure approximation error.
+        """
+        baseline = Scenario(
+            arrivals=PoissonArrivals(1.0),
+            service=GammaService(2.5, cv=0.7),
+            n_requests=1000,
+            n_devices=16,
+            policy="round_robin",
+        )
+        duel = compare(
+            baseline, baseline.with_options(mode="fluid"),
+            n_replications=10, pairing="crn", base_seed=42, config=config,
+        )
+        failures = []
+        for metric, band in FLUID_ACCURACY_CONTRACT.items():
+            delta = duel.delta(metric)
+            exact_mean = duel.baseline.estimate(metric).mean
+            allowed = band * abs(exact_mean) + delta.half_width
+            if abs(delta.mean_delta) > allowed:
+                failures.append(
+                    f"{metric}: |delta| {abs(delta.mean_delta):.4g} > "
+                    f"{band:.0%} * {abs(exact_mean):.4g} + {delta.half_width:.4g}"
+                )
+        assert not failures, "\n".join(failures)
+
+    def test_contract_throughput_holds_under_heavy_load(self, config):
+        """The work-conserving fluid queue tracks throughput at any load,
+        even where the latency fields are out of contract.  The exact
+        comparator is central-queue FIFO — the work-conserving system the
+        fluid limit is the limit *of*; immediate dispatch adds per-device
+        queue imbalance the pooled fluid deliberately has none of."""
+        baseline = Scenario(
+            arrivals=PoissonArrivals(3.0),
+            service=GammaService(4.0, cv=1.0),
+            n_requests=800,
+            n_devices=8,
+            mode="central_queue",
+        )
+        duel = compare(
+            baseline, baseline.with_options(mode="fluid"),
+            n_replications=8, pairing="crn", base_seed=7, config=config,
+        )
+        delta = duel.delta("throughput_rps")
+        exact_mean = duel.baseline.estimate("throughput_rps").mean
+        band = FLUID_ACCURACY_CONTRACT["throughput_rps"]
+        assert abs(delta.mean_delta) <= band * abs(exact_mean) + delta.half_width
