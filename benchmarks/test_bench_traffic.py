@@ -22,11 +22,14 @@ import pytest
 from repro.core.config import SystemConfig
 from repro.traffic import (
     DISPATCH_POLICIES,
+    DiurnalArrivals,
     FixedService,
     FleetSimulator,
+    GammaService,
     GovernorSpec,
     PoissonArrivals,
     SweepSpec,
+    TopologySpec,
     generate_requests,
     run_sweep,
 )
@@ -47,6 +50,10 @@ SWEEP_SPEC = SweepSpec(
     base_seed=5,
 )
 SWEEP_WORKER_COUNTS = (1, 2, 4)
+
+SHARD_FLEET_SIZES = (10_000, 100_000)
+SHARD_WORKER_COUNTS = (1, 2, 4, 8)
+SHARD_REQUESTS = 100_000
 
 
 def test_bench_fleet_throughput(benchmark, bench_scale):
@@ -364,6 +371,79 @@ def test_bench_sweep_worker_scaling(benchmark, bench_scale):
         benchmark.extra_info[f"speedup_workers_{workers}"] = serial_s / elapsed
 
     assert cells == 36
+
+
+def _shard_topology(n_devices: int) -> TopologySpec:
+    """A 10-row x 10-rack datacenter with governed budgets at every level."""
+    per_rack = max(1, n_devices // 100)
+    return TopologySpec.uniform(
+        10,
+        10,
+        per_rack,
+        rack_governor=GovernorSpec.greedy(max(1, per_rack // 4)),
+        row_governor=GovernorSpec.greedy(max(1, 10 * per_rack // 4)),
+        window_s=60.0,
+    )
+
+
+def test_bench_shard_worker_scaling(benchmark, bench_scale):
+    """Sharded datacenter runs under diurnal load: 1/2/4/8 workers at 10k
+    and 100k devices.
+
+    The benchmark times the 100k-device serial (1-worker) run — the
+    acceptance-scale datacenter simulation — and records every other
+    (fleet size, worker count) wall time and throughput into
+    ``extra_info``.  At each size it asserts the shard-count invariance
+    contract: worker count is a speed knob, not a physics knob, so every
+    worker count must produce a bit-identical summary.  Speedups are
+    recorded, not asserted — at light per-rack load the fan-out's job
+    pickling can dominate, and that honesty is part of the record.
+    """
+    config = SystemConfig.paper_default()
+    n = bench_scale(SHARD_REQUESTS, floor=2_000)
+    arrivals = DiurnalArrivals(base_rate_hz=200.0, amplitude=0.8, period_s=600.0)
+    requests = generate_requests(arrivals, GammaService(5.0, 0.5), n, seed=3)
+
+    sizes = [bench_scale(size, floor=400) for size in SHARD_FLEET_SIZES]
+    headline_size = sizes[-1]
+
+    def run(n_devices, workers):
+        topo = _shard_topology(n_devices)
+        fleet = FleetSimulator(config, topology=topo, shard_workers=workers)
+        return fleet.run(requests)
+
+    headline = benchmark.pedantic(
+        run, args=(headline_size, 1), rounds=1, iterations=1
+    )
+    headline_s = benchmark.stats.stats.mean
+    summaries = {(headline_size, 1): headline.summary(slo_s=2.0).to_dict()}
+    benchmark.extra_info["requests"] = n
+    benchmark.extra_info[f"devices_{headline_size}_workers_1_rps"] = n / headline_s
+
+    for size in sizes:
+        serial_s = headline_s if size == headline_size else None
+        for workers in SHARD_WORKER_COUNTS:
+            if (size, workers) in summaries:
+                continue
+            started = time.perf_counter()
+            result = run(size, workers)
+            elapsed = time.perf_counter() - started
+            summaries[(size, workers)] = result.summary(slo_s=2.0).to_dict()
+            if workers == 1:
+                serial_s = elapsed
+            benchmark.extra_info[f"devices_{size}_workers_{workers}_rps"] = n / elapsed
+            if serial_s is not None and workers > 1:
+                benchmark.extra_info[
+                    f"devices_{size}_speedup_workers_{workers}"
+                ] = serial_s / elapsed
+        reference = summaries[(size, 1)]
+        for workers in SHARD_WORKER_COUNTS[1:]:
+            assert summaries[(size, workers)] == reference, (
+                f"{size}-device run diverged at {workers} workers: shard "
+                "count changed the physics"
+            )
+        # The governed cascade actually bit in this run, at every size.
+        assert reference["request_count"] == n
 
 
 if __name__ == "__main__":

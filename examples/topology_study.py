@@ -1,0 +1,174 @@
+"""Hierarchical power topologies: rack/row/datacenter grant cascades.
+
+The paper's capacitance argument is device-local; the power-budget
+governor (:mod:`repro.traffic.governor`, ``examples/power_budget_study``)
+replays it at rack scale.  A datacenter replays it *recursively*: racks
+hang off row PDUs, rows off the building feed, and every level is sized
+for sustained draw plus limited headroom — so a sprint must clear its
+rack's budget, its row's, *and* the datacenter's before it may draw the
+excess power (the grant cascade of :mod:`repro.traffic.topology`).  This
+example uses a hierarchical fleet to show four things:
+
+1. **Grant cascade ledger**: a row whose budget is tighter than the sum
+   of its racks' — devices are denied sprints by a level they cannot
+   see, and :class:`repro.traffic.topology.TopologyStats` attributes
+   every denial and breaker trip to the level whose budget said no.
+2. **Heterogeneous racks**: a sprint-capable rack next to a sustained
+   many-core rack in the same topology — the ``least_loaded_rack``
+   dispatch routes load toward capacity and sprint headroom, and the
+   per-rack ledgers show the two designs serving the same stream.
+3. **Row breaker**: an oversubscribed row with a breaker trips under
+   greedy racks, and the penalty window denies every descendant rack —
+   fleet-wide non-sprint recovery, one level up from the flat case.
+4. **Shard-count invariance**: the same topology run with 1 and 4
+   worker processes produces bit-identical summaries — parallelism is a
+   speed knob, never a treatment variable.
+
+Run with::
+
+    python examples/topology_study.py
+"""
+
+from __future__ import annotations
+
+from repro import SystemConfig
+from repro.traffic import (
+    FleetSimulator,
+    GammaService,
+    GovernorSpec,
+    PoissonArrivals,
+    RackSpec,
+    RowSpec,
+    TopologySpec,
+    generate_requests,
+)
+
+TASK_SUSTAINED_S = 5.0
+SERVICE_CV = 0.5
+REQUESTS = 400
+ARRIVAL_RATE_HZ = 2.0
+SLO_S = 2.0
+WINDOW_S = 30.0
+PENALTY_S = 60.0
+SHARD_WORKERS = 4
+
+
+def offered_requests(rate_hz: float = ARRIVAL_RATE_HZ, seed: int = 11):
+    """Poisson traffic whose sprint demand exceeds the row budgets."""
+    return generate_requests(
+        PoissonArrivals(rate_hz),
+        GammaService(mean_s=TASK_SUSTAINED_S, cv=SERVICE_CV),
+        REQUESTS,
+        seed=seed,
+    )
+
+
+def cascade_ledger_study(config: SystemConfig) -> None:
+    """Per-level denial accounting when the row is the bottleneck."""
+    print("-- grant cascade: the row budget, not the racks, says no --")
+    topology = TopologySpec.uniform(
+        n_rows=2,
+        racks_per_row=2,
+        devices_per_rack=4,
+        rack_governor=GovernorSpec.greedy(4),  # racks are permissive
+        row_governor=GovernorSpec.greedy(3),  # rows are the bottleneck
+        window_s=WINDOW_S,
+    )
+    fleet = FleetSimulator(config, topology=topology, policy="least_loaded")
+    result = fleet.run(offered_requests())
+    stats = result.topology_stats
+    summary = result.summary(slo_s=SLO_S)
+    print(f"   served {summary.request_count}, p99 {summary.p99_latency_s:.2f}s")
+    for level, denied in stats.denied_by_level().items():
+        print(f"   denied at {level:<10s}: {denied}")
+    print(f"   cascade denials (any level): {stats.overall.sprints_denied}")
+
+
+def heterogeneous_rack_study(config: SystemConfig) -> None:
+    """A sprint rack and a sustained many-core rack serving one stream."""
+    print("-- heterogeneous racks: sprint rack vs many-core rack --")
+    sprint_rack = RackSpec(
+        n_devices=4,
+        governor=GovernorSpec.greedy(2),
+        sprint_enabled=True,
+    )
+    manycore_rack = RackSpec(
+        n_devices=8,
+        governor=GovernorSpec(),
+        sprint_enabled=False,  # all cores lit, nothing dark to sprint onto
+    )
+    topology = TopologySpec(
+        rows=(RowSpec(racks=(sprint_rack, manycore_rack), governor=GovernorSpec()),),
+        governor=GovernorSpec(),
+        window_s=WINDOW_S,
+        dispatch="least_loaded_rack",
+    )
+    fleet = FleetSimulator(config, topology=topology, policy="least_loaded")
+    result = fleet.run(offered_requests(rate_hz=1.0))
+    by_rack: dict[str, int] = {}
+    for dev in result.device_stats:
+        rack = dev.device_label.rsplit("/", 1)[0]
+        by_rack[rack] = by_rack.get(rack, 0) + dev.requests_served
+    for path, served in sorted(by_rack.items()):
+        ledger = result.topology_stats.for_rack(path)
+        granted = "ungoverned" if ledger is None else f"{ledger.sprints_granted} grants"
+        print(f"   {path:<10s} served {served:3d}  ({granted})")
+    summary = result.summary(slo_s=SLO_S)
+    print(f"   fleet sprint fraction {summary.sprint_fraction:.0%}, "
+          f"p99 {summary.p99_latency_s:.2f}s")
+
+
+def row_breaker_study(config: SystemConfig) -> None:
+    """Greedy racks overdraw the row feed; the row breaker trips."""
+    print("-- row breaker: greedy racks trip the shared feed --")
+    excess_w = config.sprint_power_w - config.sustainable_power_w
+    topology = TopologySpec.uniform(
+        n_rows=1,
+        racks_per_row=2,
+        devices_per_rack=4,
+        rack_governor=GovernorSpec.greedy(4),  # each rack may fill itself
+        row_governor=GovernorSpec.greedy(
+            8, trip_headroom_w=3.5 * excess_w, penalty_s=PENALTY_S
+        ),
+        window_s=WINDOW_S,
+    )
+    fleet = FleetSimulator(config, topology=topology, policy="least_loaded")
+    result = fleet.run(offered_requests(rate_hz=3.0))
+    stats = result.topology_stats
+    trips = stats.trips_by_level()
+    print(f"   breaker trips by level: {trips}")
+    print(f"   row denials during penalty windows: "
+          f"{stats.denied_by_level()['row']}")
+    assert trips["row"] >= 1, "the oversubscribed row should trip"
+
+
+def shard_invariance_study(config: SystemConfig) -> None:
+    """Worker count is a speed knob: summaries are bit-identical."""
+    print(f"-- shard invariance: 1 vs {SHARD_WORKERS} worker processes --")
+    topology = TopologySpec.uniform(
+        n_rows=2,
+        racks_per_row=2,
+        devices_per_rack=4,
+        rack_governor=GovernorSpec.greedy(2),
+        window_s=WINDOW_S,
+    )
+    requests = offered_requests()
+    serial = FleetSimulator(config, topology=topology).run(requests)
+    fanned = FleetSimulator(
+        config, topology=topology, shard_workers=SHARD_WORKERS
+    ).run(requests)
+    same = serial.summary().to_dict() == fanned.summary().to_dict()
+    print(f"   summaries identical: {same}")
+    assert same, "shard workers must never change results"
+
+
+def main() -> None:
+    config = SystemConfig.paper_default()
+    cascade_ledger_study(config)
+    heterogeneous_rack_study(config)
+    row_breaker_study(config)
+    shard_invariance_study(config)
+
+
+if __name__ == "__main__":
+    main()

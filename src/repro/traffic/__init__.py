@@ -33,26 +33,33 @@ bursty, diurnal, or measured from a trace?  It is organised as a pipeline:
   mergeable quantile sketches (deterministic KLL-style compaction),
   windowed fleet timelines (queue depth, in-flight sprints, granted
   power, thermal peaks), and ring-buffered structured event traces,
+* :mod:`repro.traffic.topology` — hierarchical rack/row/datacenter
+  power topologies: each level carries its own budget and breaker, and
+  a sprint grant must clear *every* ancestor budget (the grant cascade),
+* :mod:`repro.traffic.shard` — sharded parallel execution of a
+  topology: each rack becomes an independent engine job fanned over a
+  process pool, with pre-planned arrivals and per-window budget slices
+  so results are bit-identical for any worker count,
 * :mod:`repro.traffic.sweep` — a multiprocessing scenario sweep over
   policy × rate × fleet × discipline × queue-bound × governor × thermal
-  grids with deterministic seeding and a replication axis,
+  × topology grids with deterministic seeding and a replication axis,
 * :mod:`repro.traffic.experiments` — the replicated-experiment layer:
   frozen scenarios replayed N times under controlled seed streams, with
   per-metric confidence intervals, common-random-numbers paired
   comparisons (variance reduction), and CI-driven sequential stopping.
 
-Quick start::
+Quick start:
 
-    from repro import SystemConfig
-    from repro.traffic import FleetSimulator, PoissonArrivals, FixedService
-    from repro.traffic import generate_requests
-
-    requests = generate_requests(
-        PoissonArrivals(rate_hz=0.2), FixedService(5.0), n=500, seed=42
-    )
-    fleet = FleetSimulator(SystemConfig.paper_default(), n_devices=4)
-    result = fleet.run(requests)
-    print(result.summary(slo_s=2.0))
+>>> from repro import SystemConfig
+>>> from repro.traffic import FleetSimulator, PoissonArrivals, FixedService
+>>> from repro.traffic import generate_requests
+>>> requests = generate_requests(
+...     PoissonArrivals(rate_hz=0.2), FixedService(5.0), n=50, seed=42
+... )
+>>> fleet = FleetSimulator(SystemConfig.paper_default(), n_devices=4)
+>>> result = fleet.run(requests)
+>>> result.summary(slo_s=2.0).request_count
+50
 """
 
 from repro.core.thermal_backend import (
@@ -155,6 +162,7 @@ from repro.traffic.sweep import (
     run_cell,
     run_sweep,
 )
+from repro.traffic.shard import ShardPlan, plan_shards, run_sharded
 from repro.traffic.telemetry import (
     TRACE_KINDS,
     EventTrace,
@@ -167,11 +175,22 @@ from repro.traffic.telemetry import (
     TraceRecord,
     TrafficTelemetry,
 )
+from repro.traffic.topology import (
+    LEVELS,
+    TOPOLOGY_DISPATCH,
+    CascadeGovernor,
+    RackSpec,
+    RowSpec,
+    TopologySpec,
+    TopologyStats,
+    apportion_slots,
+)
 
 __all__ = [
     "ARRIVAL_KINDS",
     "ArrivalProcess",
     "CellResult",
+    "CascadeGovernor",
     "ComparisonResult",
     "CooperativeThresholdGovernor",
     "DISPATCH_MODES",
@@ -197,6 +216,7 @@ __all__ = [
     "GovernorSpec",
     "GovernorStats",
     "GreedyGovernor",
+    "LEVELS",
     "LeastLoadedIndex",
     "LinearReservoir",
     "LognormalService",
@@ -209,9 +229,11 @@ __all__ = [
     "QUEUE_DISCIPLINES",
     "QuantileSketch",
     "RCCooling",
+    "RackSpec",
     "ReplicationPlan",
     "Request",
     "RequestBlock",
+    "RowSpec",
     "RunTelemetry",
     "SUMMARY_STAT_FIELDS",
     "SWEEP_DISCIPLINES",
@@ -219,6 +241,7 @@ __all__ = [
     "ServedRequest",
     "ServiceModel",
     "ServingEngine",
+    "ShardPlan",
     "SprintDevice",
     "SprintGovernor",
     "StreamingMoments",
@@ -227,18 +250,22 @@ __all__ = [
     "SweepResult",
     "SweepSpec",
     "THERMAL_BACKENDS",
+    "TOPOLOGY_DISPATCH",
     "TRACE_KINDS",
     "TelemetrySpec",
     "ThermalBackend",
     "ThermalSpec",
     "TimelineProbe",
     "TokenBucketGovernor",
+    "TopologySpec",
+    "TopologyStats",
     "TraceArrivals",
     "TraceRecord",
     "TrafficSummary",
     "TrafficTelemetry",
     "UnlimitedGovernor",
     "aggregate_summaries",
+    "apportion_slots",
     "batch_means_ci",
     "cell_is_deterministic",
     "compare",
@@ -248,10 +275,12 @@ __all__ = [
     "latency_percentiles",
     "mean_ci",
     "paired_delta",
+    "plan_shards",
     "pool_map",
     "resolve_telemetry",
     "run_cell",
     "run_replications",
+    "run_sharded",
     "run_sweep",
     "run_until",
     "seed_stream",

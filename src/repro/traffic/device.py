@@ -22,6 +22,17 @@ Two entry points hand the device work, matching the two dispatch modes of
 * :meth:`SprintDevice.execute` — deferred (central-queue) dispatch: the
   engine held the request in a shared queue and assigns it at a start time
   when the device is known to be free; the engine owns the queueing delay.
+
+Usage — a cold device sprints the paper's canonical five-second task and
+finishes it in half a second:
+
+>>> from repro.core.config import SystemConfig
+>>> from repro.traffic.device import SprintDevice
+>>> from repro.traffic.request import Request
+>>> dev = SprintDevice(SystemConfig.paper_default(), device_id=0)
+>>> served = dev.serve(Request(index=0, arrival_s=0.0, sustained_time_s=5.0))
+>>> served.sprinted, round(served.latency_s, 2)
+(True, 0.5)
 """
 
 from __future__ import annotations
@@ -106,8 +117,12 @@ class SprintDevice:
         sprint_enabled: bool = True,
         refuse_partial_sprints: bool = False,
         thermal: str | ThermalSpec | ThermalBackend = "linear",
+        label: str | None = None,
     ) -> None:
         self.device_id = device_id
+        #: Stable hierarchical identity (``row0/rack2/dev5`` in a topology
+        #: fleet); defaults to the flat ``dev{device_id}`` form.
+        self.label = f"dev{device_id}" if label is None else label
         self.sprint_enabled = sprint_enabled
         self.pacer = SprintPacer(
             config,

@@ -63,6 +63,23 @@ Dispatch policies (immediate mode)
 * ``thermal_aware`` — among the devices that can start soonest (within a
   slack window), the one with the most sprint budget left at start time,
 * ``random`` — uniform choice, seeded by the run seed (the usual strawman).
+
+Usage — two requests round-robined across a two-device fleet:
+
+>>> import numpy as np
+>>> from repro.core.config import SystemConfig
+>>> from repro.traffic.device import SprintDevice
+>>> from repro.traffic.engine import DISPATCH_POLICIES, ServingEngine
+>>> from repro.traffic.request import Request
+>>> devices = [
+...     SprintDevice(SystemConfig.paper_default(), device_id=i) for i in range(2)
+... ]
+>>> engine = ServingEngine(devices, DISPATCH_POLICIES["round_robin"], "round_robin")
+>>> result = engine.run(
+...     [Request(0, 0.0, 5.0), Request(1, 1.0, 5.0)], np.random.default_rng(0)
+... )
+>>> [s.device_id for s in result.served], result.rejected_count
+([0, 1], 0)
 """
 
 from __future__ import annotations
@@ -528,6 +545,9 @@ class ServingEngine:
         if keep and not observing:
             emit_served = served.append  # the legacy hot path, untouched
         else:
+            # Keyed by device_id, not list position: sharded rack engines
+            # carry fleet-global ids on rack-local device lists.
+            label_of = {d.device_id: d.label for d in self.devices}
 
             def emit_served(outcome: ServedRequest) -> None:
                 nonlocal served_count
@@ -545,6 +565,7 @@ class ServingEngine:
                         request_index=outcome.request.index,
                         device_id=outcome.device_id,
                         detail=outcome.latency_s,
+                        label=label_of[outcome.device_id],
                     )
 
         def emit_rejected(request: Request, now_s: float) -> None:
@@ -606,9 +627,13 @@ class ServingEngine:
         edf = self.discipline == "edf"
 
         def push_breaker_reset() -> None:
-            """Schedule the recovery instant of a breaker trip, if one just fired."""
-            reset_at = governor.pop_pending_reset()
-            if reset_at is not None:
+            """Schedule the recovery instant of any breaker trip that just fired.
+
+            Drained in a loop: a hierarchical cascade governor
+            (:mod:`repro.traffic.topology`) can trip breakers at several
+            levels on one acquire, each with its own recovery instant.
+            """
+            while (reset_at := governor.pop_pending_reset()) is not None:
                 heapq.heappush(events, (reset_at, _BREAKER_RESET, next(seq), None))
 
         def execute_governed(
@@ -633,6 +658,7 @@ class ServingEngine:
                     "grant" if grant else "deny",
                     request_index=request.index,
                     device_id=device.device_id,
+                    label=device.label,
                 )
             if observing and governor.breaker_trips > trips_before:
                 if probe is not None:
@@ -660,13 +686,20 @@ class ServingEngine:
                             request_index=request.index,
                             device_id=device.device_id,
                             detail=0.0,
+                            label=device.label,
                         )
             return outcome
 
         def start(request: Request, pos: int, now_s: float) -> None:
             device = self.devices[pos]
             if trace is not None:
-                trace.add(now_s, "dispatch", request_index=request.index, device_id=pos)
+                trace.add(
+                    now_s,
+                    "dispatch",
+                    request_index=request.index,
+                    device_id=pos,
+                    label=device.label,
+                )
             if governed and device.sprint_enabled:
                 emit_served(execute_governed(device, request, now_s, now_s))
             else:
@@ -709,7 +742,11 @@ class ServingEngine:
                     device = self.devices[pos]
                     if trace is not None:
                         trace.add(
-                            now_s, "dispatch", request_index=request.index, device_id=pos
+                            now_s,
+                            "dispatch",
+                            request_index=request.index,
+                            device_id=pos,
+                            label=device.label,
                         )
                     if governed and device.sprint_enabled:
                         emit_served(

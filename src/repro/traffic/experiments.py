@@ -55,6 +55,20 @@ Quick start::
         n_replications=16,
     )
     print(duel.delta("p99_latency_s"))               # paired Δ with sign test
+
+A fully deterministic scenario has no randomness to average over, so its
+plan collapses to a single replication:
+
+>>> from repro.traffic.arrivals import DeterministicArrivals
+>>> from repro.traffic.experiments import ReplicationPlan, Scenario
+>>> from repro.traffic.request import FixedService
+>>> scenario = Scenario(
+...     arrivals=DeterministicArrivals(30.0),
+...     service=FixedService(5.0),
+...     n_requests=4,
+... )
+>>> ReplicationPlan(scenario=scenario, n_replications=8).effective_replications
+1
 """
 
 from __future__ import annotations
@@ -91,6 +105,7 @@ from repro.traffic.telemetry import (
     TelemetrySpec,
     TrafficTelemetry,
 )
+from repro.traffic.topology import TopologySpec
 
 __all__ = [
     "ComparisonResult",
@@ -150,10 +165,39 @@ class Scenario:
     #: path where eligible, bit-identical results either way).  Ignored
     #: by ``mode="fluid"``.
     engine: str = "exact"
+    #: Hierarchical fleet shape (:class:`~repro.traffic.topology.TopologySpec`).
+    #: When set, ``n_devices`` is taken from the topology (leave it at the
+    #: default or set it to the matching total) and per-level budgets come
+    #: from the spec's nodes, so ``governor`` must stay unlimited.
+    topology: TopologySpec | None = None
+    #: Worker processes a sharded (non-flat topology) replication fans its
+    #: racks across.  Results are bit-identical for any value, so this is
+    #: a speed knob, never a treatment variable.
+    shard_workers: int = 1
 
     def __post_init__(self) -> None:
         if self.n_requests < 1:
             raise ValueError("a scenario needs at least one request")
+        if self.topology is not None:
+            if self.n_devices not in (1, self.topology.total_devices):
+                raise ValueError(
+                    f"n_devices={self.n_devices} conflicts with the "
+                    f"topology's {self.topology.total_devices} devices; "
+                    "leave n_devices unset"
+                )
+            object.__setattr__(self, "n_devices", self.topology.total_devices)
+            if self.mode == "fluid":
+                raise ValueError("fluid mode has no topology")
+            governor = self.governor
+            if isinstance(governor, str):
+                governor = GovernorSpec(policy=governor)
+            if governor.policy != "unlimited":
+                raise ValueError(
+                    "a topology scenario takes its budgets from the "
+                    "topology spec; leave governor at 'unlimited'"
+                )
+        if self.shard_workers < 1:
+            raise ValueError("shard worker count must be at least 1")
         if self.n_devices < 1:
             raise ValueError("a scenario needs at least one device")
         if self.policy not in DISPATCH_POLICIES:
@@ -242,6 +286,8 @@ class Scenario:
             keep_samples=self.keep_samples,
             telemetry=self.telemetry,
             engine=self.engine,
+            topology=self.topology,
+            shard_workers=self.shard_workers,
         )
 
     def simulate(

@@ -32,6 +32,25 @@ actually took.
 Requests are consumed as ``(times, demands, requests)`` column blocks, so
 the streaming entry point (``ServingEngine.run_blocks`` under
 ``keep_samples=False``) holds one chunk in memory regardless of horizon.
+
+Usage — :func:`unsupported_reason` names exactly what keeps a
+configuration on the exact loop:
+
+>>> from repro.core.config import SystemConfig
+>>> from repro.traffic.device import SprintDevice
+>>> from repro.traffic.engine import DISPATCH_POLICIES, ServingEngine
+>>> from repro.traffic.fastpath import unsupported_reason
+>>> devices = [
+...     SprintDevice(SystemConfig.paper_default(), device_id=i) for i in range(2)
+... ]
+>>> unsupported_reason(
+...     ServingEngine(devices, DISPATCH_POLICIES["round_robin"], "round_robin")
+... ) is None
+True
+>>> unsupported_reason(
+...     ServingEngine(devices, DISPATCH_POLICIES["least_loaded"], "least_loaded")
+... )
+"policy 'least_loaded' depends on per-request fleet state"
 """
 
 from __future__ import annotations

@@ -30,6 +30,26 @@ physics (linear rule-of-thumb, RC cooling, or PCM enthalpy) every device
 paces against, and the per-request temperature/melt telemetry it produces
 flows through both dispatch modes untouched into the run's
 :class:`~repro.traffic.metrics.TrafficSummary`.
+
+A fourth axis is fleet *shape*: passing a
+:class:`~repro.traffic.topology.TopologySpec` instead of ``n_devices``
+arranges the devices into racks, rows, and a datacenter, each level with
+its own power budget, and runs each rack as an independent shard (see
+:mod:`repro.traffic.shard`).
+
+Usage — a lightly loaded two-device fleet sprints every request:
+
+>>> from repro.core.config import SystemConfig
+>>> from repro.traffic.arrivals import DeterministicArrivals
+>>> from repro.traffic.fleet import FleetSimulator
+>>> from repro.traffic.request import FixedService, generate_requests
+>>> reqs = generate_requests(
+...     DeterministicArrivals(30.0), FixedService(5.0), n=4, seed=0
+... )
+>>> fleet = FleetSimulator(SystemConfig.paper_default(), n_devices=2)
+>>> summary = fleet.run(reqs).summary()
+>>> summary.request_count, summary.sprint_fraction
+(4, 1.0)
 """
 
 from __future__ import annotations
@@ -56,6 +76,7 @@ from repro.traffic.governor import GovernorSpec, GovernorStats, SprintGovernor
 from repro.traffic.metrics import TrafficSummary, summarize
 from repro.traffic.request import Request, ServiceModel, generate_request_blocks
 from repro.traffic.telemetry import RunTelemetry, TelemetrySpec
+from repro.traffic.topology import TopologySpec, TopologyStats
 
 __all__ = [
     "DISPATCH_MODES",
@@ -108,6 +129,10 @@ class DeviceStats:
     requests_served: int
     busy_seconds: float
     stored_heat_j: float
+    #: Stable hierarchical identity — ``row0/rack2/dev5`` in a topology
+    #: fleet, ``dev{device_id}`` in a flat one ("" on results produced
+    #: before labels existed).  ``device_id`` stays the flat integer id.
+    device_label: str = ""
     #: Requests that sprinted at all on this device (partial sprints included).
     sprints_served: int = 0
     #: Mean realised sprint fullness on this device — low values flag a
@@ -152,6 +177,9 @@ class FleetResult:
     served_count: int = 0
     rejected_count: int = 0
     abandoned_count: int = 0
+    #: Per-level grant ledgers of a hierarchical (topology) run — None on
+    #: flat fleets and on topology runs with nothing governed anywhere.
+    topology_stats: TopologyStats | None = None
     _summary_cache: dict = field(
         default_factory=dict, init=False, repr=False, compare=False
     )
@@ -268,7 +296,7 @@ class FleetSimulator:
     def __init__(
         self,
         config: SystemConfig,
-        n_devices: int,
+        n_devices: int | None = None,
         policy: str | DispatchFn = "least_loaded",
         sprint_speedup: float = 10.0,
         sprint_enabled: bool = True,
@@ -281,7 +309,56 @@ class FleetSimulator:
         keep_samples: bool = True,
         telemetry: TelemetrySpec | bool | None = None,
         engine: str = "exact",
+        topology: TopologySpec | None = None,
+        shard_workers: int = 1,
     ) -> None:
+        device_labels: list[str] | None = None
+        self.topology = topology
+        self.shard_workers = shard_workers
+        self._sharded = False
+        if topology is not None:
+            # Budgets live on the topology's nodes; a second fleet-level
+            # governor would be ambiguous (which level is it?).
+            ungoverned = governor == "unlimited" or (
+                isinstance(governor, GovernorSpec) and governor.policy == "unlimited"
+            )
+            if not ungoverned:
+                raise ValueError(
+                    "a topology fleet takes its budgets from the topology "
+                    "spec; leave governor at 'unlimited'"
+                )
+            if mode == "fluid":
+                raise ValueError(
+                    "fluid mode has no topology; it models one "
+                    "work-conserving pool"
+                )
+            if shard_workers < 1:
+                raise ValueError("shard worker count must be at least 1")
+            n_devices = topology.validate_devices(n_devices)
+            if topology.is_flat:
+                # The regression-locked flat path: one rack, ungoverned
+                # parents — the rack's governor IS the fleet governor and
+                # the single engine runs exactly as without a topology
+                # (bit-identity locked by tests); only the hierarchical
+                # device labels differ.
+                _, _, path, rack = next(topology.iter_racks())
+                governor = rack.governor
+                if rack.sprint_enabled is not None:
+                    sprint_enabled = rack.sprint_enabled
+                if rack.sprint_speedup is not None:
+                    sprint_speedup = rack.sprint_speedup
+                if rack.thermal is not None:
+                    thermal = rack.thermal
+                device_labels = [f"{path}/dev{i}" for i in range(n_devices)]
+            else:
+                if not isinstance(policy, str):
+                    raise ValueError(
+                        "sharded topology runs need a named dispatch policy "
+                        "(shard jobs cross process boundaries)"
+                    )
+                self._sharded = True
+        elif n_devices is None:
+            raise ValueError("a fleet needs n_devices or a topology")
         if n_devices < 1:
             raise ValueError("a fleet needs at least one device")
         if mode not in FLEET_MODES:
@@ -335,6 +412,9 @@ class FleetSimulator:
         self.queue_bound = queue_bound
         self.keep_samples = keep_samples
         self.execution = engine
+        self.sprint_speedup = sprint_speedup
+        self.sprint_enabled = sprint_enabled
+        self.refuse_partial_sprints = refuse_partial_sprints
         self._fluid: FluidFleetModel | None = None
         if mode == "fluid":
             # The fluid limit is work-conserving across the whole pool and
@@ -363,6 +443,18 @@ class FleetSimulator:
             )
             return
         self.telemetry_spec = resolve_telemetry(telemetry, keep_samples)
+        if self._sharded:
+            # Devices live inside each rack's shard job; validate here the
+            # queue knobs the engine would have rejected at construction.
+            if discipline not in QUEUE_DISCIPLINES:
+                raise ValueError(
+                    f"unknown queue discipline {discipline!r}; "
+                    f"available: {QUEUE_DISCIPLINES}"
+                )
+            if queue_bound is not None and queue_bound < 0:
+                raise ValueError("queue bound must be non-negative (or None)")
+            self.devices = []
+            return
         self.devices = [
             SprintDevice(
                 config,
@@ -371,6 +463,7 @@ class FleetSimulator:
                 sprint_enabled=sprint_enabled,
                 refuse_partial_sprints=refuse_partial_sprints,
                 thermal=thermal,
+                label=None if device_labels is None else device_labels[i],
             )
             for i in range(n_devices)
         ]
@@ -416,8 +509,14 @@ class FleetSimulator:
         empty request stream is a valid (empty) run, so sweeps over sparse
         arrival processes never crash.  A ``mode="fluid"`` fleet returns a
         :class:`~repro.traffic.fluid.FluidResult` instead (same
-        ``summary()`` surface, array-backed).
+        ``summary()`` surface, array-backed).  A non-flat ``topology``
+        fleet runs sharded (:func:`repro.traffic.shard.run_sharded`) —
+        bit-identical for any ``shard_workers`` value.
         """
+        if self._sharded:
+            from repro.traffic.shard import run_sharded
+
+            return run_sharded(self, requests, seed, self.shard_workers)
         if self._fluid is not None:
             arrival = np.array([r.arrival_s for r in requests], dtype=float)
             sustained = np.array([r.sustained_time_s for r in requests], dtype=float)
@@ -458,7 +557,25 @@ class FleetSimulator:
         vectorized block processing with flat memory; otherwise requests
         are materialised chunk by chunk and served exactly.  A
         ``mode="fluid"`` fleet integrates the blocks' arrays directly.
+        A non-flat ``topology`` fleet materialises the stream and runs
+        sharded — rack dispatch plans over the whole stream upfront.
         """
+        if self._sharded:
+            from repro.traffic.shard import run_sharded
+
+            requests = [
+                request
+                for block in generate_request_blocks(
+                    arrivals,
+                    service,
+                    n_requests,
+                    seed=request_seed,
+                    deadline_s=deadline_s,
+                    chunk_size=chunk_size,
+                )
+                for request in block.to_requests()
+            ]
+            return run_sharded(self, requests, run_seed, self.shard_workers)
         if self._fluid is not None:
             times = []
             demands = []
@@ -512,6 +629,7 @@ class FleetSimulator:
         stats = tuple(
             DeviceStats(
                 device_id=d.device_id,
+                device_label=d.label,
                 requests_served=d.requests_served,
                 busy_seconds=d.busy_seconds,
                 stored_heat_j=d.pacer.stored_heat_j,

@@ -41,6 +41,18 @@ so under moderate-to-heavy load it reproduces throughput and the
 sprint/thermal budget arithmetic but *understates* waiting-time metrics
 — use the exact engine (or its bit-identical batched fast path) when
 tail latency under load is the question.
+
+Usage — the model consumes arrival/demand columns directly (no Request
+objects, no RNG):
+
+>>> import numpy as np
+>>> from repro.core.config import SystemConfig
+>>> from repro.traffic.fluid import FluidFleetModel
+>>> model = FluidFleetModel(SystemConfig.paper_default(), n_devices=2)
+>>> result = model.run(np.array([0.0, 30.0, 60.0, 90.0]), np.full(4, 5.0))
+>>> summary = result.summary()
+>>> summary.request_count, summary.sprint_fraction
+(4, 1.0)
 """
 
 from __future__ import annotations

@@ -47,6 +47,18 @@ sprinting (the device's own thermal reservoir was empty, or the device has
 sprinting disabled) is released back immediately — concurrency policies
 return the slot, the token bucket refunds the token — and counted in
 ``grants_released_unused``, so budget never leaks.
+
+Usage — two greedy slots: the third concurrent sprint is denied, and the
+run's ledger records both outcomes:
+
+>>> from repro.traffic.governor import GreedyGovernor
+>>> gov = GreedyGovernor(excess_power_w=10.0, max_concurrent_sprints=2)
+>>> gov.acquire(0.0), gov.acquire(0.0), gov.acquire(0.0)
+(True, True, False)
+>>> gov.release(1.0)
+>>> stats = gov.finalize(10.0)
+>>> stats.sprints_granted, stats.sprints_denied
+(2, 1)
 """
 
 from __future__ import annotations
@@ -206,6 +218,26 @@ class SprintGovernor:
         self._active -= 1
         if not used:
             self._released_unused += 1
+        self._update_cap(now_s)
+
+    def would_deny(self, now_s: float) -> bool:
+        """Non-binding probe: would :meth:`acquire` at ``now_s`` be denied?
+
+        Nothing is granted, denied, or counted — the cascade protocol in
+        :mod:`repro.traffic.topology` probes every level of a governor
+        chain with this before committing the grant at all of them, so a
+        parent-level refusal never leaves a child holding a phantom grant.
+        """
+        return self._saturated(now_s)
+
+    def count_denial(self, now_s: float) -> None:
+        """Record a denial this governor caused but did not itself decide.
+
+        Used by the hierarchical cascade: when :meth:`would_deny` was True
+        and the grant was therefore never attempted, the blocking level
+        still owns the denial in its ledger.
+        """
+        self._denied += 1
         self._update_cap(now_s)
 
     def pop_pending_reset(self) -> float | None:
@@ -425,6 +457,12 @@ class TokenBucketGovernor(SprintGovernor):
 
     def _saturated(self, now_s: float) -> bool:
         return self._in_penalty(now_s) or self._tokens < 1.0 - _TOKEN_EPS
+
+    def would_deny(self, now_s: float) -> bool:
+        # The bucket must be refilled to ``now_s`` before the token check,
+        # exactly as _decide does; refilling is idempotent at a fixed time.
+        self._refill(now_s)
+        return super().would_deny(now_s)
 
     def _advance_cap(self, now_s: float) -> None:
         """Settle the open blocked interval up to ``now_s`` (or its known end)."""

@@ -18,6 +18,14 @@ stored heat across all served requests, the peak package temperature, and
 the peak PCM melt fraction — under the ``pcm`` backend a peak melt
 fraction pinned near 1.0 means the fleet is serving off the far edge of
 the Figure 4 plateau.
+
+Usage:
+
+>>> from repro.traffic.metrics import latency_percentiles, slo_attainment
+>>> latency_percentiles([1.0, 2.0, 3.0, 4.0], percentiles=(50.0,))
+(2.5,)
+>>> slo_attainment([1.0, 2.0, 3.0, 4.0], slo_s=2.0)
+0.5
 """
 
 from __future__ import annotations

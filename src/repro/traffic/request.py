@@ -17,6 +17,16 @@ stream into concrete demands:
 :func:`generate_requests` zips an arrival process with a service model
 under a single seed, split with :class:`numpy.random.SeedSequence` so the
 arrival stream and the demand stream are independent but both reproducible.
+
+Usage:
+
+>>> from repro.traffic.arrivals import DeterministicArrivals
+>>> from repro.traffic.request import FixedService, generate_requests
+>>> reqs = generate_requests(
+...     DeterministicArrivals(5.0), FixedService(5.0), n=3, seed=0
+... )
+>>> [(r.index, r.arrival_s, r.sustained_time_s) for r in reqs]
+[(0, 0.0, 5.0), (1, 5.0, 5.0), (2, 10.0, 5.0)]
 """
 
 from __future__ import annotations

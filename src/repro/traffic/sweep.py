@@ -34,6 +34,23 @@ process family (Poisson, bursty on-off, diurnal, or deterministic — all
 parameterised by the cell's mean rate), the service-demand distribution,
 an optional per-request deadline, the sprint speedup, and whether
 sprinting is enabled at all (for paired sprint/no-sprint comparisons).
+
+A :attr:`SweepSpec.topologies` axis puts hierarchical fleets
+(:class:`~repro.traffic.topology.TopologySpec`) on the grid next to flat
+ones; topology cells take their size and budgets from the spec, so the
+``fleet_sizes`` and ``governors`` axes collapse to their first value for
+those cells.
+
+Usage — the grid is the cross product of the axes:
+
+>>> from repro.traffic.sweep import SweepSpec, expand_cells
+>>> spec = SweepSpec(
+...     policies=("round_robin",),
+...     arrival_rates_hz=(0.1, 0.2),
+...     fleet_sizes=(2,),
+... )
+>>> len(expand_cells(spec))
+2
 """
 
 from __future__ import annotations
@@ -60,6 +77,7 @@ from repro.traffic.governor import GovernorSpec
 from repro.traffic.metrics import MetricEstimate, TrafficSummary, mean_ci
 from repro.traffic.request import FixedService, GammaService, generate_requests
 from repro.traffic.telemetry import RunTelemetry, TelemetrySpec, TrafficTelemetry
+from repro.traffic.topology import TopologySpec
 
 #: Arrival families the sweep can instantiate from a cell's mean rate.
 ARRIVAL_KINDS = ("poisson", "bursty", "diurnal", "deterministic")
@@ -139,6 +157,13 @@ class SweepSpec:
     #: Pacing-fidelity axis.  Backend names are accepted and normalised to
     #: :class:`~repro.core.thermal_backend.ThermalSpec`.
     thermals: tuple[ThermalSpec | str, ...] = (ThermalSpec(),)
+    #: Fleet-shape axis: ``None`` is the flat fleet (the ``fleet_sizes``
+    #: axis applies); a :class:`~repro.traffic.topology.TopologySpec` runs
+    #: hierarchically/sharded with the device count, budgets, and rack
+    #: dispatch taken from the spec — such cells ignore the ``fleet_sizes``
+    #: and ``governors`` axes (first value kept) and are skipped under the
+    #: ``fluid`` discipline, which models one pool.
+    topologies: tuple[TopologySpec | None, ...] = (None,)
     n_requests: int = 200
     arrival_kind: str = "poisson"
     service_mean_s: float = 5.0
@@ -177,6 +202,7 @@ class SweepSpec:
             or not self.queue_bounds
             or not self.governors
             or not self.thermals
+            or not self.topologies
         ):
             raise ValueError("every grid axis needs at least one value")
         # Normalise the governor and thermal axes so every cell carries a
@@ -301,6 +327,9 @@ class SweepCell:
     governor: GovernorSpec = GovernorSpec()
     #: Pacing fidelity this cell's devices simulate with.
     thermal: ThermalSpec = ThermalSpec()
+    #: Hierarchical fleet shape (None = flat; budgets then come from
+    #: ``governor``, otherwise from the topology's nodes).
+    topology: TopologySpec | None = None
 
     @property
     def seed_sequence(self) -> np.random.SeedSequence:
@@ -400,6 +429,7 @@ def expand_cells(spec: SweepSpec) -> list[SweepCell]:
     """
     governors = list(dict.fromkeys(spec.governors))  # ordered unique
     thermals = list(dict.fromkeys(spec.thermals))
+    topologies = list(dict.fromkeys(spec.topologies))
     if not spec.sprint_enabled:
         governors = governors[:1]
         thermals = thermals[:1]
@@ -411,9 +441,31 @@ def expand_cells(spec: SweepSpec) -> list[SweepCell]:
         spec.queue_bounds,
         governors,
         thermals,
+        topologies,
     )
     cells = []
-    for policy, (rate_idx, rate), size, discipline, bound, governor, thermal in grid:
+    for (
+        policy,
+        (rate_idx, rate),
+        size,
+        discipline,
+        bound,
+        governor,
+        thermal,
+        topology,
+    ) in grid:
+        if topology is not None:
+            # A topology cell's device count and budgets come from the
+            # spec tree; the fleet-size and governor axes have no meaning
+            # there (first value kept, like the other collapses).
+            if discipline == "fluid":
+                continue
+            if size != spec.fleet_sizes[0]:
+                continue
+            if governor != governors[0]:
+                continue
+            size = topology.total_devices
+            governor = GovernorSpec()
         if discipline == "immediate":
             if bound != spec.queue_bounds[0]:
                 continue
@@ -441,6 +493,7 @@ def expand_cells(spec: SweepSpec) -> list[SweepCell]:
                 queue_bound=bound,
                 governor=governor,
                 thermal=thermal,
+                topology=topology,
             )
         )
     return cells
@@ -528,7 +581,8 @@ def run_cell(
         mode = "immediate"
     fleet = FleetSimulator(
         config,
-        n_devices=cell.n_devices,
+        n_devices=None if cell.topology is not None else cell.n_devices,
+        topology=cell.topology,
         policy=cell.policy,
         sprint_speedup=spec.sprint_speedup,
         sprint_enabled=spec.sprint_enabled,
@@ -628,6 +682,8 @@ class SweepResult:
             else:
                 bound = "∞" if cell.queue_bound is None else str(cell.queue_bound)
                 dispatch = f"{cell.discipline}[{bound}]"
+            if cell.topology is not None:
+                dispatch = f"{dispatch}@{cell.topology.n_racks}r"
             if replicated:
                 p99 = result.estimate("p99_latency_s")
                 p99_text = f"{p99.mean:7.2f}s {p99.half_width:6.2f}s"

@@ -35,6 +35,17 @@ a simulation — the golden fixture locks this.  The sketch's compaction is
 keyed by per-level parity bits that alternate deterministically (and XOR
 under merge, which makes merging commutative: ``a.merge(b)`` and
 ``b.merge(a)`` answer every quantile query identically).
+
+Usage — a thousand latencies stream through 64 retained samples, and the
+p90 query still lands within the documented rank-error bound:
+
+>>> from repro.traffic.telemetry import QuantileSketch
+>>> sketch = QuantileSketch(capacity=64)
+>>> sketch.extend(float(i) for i in range(1000))
+>>> sketch.count
+1000
+>>> abs(sketch.quantile(0.9) - 900.0) <= sketch.rank_error_bound * 1000
+True
 """
 
 from __future__ import annotations
@@ -499,6 +510,11 @@ class FleetTimeline:
     (the hypothesis invariant suite asserts this across the engine's
     whole configuration space).  Timelines merge across shards and
     replications: counters add, gauge/thermal peaks take the max.
+
+    ``scope`` names what the timeline covers — ``"fleet"`` for a whole
+    run, a hierarchical rack path (``row0/rack2``) for one topology
+    shard's view; merging timelines with different scopes yields their
+    longest common path prefix (``"fleet"`` when there is none).
     """
 
     cadence_s: float
@@ -516,6 +532,8 @@ class FleetTimeline:
     peak_in_flight_sprints: np.ndarray
     peak_temperature_c: np.ndarray
     peak_melt_fraction: np.ndarray
+    #: What the timeline covers: ``"fleet"`` or a hierarchical rack path.
+    scope: str = "fleet"
 
     #: Counter columns (summed under merge); the rest are peaks (maxed).
     COUNTER_COLUMNS = (
@@ -548,6 +566,7 @@ class FleetTimeline:
     def to_dict(self) -> dict:
         """Plain-JSON columnar form (lists, not arrays)."""
         out: dict = {
+            "scope": self.scope,
             "cadence_s": self.cadence_s,
             "excess_power_w": self.excess_power_w,
             "window_start_s": [float(t) for t in self.window_start_s],
@@ -591,10 +610,20 @@ class FleetTimeline:
                 for name in self.PEAK_COLUMNS
             }
         )
+        if self.scope == other.scope:
+            scope = self.scope
+        else:
+            prefix = []
+            for a, b in zip(self.scope.split("/"), other.scope.split("/")):
+                if a != b:
+                    break
+                prefix.append(a)
+            scope = "/".join(prefix) or "fleet"
         return FleetTimeline(
             cadence_s=cadence,
             excess_power_w=max(self.excess_power_w, other.excess_power_w),
             window_start_s=np.arange(n, dtype=float) * cadence,
+            scope=scope,
             **columns,
         )
 
@@ -764,13 +793,20 @@ TRACE_KINDS = (
 
 @dataclass(frozen=True)
 class TraceRecord:
-    """One structured trace event."""
+    """One structured trace event.
+
+    ``device_id`` is the device's position within its serving engine;
+    ``label`` is its stable hierarchical identity (``row0/rack2/dev5``)
+    when the fleet carries one, so traces merged across topology shards
+    stay attributable after engine-local positions collide.
+    """
 
     time_s: float
     kind: str
     request_index: int | None = None
     device_id: int | None = None
     detail: float | None = None
+    label: str | None = None
 
     def to_json(self) -> str:
         """One JSON-lines record (``None`` fields omitted)."""
@@ -809,6 +845,7 @@ class EventTrace:
         request_index: int | None = None,
         device_id: int | None = None,
         detail: float | None = None,
+        label: str | None = None,
     ) -> None:
         """Record one lifecycle event (O(1), never raises on overflow)."""
         if kind not in TRACE_KINDS:
@@ -819,6 +856,7 @@ class EventTrace:
             request_index=request_index,
             device_id=device_id,
             detail=detail,
+            label=label,
         )
         if self.capacity is None or len(self._ring) < self.capacity:
             self._ring.append(record)

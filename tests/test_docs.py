@@ -1,0 +1,103 @@
+"""Documentation stays true: intra-repo links resolve, catalogs stay full.
+
+Markdown rots in two ways this suite guards against: a link keeps
+pointing at a file or anchor that moved (the reader hits a 404 inside
+the repo), and a catalog silently falls behind the thing it catalogs
+(``docs/SCENARIOS.md`` promising to cover "every runnable study" while
+an example goes unmentioned).  The CI ``docs`` job runs this module
+alongside ``pytest --doctest-modules src/repro/traffic``, so both the
+prose and the docstring examples are executable claims.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: Markdown documents whose intra-repo links must resolve.  Generated or
+#: session-local files (ISSUE.md, CHANGES.md, SNIPPETS.md, PAPERS.md) are
+#: deliberately out of scope.
+DOCUMENTS = (
+    "README.md",
+    "ROADMAP.md",
+    "TESTING.md",
+    "docs/ARCHITECTURE.md",
+    "docs/SCENARIOS.md",
+)
+
+_LINK = re.compile(r"(?<!\!)\[[^\]]+\]\(([^)\s]+)\)")
+_HEADING = re.compile(r"^#+\s+(.*)$", re.MULTILINE)
+
+
+def _anchor(heading: str) -> str:
+    """GitHub's heading-to-anchor slug: lowercase, drop punctuation,
+    spaces to hyphens."""
+    text = heading.strip().lower()
+    text = re.sub(r"[`*_]", "", text)
+    text = re.sub(r"[^\w\- ]", "", text)
+    return text.replace(" ", "-")
+
+
+def _anchors_of(path: Path) -> set[str]:
+    return {_anchor(h) for h in _HEADING.findall(path.read_text(encoding="utf-8"))}
+
+
+def _intra_repo_links(path: Path) -> list[str]:
+    links = []
+    for target in _LINK.findall(path.read_text(encoding="utf-8")):
+        if target.startswith(("http://", "https://", "mailto:")):
+            continue
+        links.append(target)
+    return links
+
+
+@pytest.mark.parametrize("document", DOCUMENTS)
+def test_document_exists(document):
+    assert (REPO_ROOT / document).is_file(), f"{document} is missing"
+
+
+@pytest.mark.parametrize("document", DOCUMENTS)
+def test_intra_repo_links_resolve(document):
+    """Every relative link points at a real file, and every anchor at a
+    real heading in its target."""
+    source = REPO_ROOT / document
+    broken = []
+    for target in _intra_repo_links(source):
+        path_part, _, anchor = target.partition("#")
+        resolved = (
+            source.parent / path_part if path_part else source
+        ).resolve()
+        if not resolved.exists():
+            broken.append(f"{target}: no such file {resolved}")
+            continue
+        if anchor and resolved.suffix == ".md":
+            if _anchor(anchor) not in _anchors_of(resolved):
+                broken.append(f"{target}: no heading for #{anchor}")
+    assert not broken, f"{document} has broken links:\n" + "\n".join(broken)
+
+
+def test_scenarios_catalog_covers_every_example():
+    """docs/SCENARIOS.md names every examples/*.py script."""
+    catalog = (REPO_ROOT / "docs" / "SCENARIOS.md").read_text(encoding="utf-8")
+    missing = [
+        script.name
+        for script in sorted((REPO_ROOT / "examples").glob("*.py"))
+        if script.name not in catalog
+    ]
+    assert not missing, f"SCENARIOS.md does not mention: {missing}"
+
+
+def test_architecture_names_every_traffic_module():
+    """docs/ARCHITECTURE.md accounts for each public traffic module."""
+    doc = (REPO_ROOT / "docs" / "ARCHITECTURE.md").read_text(encoding="utf-8")
+    modules = [
+        p.stem
+        for p in sorted((REPO_ROOT / "src/repro/traffic").glob("*.py"))
+        if p.stem != "__init__"
+    ]
+    missing = [m for m in modules if f"`{m}`" not in doc and f".{m}" not in doc]
+    assert not missing, f"ARCHITECTURE.md does not mention: {missing}"

@@ -35,6 +35,7 @@ COVERED = {
     "telemetry_study": "pooled p99",
     "reproduce_paper": "EXPERIMENTS",
     "fast_path_study": "vector core",
+    "topology_study": "grant cascade",
 }
 
 
@@ -220,6 +221,18 @@ def test_fast_path_study(capsys, monkeypatch):
     assert "exact loop: policy 'least_loaded'" in out
     assert "within contract" in out
     assert "understated by design" in out
+
+
+def test_topology_study(capsys, monkeypatch):
+    module = load_example("topology_study")
+    monkeypatch.setattr(module, "REQUESTS", 80)
+    monkeypatch.setattr(module, "SHARD_WORKERS", 2)
+    module.main()
+    out = capsys.readouterr().out
+    assert COVERED["topology_study"] in out
+    assert "heterogeneous racks" in out
+    assert "breaker trips by level" in out
+    assert "summaries identical: True" in out
 
 
 def test_reproduce_paper(

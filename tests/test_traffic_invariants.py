@@ -28,12 +28,16 @@ from hypothesis import given, strategies as st
 
 from repro.core.config import SystemConfig
 from repro.traffic import (
+    TOPOLOGY_DISPATCH,
     FixedService,
     FleetSimulator,
     GammaService,
     GovernorSpec,
+    RackSpec,
+    RowSpec,
     Scenario,
     ThermalSpec,
+    TopologySpec,
 )
 from repro.traffic.arrivals import (
     DeterministicArrivals,
@@ -88,6 +92,46 @@ def governors():
             st.floats(min_value=10.0, max_value=60.0),
             st.floats(min_value=0.0, max_value=30.0),
         ).map(lambda t: GovernorSpec.cooperative(t[0], penalty_s=t[1])),
+    )
+
+
+def sliceable_governors():
+    """Budgets legal at row/datacenter level: their window capacity must
+    partition exactly across rack shards (token_bucket's refill does not)."""
+    return st.one_of(
+        st.just(GovernorSpec.unlimited()),
+        st.integers(min_value=1, max_value=4).map(GovernorSpec.greedy),
+        st.tuples(
+            st.floats(min_value=10.0, max_value=60.0),
+            st.floats(min_value=0.0, max_value=30.0),
+        ).map(lambda t: GovernorSpec.cooperative(t[0], penalty_s=t[1])),
+    )
+
+
+@st.composite
+def topologies(draw):
+    """A small random rack/row/datacenter tree across the legal shapes:
+    1-2 rows of 1-2 racks of 1-3 devices, any governor (incl. token_bucket)
+    at rack level, sliceable governors above, both dispatch policies."""
+    rows = tuple(
+        RowSpec(
+            racks=tuple(
+                RackSpec(
+                    n_devices=draw(st.integers(min_value=1, max_value=3)),
+                    governor=draw(governors()),
+                    sprint_enabled=draw(st.one_of(st.none(), st.booleans())),
+                )
+                for _ in range(draw(st.integers(min_value=1, max_value=2)))
+            ),
+            governor=draw(sliceable_governors()),
+        )
+        for _ in range(draw(st.integers(min_value=1, max_value=2)))
+    )
+    return TopologySpec(
+        rows=rows,
+        governor=draw(sliceable_governors()),
+        window_s=draw(st.sampled_from([15.0, 30.0, 60.0])),
+        dispatch=draw(st.sampled_from(TOPOLOGY_DISPATCH)),
     )
 
 
@@ -214,3 +258,102 @@ class TestFleetInvariants:
             assert summary.p95_latency_s <= summary.p99_latency_s + 1e-12
             assert summary.p99_latency_s <= summary.max_latency_s + 1e-12
             assert summary.makespan_s >= 0.0
+
+
+class TestTopologyInvariants:
+    """The flat-fleet laws survive hierarchical budgets and sharding."""
+
+    @given(
+        topology=topologies(),
+        arrivals=arrival_processes(),
+        service=service_models(),
+        n_requests=st.integers(min_value=3, max_value=20),
+        workers=st.integers(min_value=1, max_value=3),
+        deadline_s=st.one_of(st.none(), st.floats(min_value=2.0, max_value=40.0)),
+        seed=st.integers(min_value=0, max_value=2**31 - 1),
+    )
+    def test_sharded_conservation_and_ledger(
+        self, topology, arrivals, service, n_requests, workers, deadline_s, seed
+    ):
+        scenario = Scenario(
+            arrivals=arrivals,
+            service=service,
+            n_requests=n_requests,
+            topology=topology,
+            shard_workers=workers,
+            deadline_s=deadline_s,
+        )
+        fleet = scenario.build_fleet(CONFIG)
+        result = fleet.run(scenario.requests(seed), seed=seed)
+
+        # Conservation holds through rack routing, window barriers, and
+        # the shard merge: fates partition the arrivals exactly.  (A rack
+        # job ending with grants in flight raises inside run_sharded, so
+        # completing at all is the no-leaked-grants assertion.)
+        fates = (
+            [s.request.index for s in result.served]
+            + [r.index for r in result.rejected]
+            + [r.index for r in result.abandoned]
+        )
+        assert sorted(fates) == list(range(n_requests))
+        assert not result.rejected  # no bounded central queue configured
+        if deadline_s is None:
+            assert not result.abandoned
+
+        # Stable hierarchical identity: device stats keep tree order and
+        # row/rack-qualified labels whatever the shard count.
+        assert [d.device_id for d in result.device_stats] == list(
+            range(topology.total_devices)
+        )
+        assert [d.device_label for d in result.device_stats] == list(
+            topology.device_labels()
+        )
+        assert sum(d.requests_served for d in result.device_stats) == len(result.served)
+
+        # Per-level ledgers stay internally consistent with the cascade
+        # aggregate: every cascade denial is attributed to >=1 level.
+        stats = result.topology_stats
+        if stats is not None:
+            assert len(stats.racks) == len(stats.rack_paths)
+            assert stats.rack_paths == topology.rack_paths
+            denied = stats.denied_by_level()
+            assert all(count >= 0 for count in denied.values())
+            assert stats.overall.sprints_denied <= sum(denied.values())
+            sprinted = sum(1 for s in result.served if s.sprinted)
+            assert sprinted <= stats.overall.sprints_granted
+
+    @given(
+        topology=topologies(),
+        arrivals=arrival_processes(),
+        service=service_models(),
+        n_requests=st.integers(min_value=3, max_value=15),
+        workers=st.integers(min_value=2, max_value=4),
+        seed=st.integers(min_value=0, max_value=2**31 - 1),
+    )
+    def test_results_invariant_under_shard_workers(
+        self, topology, arrivals, service, n_requests, workers, seed
+    ):
+        # The speed knob must not be a physics knob: arrivals are routed
+        # and parent budgets sliced before any worker runs, so a serial
+        # and a fanned-out run are bit-identical.
+        def run(shard_workers):
+            scenario = Scenario(
+                arrivals=arrivals,
+                service=service,
+                n_requests=n_requests,
+                topology=topology,
+                shard_workers=shard_workers,
+            )
+            return scenario.build_fleet(CONFIG).run(
+                scenario.requests(seed), seed=seed
+            )
+
+        serial, fanned = run(1), run(workers)
+        assert serial.summary(slo_s=2.0).to_dict() == fanned.summary(slo_s=2.0).to_dict()
+        assert [
+            (d.device_id, d.device_label, d.requests_served, d.sprints_served)
+            for d in serial.device_stats
+        ] == [
+            (d.device_id, d.device_label, d.requests_served, d.sprints_served)
+            for d in fanned.device_stats
+        ]
