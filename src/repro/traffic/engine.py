@@ -105,9 +105,10 @@ DispatchFn = Callable[[Sequence[SprintDevice], Request, np.random.Generator, int
 DISPATCH_MODES = ("immediate", "central_queue")
 
 #: How the engine advances time: one heap event at a time (the reference),
-#: or the numpy vector core where the configuration permits — with an
-#: automatic, bit-identical fallback to exact where it does not
-#: (see :mod:`repro.traffic.fastpath`).
+#: or the batched cores where the configuration permits — the lockstep
+#: numpy vector core for ungoverned immediate runs, the batch-replay event
+#: core for governed/central-queue runs — with an automatic, bit-identical
+#: fallback to exact where neither applies (see :mod:`repro.traffic.fastpath`).
 EXECUTION_MODES = ("exact", "batched")
 
 #: Orderings of the shared queue in central_queue mode.
@@ -295,6 +296,27 @@ class LeastLoadedIndex:
         if total > max(2 * len(self._devices), self._COMPACT_MIN):
             self._compact()
 
+    def push_many(self, positions: Sequence[int]) -> None:
+        """Re-key a batch of devices after they absorbed requests.
+
+        Pick-equivalent to calling :meth:`update` per position: each
+        position's live entry must reflect its device's current state, and
+        how the stale entries die is unobservable through :meth:`pick`.
+        Small batches take the incremental per-position path; once the
+        batch touches a quarter of the fleet, invalidating every touched
+        entry and rebuilding both heaps in one O(n) pass is cheaper than
+        the ~batch·log(n) pushes (a rebuild never changes the minimum live
+        entry, so picks are unaffected).
+        """
+        unique = set(positions)
+        if 4 * len(unique) < len(self._devices):
+            for pos in unique:
+                self.update(pos)
+            return
+        for pos in unique:
+            self._version[pos] += 1
+        self._compact()
+
     def _compact(self) -> None:
         """Rebuild both heaps with one live entry per device.
 
@@ -416,13 +438,17 @@ class ServingEngine:
         fixture locks this).
     execution:
         ``"exact"`` (default) resolves every event through the heap loop.
-        ``"batched"`` runs the numpy vector core where the configuration
-        permits (immediate mode, round_robin/random policy, ungoverned,
-        linear thermal backends, no observers — see
-        :mod:`repro.traffic.fastpath`) and falls back to the exact loop
-        otherwise, so results are bit-identical either way.
+        ``"batched"`` runs the fast cores where the configuration permits:
+        the numpy lockstep core for ungoverned immediate round_robin/random
+        dispatch, and the batch-replay event core for central-queue FIFO
+        and governed runs whose policy declares an exact batched replay
+        (greedy, cooperative_threshold, cascades of them) — all on linear
+        thermal backends, with streaming observers fed from columnar
+        buffers (see :mod:`repro.traffic.fastpath`).  Anything else (EDF,
+        token_bucket, state-dependent policies, physics backends) falls
+        back to the exact loop, so results are bit-identical either way.
         :attr:`last_run_fast_path` reports which path the latest run took,
-        and :attr:`fast_path_reason` why the vector core is (not) engaged.
+        and :attr:`fast_path_reason` why the fast cores are (not) engaged.
     """
 
     def __init__(
@@ -511,13 +537,24 @@ class ServingEngine:
         if self._use_fast_path():
             from repro.traffic.fastpath import run_batched
 
+            count = len(ordered)
             times = np.fromiter(
-                (r.arrival_s for r in ordered), dtype=float, count=len(ordered)
+                (r.arrival_s for r in ordered), dtype=float, count=count
             )
             demands = np.fromiter(
-                (r.sustained_time_s for r in ordered), dtype=float, count=len(ordered)
+                (r.sustained_time_s for r in ordered), dtype=float, count=count
             )
-            return run_batched(self, [(times, demands, ordered)], rng)
+            # Deadlines only matter to the central queue (abandonment) and
+            # to telemetry (miss counting); other fast-path runs skip the
+            # column entirely.
+            deadline_at = None
+            if self.mode != "immediate" or self.telemetry is not None:
+                deadline_at = np.fromiter(
+                    (r.deadline_at_s for r in ordered), dtype=float, count=count
+                )
+            return run_batched(
+                self, [(times, demands, ordered, deadline_at, None)], rng
+            )
         seq = itertools.count()
         # Entries are (time, kind, seq, payload); seq is unique, so payloads
         # are never compared.  Arrivals are fed into the heap one at a time
@@ -826,21 +863,36 @@ class ServingEngine:
         The streaming counterpart of :meth:`run`: blocks must be globally
         time-ordered (as :func:`~repro.traffic.request.generate_request_blocks`
         emits them).  Under ``execution="batched"`` on a supported
-        configuration the columns feed the vector core directly — with
-        ``keep_samples=False`` peak memory is one chunk regardless of
-        horizon.  Any other configuration materialises the requests and
-        takes the exact loop (O(n) requests in memory), so results are
-        bit-identical in every case.
+        configuration the columns feed the fast cores directly — with
+        ``keep_samples=False`` (and no probe or trace holding per-request
+        references) peak memory is one chunk regardless of horizon.  Any
+        other configuration materialises the requests and takes the exact
+        loop (O(n) requests in memory), so results are bit-identical in
+        every case.
         """
         if self._use_fast_path():
             from repro.traffic.fastpath import run_batched
 
-            keep = self.keep_samples
+            # Request objects exist only where something keeps a reference
+            # to them (samples, timeline probe, event trace); the sketch
+            # and the cores themselves run on bare columns.  Deadline
+            # columns are block-scalar broadcasts, bit-identical to each
+            # request's own ``deadline_at_s``.
+            need_objects = (
+                self.keep_samples or self.probe is not None or self.trace is not None
+            )
+            need_deadlines = self.mode != "immediate" or self.telemetry is not None
             stream = (
                 (
                     block.arrival_s,
                     block.sustained_time_s,
-                    block.to_requests() if keep else None,
+                    block.to_requests() if need_objects else None,
+                    (
+                        block.arrival_s + block.deadline_s
+                        if need_deadlines and block.deadline_s is not None
+                        else None
+                    ),
+                    block.start_index,
                 )
                 for block in blocks
             )

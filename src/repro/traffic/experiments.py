@@ -161,10 +161,10 @@ class Scenario:
     #: :attr:`ExperimentResult.telemetries` and merges across workers.
     telemetry: TelemetrySpec | bool | None = None
     #: Engine execution strategy for the discrete-event modes:
-    #: ``"exact"`` (scalar event loop) or ``"batched"`` (vectorized fast
-    #: path where eligible, bit-identical results either way).  Ignored
-    #: by ``mode="fluid"``.
-    engine: str = "exact"
+    #: ``"batched"`` (default — vectorized fast path where eligible,
+    #: bit-identical to the event loop) or ``"exact"`` (always the scalar
+    #: event loop).  Ignored by ``mode="fluid"``.
+    engine: str = "batched"
     #: Hierarchical fleet shape (:class:`~repro.traffic.topology.TopologySpec`).
     #: When set, ``n_devices`` is taken from the topology (leave it at the
     #: default or set it to the matching total) and per-level budgets come

@@ -1,37 +1,51 @@
-"""Vectorized immediate-mode execution: the engine's numpy fast path.
+"""Vectorized and batch-replayed execution: the engine's numpy fast path.
 
 The exact engine (:mod:`repro.traffic.engine`) resolves one heap event per
-request in pure Python.  For the configurations where nothing *interesting*
-can happen between arrivals — immediate dispatch under a precomputable
-policy, no power governor gating sprints, every device pacing against the
-closed-form :class:`~repro.core.thermal_backend.LinearReservoir`, and no
-streaming observers watching individual events — the whole run collapses to
-arithmetic that numpy can do in blocks:
+request in pure Python.  This module is the ``engine="batched"`` execution
+strategy: the same runs, bit-identical, at a fraction of the interpreter
+work.  Two cores divide the envelope:
 
-* the device assignment sequence is known up front (``round_robin`` is
+* **The lockstep vector core** (ungoverned immediate dispatch) — when the
+  device assignment sequence is known up front (``round_robin`` is
   ``(cursor + i) mod n``; ``random`` is one block draw of ``rng.integers``,
-  bit-identical to the scalar per-request draws),
-* each device's request chain is independent once assignments are fixed, so
-  all devices advance in lockstep *rounds*: round ``k`` executes the
-  ``k``-th request of every device that has one, as ~30 vectorized ops over
-  the active-device axis,
-* the linear-reservoir sprint decision (drain, headroom, full / partial /
-  sustained, deposit) is elementwise ``max``/``where`` arithmetic whose
-  float operations are exactly the scalar pacer's, so every latency, heat,
-  and temperature matches the exact engine bit-for-bit — the equivalence
-  suite locks this across the scenario matrix.
+  bit-identical to the scalar per-request draws), every device's request
+  chain is independent, so all devices advance in lockstep *rounds*:
+  round ``k`` executes the ``k``-th request of every device that has one,
+  as ~30 vectorized ops over the active-device axis.  The linear-reservoir
+  sprint decision (drain, headroom, full / partial / sustained, deposit)
+  is elementwise ``max``/``where`` arithmetic whose float operations are
+  exactly the scalar pacer's.
+* **The batch-replay event core** (governed sprinting, central-queue FIFO)
+  — event *interleaving* matters there, so the core keeps the exact
+  loop's event semantics (same event kinds, same tie-break order, same
+  float paths) but strips its interpreter overhead: arrivals merge from
+  the sorted column stream instead of living in the heap, the FIFO queue
+  is a deque of tokens, device execution is the linear-reservoir
+  arithmetic inlined on plain floats, and request/outcome objects are
+  only constructed when a caller actually keeps them.  Grant decisions go
+  through the *real* governor object at the exact event timestamps, so
+  ``GovernorStats`` ledgers replay exactly — for ``greedy``,
+  ``cooperative_threshold``, and any cascade of them.
 
-Configurations outside this envelope (central queues, governed sprints,
-physics thermal backends, state-dependent policies like ``least_loaded``,
-attached telemetry) keep the exact event loop: the engine's ``batched``
-execution mode falls back honestly rather than approximate.  The
-:func:`unsupported_reason` predicate is the single source of truth for that
-envelope, and ``ServingEngine.last_run_fast_path`` reports which path a run
-actually took.
+Streaming observers no longer disqualify the fast path: the telemetry
+sketch is fed from per-chunk columnar buffers
+(:meth:`~repro.traffic.telemetry.TrafficTelemetry.observe_batch`), the
+timeline probe from per-window batch counters, and the (ring-bounded)
+event trace from a scalar replay in processing order — all bit-identical
+to the per-event callbacks.
 
-Requests are consumed as ``(times, demands, requests)`` column blocks, so
-the streaming entry point (``ServingEngine.run_blocks`` under
-``keep_samples=False``) holds one chunk in memory regardless of horizon.
+Configurations still outside the envelope — EDF queue re-sorting,
+token-bucket grant refill, state-dependent policies like
+``least_loaded``, physics thermal backends — keep the exact event loop:
+``batched`` execution falls back honestly rather than approximate.  The
+:func:`unsupported_reason` predicate is the single source of truth for
+that envelope, and ``ServingEngine.last_run_fast_path`` reports which
+path a run actually took.
+
+Requests are consumed as ``(times, demands, requests, deadline_at,
+start_index)`` column blocks, so the streaming entry point
+(``ServingEngine.run_blocks`` under ``keep_samples=False``) holds one
+chunk in memory regardless of horizon.
 
 Usage — :func:`unsupported_reason` names exactly what keeps a
 configuration on the exact loop:
@@ -51,10 +65,23 @@ True
 ...     ServingEngine(devices, DISPATCH_POLICIES["least_loaded"], "least_loaded")
 ... )
 "policy 'least_loaded' depends on per-request fleet state"
+>>> unsupported_reason(
+...     ServingEngine(
+...         devices,
+...         DISPATCH_POLICIES["round_robin"],
+...         "round_robin",
+...         mode="central_queue",
+...         discipline="edf",
+...     )
+... )
+"queue discipline 'edf' re-sorts the shared queue on deadlines"
 """
 
 from __future__ import annotations
 
+import heapq
+import itertools
+from collections import deque
 from typing import TYPE_CHECKING, Iterable, Sequence
 
 import numpy as np
@@ -69,33 +96,57 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
 #: Immediate-mode policies whose assignment sequence is precomputable.
 BATCHABLE_POLICIES = ("round_robin", "random")
 
+#: One chunk's stream element: (times, demands, requests, deadline_at,
+#: start_index).  ``requests`` is None unless outcome objects are needed
+#: (keep_samples / probe / trace); ``deadline_at`` is the absolute-deadline
+#: column (None when the chunk carries no deadlines and no observer needs
+#: them); ``start_index`` recovers request indices when objects are absent.
+StreamChunk = tuple[
+    np.ndarray,
+    np.ndarray,
+    "Sequence[Request] | None",
+    "np.ndarray | None",
+    "int | None",
+]
+
 
 def unsupported_reason(engine: "ServingEngine") -> str | None:
     """Why this engine configuration cannot take the vector fast path.
 
     Returns ``None`` when the fast path applies.  The conditions mirror the
-    module docstring: anything that makes event *interleaving* matter —
-    shared queues, grant handshakes, state-dependent dispatch, open-form
-    thermal physics, per-event observers — forces the exact heap loop.
+    module docstring: anything whose exact replay cannot be proven —
+    deadline-ordered queue re-sorting, state-dependent dispatch,
+    token-bucket refill arithmetic, open-form thermal physics — forces the
+    exact heap loop.  Streaming observers and power governors are *inside*
+    the envelope now: observers are fed from columnar buffers, and grant
+    policies that declare ``supports_batched_replay`` are replayed through
+    the real governor object.
     """
     from repro.traffic.engine import DISPATCH_POLICIES
 
-    if engine.mode != "immediate":
-        return "central-queue dispatch serializes on shared-queue events"
-    if engine.policy_name not in BATCHABLE_POLICIES:
-        return (
-            f"policy {engine.policy_name!r} depends on per-request fleet state"
-        )
-    if engine.dispatch is not DISPATCH_POLICIES[engine.policy_name]:
-        return "custom dispatch callable must be consulted per request"
-    if engine.governor is not None and not engine.governor.is_unlimited:
-        return "governed sprinting requires the per-event grant handshake"
-    if (
-        engine.telemetry is not None
-        or engine.probe is not None
-        or engine.trace is not None
-    ):
-        return "streaming observers consume events one at a time"
+    if engine.mode == "central_queue":
+        # Central dispatch never consults the immediate-mode policy; only
+        # the queue ordering matters.  FIFO drains in token order, which
+        # the batch core reproduces with a deque; EDF re-sorts on absolute
+        # deadlines and keeps the exact heap.
+        if engine.discipline != "fifo":
+            return (
+                f"queue discipline {engine.discipline!r} re-sorts the "
+                "shared queue on deadlines"
+            )
+    else:
+        if engine.policy_name not in BATCHABLE_POLICIES:
+            return (
+                f"policy {engine.policy_name!r} depends on per-request fleet state"
+            )
+        if engine.dispatch is not DISPATCH_POLICIES[engine.policy_name]:
+            return "custom dispatch callable must be consulted per request"
+    governor = engine.governor
+    if governor is not None and not governor.is_unlimited:
+        if not getattr(governor, "supports_batched_replay", False):
+            return (
+                f"governor {governor.name!r} has no exact batched grant replay"
+            )
     for device in engine.devices:
         if type(device.thermal_backend) is not LinearReservoir:
             return (
@@ -191,20 +242,21 @@ def _advance_chunk(
     assign: np.ndarray,
     times: np.ndarray,
     demands: np.ndarray,
-    keep: bool,
+    collect: bool,
 ) -> tuple[np.ndarray, ...] | None:
     """Advance every device through its requests in this chunk.
 
     Requests for one device execute in arrival order; lockstep round ``k``
     processes the ``k``-th request of every device that has one.  Returns
-    per-request output columns (in chunk order) when ``keep`` is set.
+    per-request output columns (in chunk order) when ``collect`` is set —
+    for kept samples or for feeding streaming observers columnarly.
     """
     count = times.size
     order = np.argsort(assign, kind="stable")
     counts = np.bincount(assign, minlength=len(state.devices))
     offsets = np.concatenate(([0], np.cumsum(counts)[:-1]))
 
-    if keep:
+    if collect:
         out_queueing = np.empty(count)
         out_response = np.empty(count)
         out_before = np.empty(count)
@@ -262,7 +314,7 @@ def _advance_chunk(
         state.peak_stored[active] = np.maximum(state.peak_stored[active], stored_new)
         state.last_arrival[active] = t_k
 
-        if keep:
+        if collect:
             out_queueing[idx] = start - t_k
             out_response[idx] = response
             out_before[idx] = after_drain
@@ -278,7 +330,7 @@ def _advance_chunk(
             )
             out_temp[idx] = state.ambient[active] + fill * state.headroom_c[active]
 
-    if not keep:
+    if not collect:
         return None
     return (
         out_queueing,
@@ -291,46 +343,109 @@ def _advance_chunk(
     )
 
 
-def run_batched(
+def _check_chunk_order(
+    times: np.ndarray, previous_end: float
+) -> float:
+    """Assert one chunk continues a time-ordered stream; return its end."""
+    if times[0] < previous_end or np.any(np.diff(times) < 0):
+        raise ValueError("batched execution needs time-ordered arrivals")
+    return float(times[-1])
+
+
+def _run_immediate_core(
     engine: "ServingEngine",
-    stream: Iterable[tuple[np.ndarray, np.ndarray, Sequence[Request] | None]],
+    stream: Iterable[StreamChunk],
     rng: np.random.Generator,
 ) -> "EngineResult":
-    """Run time-ordered request blocks through the vector core.
+    """The lockstep vector core: ungoverned immediate dispatch.
 
-    ``stream`` yields ``(times, demands, requests)`` columns; ``requests``
-    is only consulted when the engine keeps samples (it becomes the
-    ``ServedRequest.request`` back-references).  The caller guarantees the
-    concatenated times are non-decreasing — arrival processes emit sorted
-    streams and ``ServingEngine.run`` sorts — which is asserted cheaply per
-    chunk.
+    Observers are fed per chunk from the same output columns that kept
+    samples use: the telemetry sketch through ``observe_batch``, the
+    timeline probe through its windowed batch counters (immediate
+    ungoverned runs touch no gauges), and the event trace through a scalar
+    replay in processing order — each bit-identical to the exact loop's
+    per-event callbacks because every one of those instruments is either
+    order-free (window counters, peaks) or fed in the exact processing
+    order (sketch columns, trace records).
     """
     from repro.traffic.engine import EngineResult
 
     state = _FleetState(engine.devices)
     keep = engine.keep_samples
+    telemetry = engine.telemetry
+    probe = engine.probe
+    trace = engine.trace
+    collect = keep or telemetry is not None or probe is not None or trace is not None
+    labels = [d.label for d in engine.devices]
     served: list[ServedRequest] = []
     served_count = 0
     cursor = 0
     last_s = 0.0
     previous_end = -np.inf
 
-    for times, demands, requests in stream:
+    for times, demands, requests, deadline_at, start_index in stream:
         count = times.size
         if count == 0:
             continue
-        if times[0] < previous_end or np.any(np.diff(times) < 0):
-            raise ValueError("batched execution needs time-ordered arrivals")
-        previous_end = times[-1]
+        previous_end = _check_chunk_order(times, previous_end)
         assign = _assignments(engine, count, cursor, rng)
         cursor += count
-        outputs = _advance_chunk(state, assign, times, demands, keep)
+        outputs = _advance_chunk(state, assign, times, demands, collect)
         served_count += count
-        last_s = float(times[-1])
+        last_s = previous_end
+        if not collect:
+            continue
+        queueing, response, before, after, fullness, temp, sprinted = outputs
+        latency = queueing + response
+        completed = times + latency
+        device_ids = state.device_ids[assign]
+        if probe is not None:
+            probe.on_arrival_batch(times)
+            probe.on_served_batch(completed, sprinted, temp)
+        if telemetry is not None:
+            missed = 0
+            if deadline_at is not None:
+                missed = int(np.count_nonzero(completed > deadline_at))
+            telemetry.observe_batch(
+                latencies=latency.tolist(),
+                queueing_delays=queueing.tolist(),
+                stored_heats=after.tolist(),
+                sprinted_count=int(np.count_nonzero(sprinted)),
+                fullness=fullness.tolist(),
+                deadline_miss_count=missed,
+                peak_temperature_c=float(temp.max()),
+                peak_melt_fraction=0.0,
+                first_arrival_s=float(times[0]),
+                last_completion_s=float(completed.max()),
+            )
+        if trace is not None:
+            base = 0 if start_index is None else start_index
+            t_l = times.tolist()
+            c_l = completed.tolist()
+            lat_l = latency.tolist()
+            pos_l = assign.tolist()
+            gid_l = device_ids.tolist()
+            for i in range(count):
+                ridx = requests[i].index if requests is not None else base + i
+                pos = pos_l[i]
+                trace.add(t_l[i], "arrival", request_index=ridx)
+                trace.add(
+                    t_l[i],
+                    "dispatch",
+                    request_index=ridx,
+                    device_id=pos,
+                    label=labels[pos],
+                )
+                trace.add(
+                    c_l[i],
+                    "complete",
+                    request_index=ridx,
+                    device_id=gid_l[i],
+                    detail=lat_l[i],
+                    label=labels[pos],
+                )
         if keep:
             assert requests is not None
-            queueing, response, before, after, fullness, temp, sprinted = outputs
-            device_ids = state.device_ids[assign]
             served.extend(
                 ServedRequest(
                     request=requests[i],
@@ -358,3 +473,629 @@ def run_batched(
         rejected_count=0,
         abandoned_count=0,
     )
+
+
+def _run_event_core(
+    engine: "ServingEngine",
+    stream: Iterable[StreamChunk],
+    rng: np.random.Generator,
+) -> "EngineResult":
+    """The batch-replay event core: governed sprinting and central-queue FIFO.
+
+    The exact loop's semantics with its interpreter overhead stripped.
+    Three structural changes, each order-preserving by construction:
+
+    * **Arrivals merge from the sorted column stream** instead of living in
+      the heap.  At most one ARRIVAL is ever in the exact heap, and at
+      equal timestamps ARRIVAL beats only DEADLINE, so an arrival at ``t``
+      is processed exactly after every heap event ``(t', kind)`` with
+      ``t' < t`` or ``t' == t and kind < ARRIVAL``.
+    * **The FIFO queue is a deque of tokens** with a ``waiting`` dict for
+      lazy deadline deletion.  The exact heap keys FIFO entries by their
+      monotonically increasing token, so heap order *is* append order.
+    * **Device execution is inlined** linear-reservoir arithmetic on plain
+      floats — the same operations, in the same order, as
+      ``SprintPacer.execute_at`` — and ``Request``/``ServedRequest``
+      objects are only constructed when kept samples, the probe, or the
+      trace actually need them.
+
+    Grant decisions, releases, and breaker resets go through the *real*
+    governor object at the exact event timestamps (the heap carries
+    GRANT_RELEASE/BREAKER_RESET/DEVICE_FREE/DEADLINE events with the exact
+    loop's tie-break kinds), so ``GovernorStats`` — and every cascade
+    level's ledger — replays exactly.
+    """
+    from repro.traffic.engine import EngineResult
+
+    devices = engine.devices
+    n = len(devices)
+    state = _FleetState(devices)
+    # Plain-float mirrors of the columnar state: attribute lookups and
+    # numpy scalar boxing are what the exact loop spends its time on.
+    clock = state.clock.tolist()
+    stored = state.stored.tolist()
+    drain_w = state.drain_w.tolist()
+    excess_w = state.excess_w.tolist()
+    speedup = state.speedup.tolist()
+    capacity = state.capacity.tolist()
+    ambient = state.ambient.tolist()
+    headroom_c = state.headroom_c.tolist()
+    dev_allow = state.allow.tolist()
+    refuse = state.refuse.tolist()
+    device_ids = state.device_ids.tolist()
+    labels = [d.label for d in devices]
+    served_n = [0] * n
+    sprints_n = [0] * n
+    busy_sec = [0.0] * n
+    full_tot = [0.0] * n
+    dep_tot = [0.0] * n
+    drn_tot = [0.0] * n
+    peak_st = [-np.inf] * n
+    last_arr = [-np.inf] * n
+
+    keep = engine.keep_samples
+    telemetry = engine.telemetry
+    probe = engine.probe
+    trace = engine.trace
+    need_objects = keep or probe is not None or trace is not None
+
+    governor = engine.governor
+    governed = governor is not None and not governor.is_unlimited
+    central = engine.mode == "central_queue"
+    random_policy = engine.policy_name == "random"
+    queue_bound = engine.queue_bound
+    inf = float("inf")
+
+    # Breaker-trip detection only feeds the probe and the trace; a
+    # telemetry-only run never reads it, so skip the per-grant ledger reads.
+    grant_observing = probe is not None or trace is not None
+
+    # The greedy governor is the common governed configuration and its
+    # grant protocol is pure counter arithmetic, so when nothing watches
+    # individual grants the core mirrors its ledger in local variables —
+    # the same operations as SprintGovernor.acquire/release/_update_cap,
+    # in the same order, written back before finalize().  Any other policy
+    # (or a probed/traced run) drives the real governor object.
+    from repro.traffic.governor import GreedyGovernor
+
+    greedy_inline = governed and type(governor) is GreedyGovernor and not grant_observing
+    g_active = g_granted = g_denied = g_released = g_peak = 0
+    g_trips: list[float] = []
+    g_penalty_until = -inf
+    g_cap_since: float | None = None
+    g_time_at_cap = 0.0
+    g_max = g_excess = g_penalty_s = 0.0
+    g_headroom: float | None = None
+    if greedy_inline:
+        g_active = governor._active
+        g_granted = governor._granted
+        g_denied = governor._denied
+        g_released = governor._released_unused
+        g_peak = governor._peak_active
+        g_trips = governor._trips
+        g_penalty_until = governor._penalty_until
+        g_cap_since = governor._cap_since
+        g_time_at_cap = governor._time_at_cap
+        g_max = governor.max_concurrent_sprints
+        g_excess = governor.excess_power_w
+        g_penalty_s = governor.penalty_s
+        g_headroom = governor.trip_headroom_w
+
+    heappush = heapq.heappush
+    heappop = heapq.heappop
+    ctr = itertools.count()
+    # The event heap: (time, kind, seq, payload) with the exact loop's
+    # kind codes (0=GRANT_RELEASE, 1=BREAKER_RESET, 2=DEVICE_FREE,
+    # 4=DEADLINE).  seq values differ from the exact loop's but preserve
+    # the relative push order within every equal (time, kind) class, which
+    # is all the tie-break ever uses.
+    events: list[tuple[float, int, int, object]] = []
+    if central:
+        for pos, device in enumerate(devices):
+            events.append((device.busy_until_s, 2, next(ctr), pos))
+        heapq.heapify(events)
+    fifo: deque[int] = deque()
+    # token -> (arrival, demand, deadline_at, request-or-None, index)
+    waiting: dict[int, tuple] = {}
+    idle: list[tuple[int, int]] = []
+
+    served: list[ServedRequest] = []
+    rejected: list[Request] = []
+    abandoned: list[Request] = []
+    served_count = rejected_count = abandoned_count = 0
+    last_s = 0.0
+    cursor = 0
+
+    # Telemetry column buffers, flushed in served order; extrema and
+    # counters that the stream folds order-free are tracked as scalars.
+    b_lat: list[float] = []
+    b_que: list[float] = []
+    b_heat: list[float] = []
+    b_full: list[float] = []
+    tele_sprints = 0
+    tele_missed = 0
+    tele_peak_t = -inf
+    tele_first_a = inf
+    tele_last_c = -inf
+
+    def flush_telemetry() -> None:
+        nonlocal tele_sprints, tele_missed, tele_peak_t, tele_first_a, tele_last_c
+        if not b_lat:
+            return
+        telemetry.observe_batch(
+            latencies=b_lat,
+            queueing_delays=b_que,
+            stored_heats=b_heat,
+            sprinted_count=tele_sprints,
+            fullness=b_full,
+            deadline_miss_count=tele_missed,
+            peak_temperature_c=tele_peak_t,
+            peak_melt_fraction=0.0,
+            first_arrival_s=tele_first_a,
+            last_completion_s=tele_last_c,
+        )
+        # Cleared in place: serve_on binds the buffer objects as defaults.
+        del b_lat[:]
+        del b_que[:]
+        del b_heat[:]
+        del b_full[:]
+        tele_sprints = 0
+        tele_missed = 0
+        tele_peak_t = -inf
+        tele_first_a = inf
+        tele_last_c = -inf
+
+    # The hot closures below bind their read-only cell variables as default
+    # arguments: LOAD_FAST instead of LOAD_DEREF on every access, which is
+    # a measurable share of the per-request budget at fleet scale.
+    def serve_on(
+        pos: int,
+        t_arr: float,
+        s_dem: float,
+        dl_at: float,
+        start: float,
+        req_obj,
+        ridx: int,
+        now: float,
+        dev_allow=dev_allow,
+        refuse=refuse,
+        stored=stored,
+        clock=clock,
+        drain_w=drain_w,
+        excess_w=excess_w,
+        speedup=speedup,
+        capacity=capacity,
+        ambient=ambient,
+        headroom_c=headroom_c,
+        served_n=served_n,
+        sprints_n=sprints_n,
+        busy_sec=busy_sec,
+        full_tot=full_tot,
+        dep_tot=dep_tot,
+        drn_tot=drn_tot,
+        peak_st=peak_st,
+        last_arr=last_arr,
+        events=events,
+        heappush=heappush,
+        b_lat=b_lat,
+        b_que=b_que,
+        b_heat=b_heat,
+        b_full=b_full,
+        governed=governed,
+        greedy_inline=greedy_inline,
+    ) -> float:
+        """Grant handshake + inlined execution + emission; returns busy-until."""
+        nonlocal served_count, tele_sprints, tele_missed
+        nonlocal tele_peak_t, tele_first_a, tele_last_c
+        nonlocal g_active, g_granted, g_denied, g_released, g_peak
+        nonlocal g_penalty_until, g_cap_since, g_time_at_cap
+        allowed = dev_allow[pos]
+        if governed and allowed:
+            if greedy_inline:
+                # GreedyGovernor.acquire, mirrored on locals.
+                grant = False if now < g_penalty_until else g_active < g_max
+                if grant:
+                    g_granted += 1
+                    g_active += 1
+                    if g_active > g_peak:
+                        g_peak = g_active
+                    if g_headroom is not None and g_active * g_excess > g_headroom:
+                        g_trips.append(now)
+                        if g_penalty_s > 0.0:
+                            g_penalty_until = now + g_penalty_s
+                            heappush(events, (g_penalty_until, 1, next(ctr), None))
+                else:
+                    g_denied += 1
+                if now < g_penalty_until or g_active >= g_max:  # _update_cap
+                    if g_cap_since is None:
+                        g_cap_since = now
+                elif g_cap_since is not None:
+                    g_time_at_cap += now - g_cap_since
+                    g_cap_since = None
+            else:
+                trips_before = governor.breaker_trips if grant_observing else 0
+                grant = governor.acquire(now)
+                while True:
+                    reset_at = governor.pop_pending_reset()
+                    if reset_at is None:
+                        break
+                    heappush(events, (reset_at, 1, next(ctr), None))
+                if probe is not None:
+                    probe.on_grant(now, grant)
+                    if grant:
+                        probe.on_in_flight_sprints(now, governor.active_grants)
+                if trace is not None:
+                    trace.add(
+                        now,
+                        "grant" if grant else "deny",
+                        request_index=ridx,
+                        device_id=device_ids[pos],
+                        label=labels[pos],
+                    )
+                if grant_observing and governor.breaker_trips > trips_before:
+                    if probe is not None:
+                        probe.on_breaker_trip(now)
+                    if trace is not None:
+                        trace.add(now, "trip", detail=governor.active_excess_draw_w)
+            allow = grant
+        else:
+            grant = False
+            allow = allowed
+
+        # SprintPacer.execute_at over a LinearReservoir, inlined: the same
+        # float operations in the same order (the scalar twins of the
+        # vector core's elementwise ops).
+        st = stored[pos]
+        x = st - drain_w[pos] * (start - clock[pos])
+        after = x if x > 0.0 else 0.0
+        h = capacity[pos] - after
+        headroom = h if h > 0.0 else 0.0
+        sp_t = s_dem / speedup[pos]
+        d = excess_w[pos] * sp_t
+        demand = d if d > 0.0 else 0.0
+        if allow and demand <= headroom:
+            sprinted = True
+            fullness = 1.0
+            response = sp_t
+            deposit = demand
+        elif (not allow) or refuse[pos] or headroom <= 0.0:
+            sprinted = False
+            fullness = 0.0
+            response = s_dem
+            deposit = 0.0
+        else:
+            fullness = headroom / demand
+            sprinted = True
+            response = fullness * sp_t + (1.0 - fullness) * s_dem
+            deposit = headroom
+        after2 = after + deposit
+        end = start + response
+        clock[pos] = end
+        stored[pos] = after2
+        served_n[pos] += 1
+        if sprinted:
+            sprints_n[pos] += 1
+        busy_sec[pos] += response
+        full_tot[pos] += fullness
+        dep_tot[pos] += deposit
+        drn_tot[pos] += st - after
+        if after2 > peak_st[pos]:
+            peak_st[pos] = after2
+        last_arr[pos] = t_arr
+
+        queueing = start - t_arr
+        latency = queueing + response
+        completed = t_arr + latency
+
+        if grant:
+            if sprinted:
+                heappush(events, (completed, 0, next(ctr), None))
+            elif greedy_inline:
+                # GreedyGovernor.release(now, used=False), mirrored.
+                g_active -= 1
+                g_released += 1
+                if now < g_penalty_until or g_active >= g_max:
+                    if g_cap_since is None:
+                        g_cap_since = now
+                elif g_cap_since is not None:
+                    g_time_at_cap += now - g_cap_since
+                    g_cap_since = None
+            else:
+                governor.release(now, used=False)
+                if probe is not None:
+                    probe.on_in_flight_sprints(now, governor.active_grants)
+                if trace is not None:
+                    trace.add(
+                        now,
+                        "release",
+                        request_index=ridx,
+                        device_id=device_ids[pos],
+                        detail=0.0,
+                        label=labels[pos],
+                    )
+
+        served_count += 1
+        if telemetry is not None:
+            b_lat.append(latency)
+            b_que.append(queueing)
+            b_heat.append(after2)
+            b_full.append(fullness)
+            if sprinted:
+                tele_sprints += 1
+            if completed > dl_at:
+                tele_missed += 1
+            cap = capacity[pos]
+            tmp = (
+                ambient[pos] + (after2 / cap) * headroom_c[pos]
+                if cap > 0.0
+                else ambient[pos]
+            )
+            if tmp > tele_peak_t:
+                tele_peak_t = tmp
+            if t_arr < tele_first_a:
+                tele_first_a = t_arr
+            if completed > tele_last_c:
+                tele_last_c = completed
+            if len(b_lat) >= 4096:
+                flush_telemetry()
+        if need_objects:
+            cap = capacity[pos]
+            tmp = (
+                ambient[pos] + (after2 / cap) * headroom_c[pos]
+                if cap > 0.0
+                else ambient[pos]
+            )
+            outcome = ServedRequest(
+                request=req_obj,
+                device_id=device_ids[pos],
+                sprinted=sprinted,
+                queueing_delay_s=queueing,
+                service_time_s=response,
+                stored_heat_before_j=after,
+                stored_heat_after_j=after2,
+                sprint_fullness=fullness,
+                package_temperature_c=tmp,
+                melt_fraction=0.0,
+            )
+            if keep:
+                served.append(outcome)
+            if probe is not None:
+                probe.on_served(outcome)
+            if trace is not None:
+                trace.add(
+                    completed,
+                    "complete",
+                    request_index=ridx,
+                    device_id=device_ids[pos],
+                    detail=latency,
+                    label=labels[pos],
+                )
+        return end
+
+    def emit_rejected(ent: tuple, now: float) -> None:
+        nonlocal rejected_count
+        rejected_count += 1
+        if keep:
+            rejected.append(ent[3])
+        if telemetry is not None:
+            telemetry.observe_rejected()
+        if probe is not None:
+            probe.on_rejected(now)
+        if trace is not None:
+            trace.add(now, "reject", request_index=ent[4])
+
+    def emit_abandoned(ent: tuple, now: float) -> None:
+        nonlocal abandoned_count
+        abandoned_count += 1
+        if keep:
+            abandoned.append(ent[3])
+        if telemetry is not None:
+            telemetry.observe_abandoned()
+        if probe is not None:
+            probe.on_abandoned(now)
+        if trace is not None:
+            trace.add(now, "abandon", request_index=ent[4])
+
+    def pump(
+        t_limit: float,
+        events=events,
+        heappop=heappop,
+        heappush=heappush,
+        fifo=fifo,
+        waiting=waiting,
+        idle=idle,
+        served_n=served_n,
+        greedy_inline=greedy_inline,
+    ) -> None:
+        """Process every heap event due before an arrival at ``t_limit``.
+
+        An event fires first iff its time is strictly earlier, or equal
+        with kind < ARRIVAL (GRANT_RELEASE, BREAKER_RESET, DEVICE_FREE);
+        a DEADLINE at the arrival instant loses, exactly as in the heap
+        loop.  ``t_limit=inf`` drains the heap after the stream ends.
+        """
+        nonlocal last_s
+        nonlocal g_active, g_penalty_until, g_cap_since, g_time_at_cap
+        while events:
+            ev = events[0]
+            et = ev[0]
+            if et > t_limit or (et == t_limit and ev[1] >= 3):
+                break
+            heappop(events)
+            last_s = et
+            kind = ev[1]
+            if kind == 2:  # DEVICE_FREE
+                pos = ev[3]
+                ent = None
+                while fifo:
+                    token = fifo.popleft()
+                    ent = waiting.pop(token, None)
+                    if ent is not None:
+                        break
+                if ent is not None:
+                    if probe is not None:
+                        probe.on_queue_depth(et, len(waiting))
+                    if trace is not None:
+                        trace.add(
+                            et,
+                            "dispatch",
+                            request_index=ent[4],
+                            device_id=pos,
+                            label=labels[pos],
+                        )
+                    end = serve_on(
+                        pos, ent[0], ent[1], ent[2], et, ent[3], ent[4], et
+                    )
+                    heappush(events, (end, 2, next(ctr), pos))
+                else:
+                    heappush(idle, (served_n[pos], pos))
+            elif kind == 0:  # GRANT_RELEASE
+                if greedy_inline:
+                    g_active -= 1
+                    if et < g_penalty_until or g_active >= g_max:
+                        if g_cap_since is None:
+                            g_cap_since = et
+                    elif g_cap_since is not None:
+                        g_time_at_cap += et - g_cap_since
+                        g_cap_since = None
+                else:
+                    governor.release(et)
+                    if probe is not None:
+                        probe.on_in_flight_sprints(et, governor.active_grants)
+                    if trace is not None:
+                        trace.add(et, "release")
+            elif kind == 1:  # BREAKER_RESET
+                if greedy_inline:
+                    if et < g_penalty_until or g_active >= g_max:
+                        if g_cap_since is None:
+                            g_cap_since = et
+                    elif g_cap_since is not None:
+                        g_time_at_cap += et - g_cap_since
+                        g_cap_since = None
+                else:
+                    governor.on_breaker_reset(et)
+            else:  # DEADLINE
+                ent = waiting.pop(ev[3], None)
+                if ent is not None:
+                    if probe is not None:
+                        probe.on_queue_depth(et, len(waiting))
+                    emit_abandoned(ent, et)
+
+    previous_end = -np.inf
+    for times, demands, requests, deadline_at, start_index in stream:
+        count = times.size
+        if count == 0:
+            continue
+        previous_end = _check_chunk_order(times, previous_end)
+        t_l = times.tolist()
+        d_l = demands.tolist()
+        dl_l = deadline_at.tolist() if deadline_at is not None else None
+        base = 0 if start_index is None else start_index
+        for i in range(count):
+            t = t_l[i]
+            pump(t)
+            last_s = t
+            robj = requests[i] if requests is not None else None
+            ridx = robj.index if robj is not None else base + i
+            if probe is not None:
+                probe.on_arrival(t)
+            if trace is not None:
+                trace.add(t, "arrival", request_index=ridx)
+            dl_at = dl_l[i] if dl_l is not None else inf
+            if central:
+                if idle:
+                    _, pos = heappop(idle)
+                    if trace is not None:
+                        trace.add(
+                            t,
+                            "dispatch",
+                            request_index=ridx,
+                            device_id=pos,
+                            label=labels[pos],
+                        )
+                    end = serve_on(pos, t, d_l[i], dl_at, t, robj, ridx, t)
+                    heappush(events, (end, 2, next(ctr), pos))
+                elif queue_bound is not None and len(waiting) >= queue_bound:
+                    emit_rejected((t, d_l[i], dl_at, robj, ridx), t)
+                else:
+                    token = next(ctr)
+                    fifo.append(token)
+                    waiting[token] = (t, d_l[i], dl_at, robj, ridx)
+                    if probe is not None:
+                        probe.on_queue_depth(t, len(waiting))
+                    if dl_at != inf:
+                        heappush(events, (dl_at, 4, next(ctr), token))
+            else:  # governed immediate dispatch
+                pos = int(rng.integers(n)) if random_policy else cursor % n
+                cursor += 1
+                if trace is not None:
+                    trace.add(
+                        t,
+                        "dispatch",
+                        request_index=ridx,
+                        device_id=pos,
+                        label=labels[pos],
+                    )
+                c = clock[pos]
+                start = t if t > c else c
+                serve_on(pos, t, d_l[i], dl_at, start, robj, ridx, t)
+    pump(inf)
+
+    if telemetry is not None:
+        flush_telemetry()
+    if greedy_inline:
+        # Restore the mirrored ledger so finalize() reports it exactly.
+        governor._active = g_active
+        governor._granted = g_granted
+        governor._denied = g_denied
+        governor._released_unused = g_released
+        governor._peak_active = g_peak
+        governor._trips = g_trips
+        governor._penalty_until = g_penalty_until
+        governor._cap_since = g_cap_since
+        governor._time_at_cap = g_time_at_cap
+    state.clock = np.asarray(clock)
+    state.stored = np.asarray(stored)
+    state.served = np.asarray(served_n, dtype=np.int64)
+    state.sprints = np.asarray(sprints_n, dtype=np.int64)
+    state.busy_seconds = np.asarray(busy_sec)
+    state.fullness_total = np.asarray(full_tot)
+    state.deposited = np.asarray(dep_tot)
+    state.drained = np.asarray(drn_tot)
+    state.peak_stored = np.asarray(peak_st)
+    state.last_arrival = np.asarray(last_arr)
+    state.sync_back()
+    return EngineResult(
+        served=tuple(served),
+        rejected=tuple(rejected),
+        abandoned=tuple(abandoned),
+        governor_stats=governor.finalize(last_s) if governed else None,
+        final_time_s=last_s,
+        served_count=served_count,
+        rejected_count=rejected_count,
+        abandoned_count=abandoned_count,
+    )
+
+
+def run_batched(
+    engine: "ServingEngine",
+    stream: Iterable[StreamChunk],
+    rng: np.random.Generator,
+) -> "EngineResult":
+    """Run time-ordered request blocks through the batched cores.
+
+    ``stream`` yields ``(times, demands, requests, deadline_at,
+    start_index)`` columns; ``requests`` is only consulted when outcome
+    objects are needed (kept samples, timeline probe, event trace) and
+    ``deadline_at`` when deadlines matter (central queue, telemetry).  The
+    caller guarantees the concatenated times are non-decreasing — arrival
+    processes emit sorted streams and ``ServingEngine.run`` sorts — which
+    is asserted cheaply per chunk.  Dispatches to the lockstep vector core
+    for ungoverned immediate runs, and to the batch-replay event core for
+    governed or central-queue runs.
+    """
+    governor = engine.governor
+    governed = governor is not None and not governor.is_unlimited
+    if engine.mode == "central_queue" or governed:
+        return _run_event_core(engine, stream, rng)
+    return _run_immediate_core(engine, stream, rng)

@@ -180,6 +180,14 @@ class FleetResult:
     #: Per-level grant ledgers of a hierarchical (topology) run — None on
     #: flat fleets and on topology runs with nothing governed anywhere.
     topology_stats: TopologyStats | None = None
+    #: Whether the run took the batched fast cores (always False under
+    #: ``engine="exact"``; on sharded runs, True only when *every* rack
+    #: did).  Results are bit-identical either way — this is visibility,
+    #: not semantics.
+    fast_path: bool = False
+    #: Why the fast cores were not engaged (None when they were, or when
+    #: nothing asked for them).  On sharded runs, the first rack's reason.
+    fast_path_reason: str | None = None
     _summary_cache: dict = field(
         default_factory=dict, init=False, repr=False, compare=False
     )
@@ -529,10 +537,9 @@ class FleetSimulator:
         self.governor.reset()
         rng = np.random.default_rng(seed)
         stream, probe, trace = self._prepare_observers()
-        outcome = self._make_engine(stream=stream, probe=probe, trace=trace).run(
-            requests, rng
-        )
-        return self._package(outcome, stream, probe, trace)
+        engine = self._make_engine(stream=stream, probe=probe, trace=trace)
+        outcome = engine.run(requests, rng)
+        return self._package(outcome, stream, probe, trace, engine)
 
     def run_stream(
         self,
@@ -610,9 +617,11 @@ class FleetSimulator:
             chunk_size=chunk_size,
         )
         outcome = engine.run_blocks(blocks, rng)
-        return self._package(outcome, stream, probe, trace)
+        return self._package(outcome, stream, probe, trace, engine)
 
-    def _package(self, outcome, stream, probe, trace) -> FleetResult:
+    def _package(
+        self, outcome, stream, probe, trace, engine: ServingEngine
+    ) -> FleetResult:
         served = sorted(outcome.served, key=lambda s: s.request.index)
         telemetry = None
         if stream is not None or probe is not None or trace is not None:
@@ -655,4 +664,6 @@ class FleetSimulator:
             served_count=outcome.served_count,
             rejected_count=outcome.rejected_count,
             abandoned_count=outcome.abandoned_count,
+            fast_path=engine.last_run_fast_path,
+            fast_path_reason=engine.fast_path_reason,
         )

@@ -138,6 +138,13 @@ class SprintGovernor:
 
     name = "base"
     is_unlimited = False
+    #: Whether the batched engine core can replay this policy's grant
+    #: decisions exactly (see :mod:`repro.traffic.fastpath`).  The batch
+    #: core drives the real governor object at the exact event timestamps,
+    #: which is exact for purely event-driven policies; a policy whose
+    #: decisions depend on state the batch core cannot reproduce must
+    #: override this with False to stay on the exact loop.
+    supports_batched_replay = True
 
     def __init__(
         self,
@@ -407,6 +414,10 @@ class TokenBucketGovernor(SprintGovernor):
     """
 
     name = "token_bucket"
+    #: Continuous refill-on-decide credit makes every grant depend on real
+    #: elapsed time between decisions; the batched core keeps this policy
+    #: on the exact loop rather than certify the replay exact.
+    supports_batched_replay = False
 
     def __init__(
         self,

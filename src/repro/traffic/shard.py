@@ -216,6 +216,8 @@ class _RackOutcome:
     level_stats: dict[str, GovernorStats]
     telemetry: RunTelemetry | None
     leaked_grants: int
+    fast_path: bool
+    fast_path_reason: str | None
 
 
 def _materialize(job: _RackJob) -> list[Request]:
@@ -328,6 +330,8 @@ def _run_rack_job(job: _RackJob) -> _RackOutcome:
         level_stats=level_stats,
         telemetry=telemetry,
         leaked_grants=cascade.active_grants,
+        fast_path=engine.last_run_fast_path,
+        fast_path_reason=engine.fast_path_reason,
     )
 
 
@@ -487,6 +491,11 @@ def run_sharded(
         rejected_count=sum(o.rejected_count for o in outcomes),
         abandoned_count=sum(o.abandoned_count for o in outcomes),
         topology_stats=topology_stats,
+        fast_path=all(o.fast_path for o in outcomes) if outcomes else False,
+        fast_path_reason=next(
+            (o.fast_path_reason for o in outcomes if o.fast_path_reason is not None),
+            None,
+        ),
     )
 
 

@@ -188,10 +188,11 @@ class SweepSpec:
     #: on :class:`CellResult` and merges across replicates and workers.
     #: Fluid cells run instrument-free regardless.
     telemetry: TelemetrySpec | bool | None = None
-    #: Engine execution strategy for the discrete-event cells: ``"exact"``
-    #: or ``"batched"`` (vectorized fast path where eligible,
-    #: bit-identical results either way).  Fluid cells ignore it.
-    engine: str = "exact"
+    #: Engine execution strategy for the discrete-event cells: ``"batched"``
+    #: (default — vectorized fast path where eligible, bit-identical to the
+    #: event loop, with the engagement outcome reported per cell on
+    #: :attr:`CellResult.fast_path`) or ``"exact"``.  Fluid cells ignore it.
+    engine: str = "batched"
 
     def __post_init__(self) -> None:
         if (
@@ -361,6 +362,12 @@ class CellResult:
     #: when the sweep ran with telemetry off).  :meth:`pooled_stream`
     #: merges the sketches into one cell-level distribution.
     telemetries: tuple[RunTelemetry | None, ...] = ()
+    #: True when replication 0 rode the vectorized fast path (always False
+    #: for fluid cells and under ``engine="exact"``).
+    fast_path: bool = False
+    #: Why the batched engine fell back to the exact loop for this cell
+    #: (None when the fast path engaged or was never requested).
+    fast_path_reason: str | None = None
 
     @property
     def summaries(self) -> tuple[TrafficSummary, ...]:
@@ -602,6 +609,10 @@ def run_cell(
         cell=cell,
         summary=result.summary(slo_s=spec.slo_s),
         telemetries=telemetries,
+        # Fluid results predate the fast-path ledger; getattr keeps them
+        # reporting the (correct) "never engaged" default.
+        fast_path=getattr(result, "fast_path", False),
+        fast_path_reason=getattr(result, "fast_path_reason", None),
     )
 
 
@@ -660,9 +671,13 @@ class SweepResult:
         there).  The thermal column is the cell's pacing-fidelity backend.
         The lifecycle columns count rejected and abandoned requests; the
         governance columns show the cell's power budget and its
-        denied-sprint and breaker-trip counts.  A replicated sweep
-        (``spec.replications > 1``) reports the replication-mean p99 with
-        its CI half-width in place of the single-run p99.
+        denied-sprint and breaker-trip counts.  The ``path`` column shows
+        how each cell executed: ``vector`` (the batched fast path
+        engaged), ``exact`` (the event loop — hover
+        :attr:`CellResult.fast_path_reason` for why), or ``fluid``.  A
+        replicated sweep (``spec.replications > 1``) reports the
+        replication-mean p99 with its CI half-width in place of the
+        single-run p99.
         """
         replicated = self.spec.replications > 1
         p99_head = f"{'p99':>8} {'±95%':>7}" if replicated else f"{'p99':>8}"
@@ -670,7 +685,7 @@ class SweepResult:
             f"{'dispatch':>16} {'governor':>16} {'thermal':>10} {'rate':>8} "
             f"{'fleet':>6} {'p50':>8} {p99_head} "
             f"{'sprint%':>8} {'full%':>6} {'rps':>8} {'rej':>5} {'abn':>5} "
-            f"{'den':>5} {'trip':>4}"
+            f"{'den':>5} {'trip':>4} {'path':>6}"
         )
         rows = [header]
         for result in self.cells:
@@ -689,13 +704,19 @@ class SweepResult:
                 p99_text = f"{p99.mean:7.2f}s {p99.half_width:6.2f}s"
             else:
                 p99_text = f"{s.p99_latency_s:7.2f}s"
+            if cell.discipline == "fluid":
+                path = "fluid"
+            elif result.fast_path:
+                path = "vector"
+            else:
+                path = "exact"
             rows.append(
                 f"{dispatch:>16} {cell.governor.label:>16} {cell.thermal.label:>10} "
                 f"{cell.arrival_rate_hz:7.3f}/s {cell.n_devices:6d} "
                 f"{s.p50_latency_s:7.2f}s {p99_text} "
                 f"{s.sprint_fraction * 100:7.0f}% {s.mean_sprint_fullness * 100:5.0f}% "
                 f"{s.throughput_rps:8.3f} {s.rejected_count:5d} {s.abandoned_count:5d} "
-                f"{s.sprints_denied:5d} {s.breaker_trips:4d}"
+                f"{s.sprints_denied:5d} {s.breaker_trips:4d} {path:>6}"
             )
         return "\n".join(rows)
 
@@ -745,6 +766,8 @@ def run_sweep(
                 telemetries=(
                     telemetries if any(t is not None for t in telemetries) else ()
                 ),
+                fast_path=group[0].fast_path,
+                fast_path_reason=group[0].fast_path_reason,
             )
         )
     return SweepResult(spec=spec, cells=tuple(grouped))

@@ -180,6 +180,45 @@ class QuantileSketch:
         for value in values:
             self.add(value)
 
+    def add_many(self, values: Sequence[float]) -> None:
+        """Stream a column of values in — bit-identical to repeated :meth:`add`.
+
+        The batched engine cores feed whole columns at once.  The exact
+        accumulators consume the column in order (the sum is the same
+        sequential float adds), and level 0 is filled in slices with
+        compaction triggering exactly when it reaches capacity — so the
+        retained hierarchy, and every future quantile answer, is identical
+        to the per-value path.
+        """
+        if isinstance(values, np.ndarray):
+            values = values.tolist()
+        else:
+            values = [float(v) for v in values]
+        if not values:
+            return
+        self._count += len(values)
+        total = self._sum
+        for value in values:
+            total += value
+        self._sum = total
+        low = min(values)
+        high = max(values)
+        if low < self._min:
+            self._min = low
+        if high > self._max:
+            self._max = high
+        level0 = self._levels[0]
+        capacity = self.capacity
+        i = 0
+        n = len(values)
+        while i < n:
+            take = values[i : i + capacity - len(level0)]
+            level0.extend(take)
+            i += len(take)
+            if len(level0) >= capacity:
+                self._compress()
+                level0 = self._levels[0]
+
     def _compress(self) -> None:
         """Halve the lowest over-full level; cascade while any is over-full."""
         k = 0
@@ -320,6 +359,26 @@ class StreamingMoments:
         if value > self.max:
             self.max = value
 
+    def add_many(self, values: Sequence[float]) -> None:
+        """Fold a column of values in — bit-identical to repeated :meth:`add`."""
+        if isinstance(values, np.ndarray):
+            values = values.tolist()
+        else:
+            values = [float(v) for v in values]
+        if not values:
+            return
+        self.count += len(values)
+        total = self.sum
+        for value in values:
+            total += value
+        self.sum = total
+        low = min(values)
+        high = max(values)
+        if low < self.min:
+            self.min = low
+        if high > self.max:
+            self.max = high
+
     @property
     def mean(self) -> float:
         """Streaming mean (0.0 when empty)."""
@@ -389,6 +448,49 @@ class TrafficTelemetry:
         completion = served.completed_at_s
         if completion > self.last_completion_s:
             self.last_completion_s = completion
+
+    def observe_batch(
+        self,
+        *,
+        latencies: Sequence[float],
+        queueing_delays: Sequence[float],
+        stored_heats: Sequence[float],
+        sprinted_count: int,
+        fullness: Sequence[float],
+        deadline_miss_count: int,
+        peak_temperature_c: float,
+        peak_melt_fraction: float,
+        first_arrival_s: float,
+        last_completion_s: float,
+    ) -> None:
+        """Fold a column of served requests in — bit-identical to :meth:`observe`.
+
+        The batched engine cores buffer served-request columns and flush
+        them here in served order.  Each accumulator is independent of the
+        others, so feeding whole columns one accumulator at a time leaves
+        exactly the state that interleaved per-request :meth:`observe`
+        calls would: sketches and sequential sums consume their column in
+        order, while counters and extrema fold pre-reduced scalars.
+        """
+        if not len(latencies):
+            return
+        self.latency.add_many(latencies)
+        self.queueing.add_many(queueing_delays)
+        self.stored_heat.add_many(stored_heats)
+        self.sprint_count += sprinted_count
+        total = self.sprint_fullness_sum
+        for value in fullness:
+            total += value
+        self.sprint_fullness_sum = total
+        self.deadline_miss_count += deadline_miss_count
+        if peak_temperature_c > self.peak_temperature_c:
+            self.peak_temperature_c = peak_temperature_c
+        if peak_melt_fraction > self.peak_melt_fraction:
+            self.peak_melt_fraction = peak_melt_fraction
+        if first_arrival_s < self.first_arrival_s:
+            self.first_arrival_s = first_arrival_s
+        if last_completion_s > self.last_completion_s:
+            self.last_completion_s = last_completion_s
 
     def observe_rejected(self) -> None:
         """Count one admission-control rejection."""
@@ -656,14 +758,16 @@ class TimelineProbe:
     def _window(self, time_s: float) -> int:
         return max(0, int(time_s / self.cadence_s))
 
-    def _counter(self, time_s: float) -> _Counters:
-        idx = self._window(time_s)
+    def _counter_at(self, idx: int) -> _Counters:
         if idx > self._max_window:
             self._max_window = idx
         counter = self._counters.get(idx)
         if counter is None:
             counter = self._counters[idx] = _Counters()
         return counter
+
+    def _counter(self, time_s: float) -> _Counters:
+        return self._counter_at(self._window(time_s))
 
     # -- counters (any timestamp) -------------------------------------------------------
 
@@ -685,6 +789,66 @@ class TimelineProbe:
             counter.peak_temperature_c = served.package_temperature_c
         if served.melt_fraction > counter.peak_melt_fraction:
             counter.peak_melt_fraction = served.melt_fraction
+
+    def on_arrival_batch(self, times: Sequence[float]) -> None:
+        """Count a column of arrivals — bit-identical to per-event calls.
+
+        Window counters are order-free: grouping the column by window and
+        adding per-window counts leaves the same counter state as one
+        :meth:`on_arrival` call per timestamp.
+        """
+        times = np.asarray(times, dtype=float)
+        if times.size == 0:
+            return
+        windows = (times / self.cadence_s).astype(np.int64)
+        np.maximum(windows, 0, out=windows)
+        unique, counts = np.unique(windows, return_counts=True)
+        for idx, count in zip(unique.tolist(), counts.tolist()):
+            self._counter_at(idx).arrivals += count
+
+    def on_served_batch(
+        self,
+        completions: Sequence[float],
+        sprinted: Sequence[bool],
+        temperatures: Sequence[float],
+        melts: "Sequence[float] | None" = None,
+    ) -> None:
+        """Fold a column of completions in — bit-identical to :meth:`on_served`.
+
+        Completion counts and sprint counts add per window; thermal peaks
+        take each window's column maximum and then the strict-greater
+        update the scalar path applies, so the final per-window peaks
+        match exactly.  ``melts=None`` (linear backends) leaves melt peaks
+        untouched, as per-request zero melt fractions would.
+        """
+        completions = np.asarray(completions, dtype=float)
+        if completions.size == 0:
+            return
+        windows = (completions / self.cadence_s).astype(np.int64)
+        np.maximum(windows, 0, out=windows)
+        sprinted = np.asarray(sprinted, dtype=bool)
+        temperatures = np.asarray(temperatures, dtype=float)
+        unique, inverse = np.unique(windows, return_inverse=True)
+        served = np.bincount(inverse, minlength=unique.size)
+        sprints = np.bincount(
+            inverse, weights=sprinted, minlength=unique.size
+        )
+        temp_peak = np.full(unique.size, -np.inf)
+        np.maximum.at(temp_peak, inverse, temperatures)
+        if melts is not None:
+            melt_peak = np.full(unique.size, -np.inf)
+            np.maximum.at(melt_peak, inverse, np.asarray(melts, dtype=float))
+        for j, idx in enumerate(unique.tolist()):
+            counter = self._counter_at(idx)
+            counter.served += int(served[j])
+            counter.sprints_completed += int(sprints[j])
+            temp = float(temp_peak[j])
+            if temp > counter.peak_temperature_c:
+                counter.peak_temperature_c = temp
+            if melts is not None:
+                melt = float(melt_peak[j])
+                if melt > counter.peak_melt_fraction:
+                    counter.peak_melt_fraction = melt
 
     def on_grant(self, time_s: float, granted: bool) -> None:
         counter = self._counter(time_s)

@@ -321,6 +321,13 @@ class CascadeGovernor(SprintGovernor):
         """The engine bypasses the cascade only when every level would."""
         return all(g.is_unlimited for _, g in self.levels)
 
+    @property
+    def supports_batched_replay(self) -> bool:  # type: ignore[override]
+        """A cascade replays exactly only when every level does."""
+        return all(
+            getattr(g, "supports_batched_replay", False) for _, g in self.levels
+        )
+
     def reset(self) -> None:
         super().reset()
         self._resets = []

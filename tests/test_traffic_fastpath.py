@@ -21,12 +21,14 @@ from repro.traffic.request import (
     generate_request_blocks,
     generate_requests,
 )
+from repro.traffic.topology import TopologySpec
 
 POLICIES = ("round_robin", "random", "least_loaded", "thermal_aware")
 MODES = ("immediate", "central_queue")
 GOVERNORS = (
     GovernorSpec(),
     GovernorSpec(policy="greedy", max_concurrent_sprints=2),
+    GovernorSpec.cooperative(trip_headroom_w=30.0),
 )
 THERMALS = ("linear", "rc", "pcm")
 
@@ -70,6 +72,7 @@ def assert_identical(exact, fast):
     assert exact.abandoned == fast.abandoned
     assert exact.served_count == fast.served_count
     assert exact.final_event_s == fast.final_event_s
+    assert exact.governor_stats == fast.governor_stats
     assert np.array_equal(exact.latencies_s, fast.latencies_s)
 
 
@@ -119,26 +122,41 @@ class TestFallbackReasons:
         engine.run(requests, np.random.default_rng(0))
         assert engine.last_run_fast_path
 
-    def test_central_queue_reason(self, config):
+    def test_central_fifo_engages(self, config):
+        """Central-queue FIFO is inside the envelope now."""
         engine = build_fleet(config, "batched", mode="central_queue")._make_engine()
-        assert "queue" in engine.fast_path_reason
+        assert engine.fast_path_reason is None
 
-    def test_governed_reason(self, config):
+    def test_edf_discipline_reason(self, config):
         engine = build_fleet(
-            config, "batched",
-            governor=GovernorSpec(policy="greedy", max_concurrent_sprints=1),
+            config, "batched", mode="central_queue", discipline="edf"
         )._make_engine()
-        assert "grant" in engine.fast_path_reason
+        assert "re-sorts" in engine.fast_path_reason
+
+    def test_replayable_governor_engages(self, config):
+        """Greedy/cooperative budgets replay exactly through the event core."""
+        for governor in GOVERNORS[1:]:
+            engine = build_fleet(config, "batched", governor=governor)._make_engine()
+            assert engine.fast_path_reason is None
+
+    def test_token_bucket_governor_reason(self, config):
+        engine = build_fleet(
+            config, "batched", governor=GovernorSpec.token_bucket(0.5, 3.0)
+        )._make_engine()
+        assert "grant replay" in engine.fast_path_reason
 
     def test_physics_thermal_reason(self, config):
         engine = build_fleet(config, "batched", thermal="rc")._make_engine()
         assert "thermal backend" in engine.fast_path_reason
 
-    def test_observer_reason(self, config):
+    def test_observers_ride_the_fast_path(self, config, requests):
+        """Streaming instruments no longer force the exact loop."""
         fleet = build_fleet(config, "batched", telemetry=True)
         stream, probe, trace = fleet._prepare_observers()
         engine = fleet._make_engine(stream=stream, probe=probe, trace=trace)
-        assert "observers" in engine.fast_path_reason
+        assert engine.fast_path_reason is None
+        engine.run(requests, np.random.default_rng(0))
+        assert engine.last_run_fast_path
 
     def test_custom_dispatch_callable_reason(self, config):
         from repro.traffic.engine import DISPATCH_POLICIES
@@ -210,3 +228,175 @@ class TestStreamingEntryPoints:
         ]
         with pytest.raises(ValueError, match="time-ordered"):
             engine.run_blocks(iter(blocks), np.random.default_rng(0))
+
+
+FUZZ_GOVERNORS = (
+    GovernorSpec(),
+    GovernorSpec.greedy(2),
+    GovernorSpec.cooperative(trip_headroom_w=30.0),
+    GovernorSpec.token_bucket(0.5, 3.0),
+)
+FUZZ_DISCIPLINES = ("immediate", "fifo", "edf")
+
+
+def fuzz_configs(n):
+    """Deterministic random draws over the full knob space."""
+    rng = np.random.default_rng(20260807)
+    for _ in range(n):
+        yield dict(
+            policy=POLICIES[rng.integers(len(POLICIES))],
+            discipline=FUZZ_DISCIPLINES[rng.integers(len(FUZZ_DISCIPLINES))],
+            governor=FUZZ_GOVERNORS[rng.integers(len(FUZZ_GOVERNORS))],
+            thermal=THERMALS[rng.integers(len(THERMALS))],
+            telemetry=bool(rng.integers(2)),
+        )
+
+
+class TestEnvelopeHonestyFuzz:
+    """Random (governor × discipline × thermal × telemetry) configurations:
+    every one is bit-identical across engines, engages exactly where the
+    envelope predicate promises, and otherwise names its fallback reason."""
+
+    @pytest.mark.parametrize(
+        "knobs",
+        list(fuzz_configs(24)),
+        ids=lambda k: (
+            f"{k['policy']}-{k['discipline']}-{k['governor'].policy}"
+            f"-{k['thermal']}-{'tele' if k['telemetry'] else 'plain'}"
+        ),
+    )
+    def test_fuzzed_config_is_honest(self, config, requests, knobs):
+        central = knobs["discipline"] != "immediate"
+        kw = dict(
+            policy=knobs["policy"],
+            mode="central_queue" if central else "immediate",
+            discipline=knobs["discipline"] if central else "fifo",
+            governor=knobs["governor"],
+            thermal=knobs["thermal"],
+            telemetry=knobs["telemetry"],
+        )
+        exact = build_fleet(config, "exact", **kw).run(requests, seed=7)
+        fast = build_fleet(config, "batched", **kw).run(requests, seed=7)
+        assert_identical(exact, fast)
+        # Telemetry sketches must agree too, not just sample lists.
+        if knobs["telemetry"]:
+            for q in (0.5, 0.9, 0.99):
+                assert exact.telemetry.stream.latency.quantile(
+                    q
+                ) == fast.telemetry.stream.latency.quantile(q)
+        # Honest engagement: the run's path matches the static envelope.
+        expected = (
+            knobs["thermal"] == "linear"
+            and knobs["governor"].policy != "token_bucket"
+            and (
+                knobs["discipline"] == "fifo"
+                if central
+                else knobs["policy"] in BATCHABLE
+            )
+        )
+        assert fast.fast_path == expected
+        assert (fast.fast_path_reason is None) == expected
+        assert not exact.fast_path
+
+
+class TestGovernedCentralAcceptance:
+    """The issue's headline scenario: 256 governed devices behind a central
+    FIFO with full telemetry — summary, grant ledger, and sketch quantiles
+    bit-identical between the exact loop and the vector core."""
+
+    def run_once(self, config, engine):
+        fleet = FleetSimulator(
+            config,
+            n_devices=256,
+            mode="central_queue",
+            discipline="fifo",
+            governor=GovernorSpec.greedy(64),
+            telemetry=True,
+            engine=engine,
+        )
+        return fleet.run_stream(
+            PoissonArrivals(50.0),
+            GammaService(2.0, cv=1.0),
+            4000,
+            request_seed=9,
+            run_seed=9,
+        )
+
+    def test_bit_identical_at_fleet_scale(self, config):
+        exact = self.run_once(config, "exact")
+        fast = self.run_once(config, "batched")
+        assert fast.fast_path
+        assert fast.fast_path_reason is None
+        assert_identical(exact, fast)
+        assert exact.summary() == fast.summary()
+        assert exact.governor_stats == fast.governor_stats
+        for q in (0.5, 0.9, 0.99, 0.999):
+            assert exact.telemetry.stream.latency.quantile(
+                q
+            ) == fast.telemetry.stream.latency.quantile(q)
+
+
+class TestShardedFastPath:
+    """Sharded topology runs ride the vector core per rack and stay
+    bit-identical at any shard worker count."""
+
+    TOPOLOGY = TopologySpec.uniform(2, 2, 4)
+
+    def run_once(self, config, engine, workers=1):
+        fleet = FleetSimulator(
+            config,
+            topology=self.TOPOLOGY,
+            policy="round_robin",
+            engine=engine,
+            shard_workers=workers,
+        )
+        return fleet.run_stream(
+            PoissonArrivals(1.2),
+            GammaService(2.0, cv=1.0),
+            400,
+            request_seed=21,
+            run_seed=21,
+        )
+
+    def test_racks_ride_vector_core(self, config):
+        exact = self.run_once(config, "exact")
+        fast = self.run_once(config, "batched")
+        assert fast.fast_path
+        assert fast.fast_path_reason is None
+        assert not exact.fast_path
+        assert_identical(exact, fast)
+
+    def test_invariant_under_shard_workers(self, config):
+        serial = self.run_once(config, "batched", workers=1)
+        fanned = self.run_once(config, "batched", workers=3)
+        assert fanned.fast_path
+        assert_identical(serial, fanned)
+
+
+class TestPushMany:
+    """LeastLoadedIndex.push_many is pick-equivalent to per-position updates."""
+
+    @pytest.mark.parametrize("batch", [1, 3, 16])
+    def test_matches_sequential_updates(self, config, batch):
+        from repro.traffic.device import SprintDevice
+        from repro.traffic.engine import LeastLoadedIndex
+        from repro.traffic.request import Request
+
+        rng = np.random.default_rng(batch)
+        devices = [SprintDevice(config, device_id=i) for i in range(16)]
+        mirror = [SprintDevice(config, device_id=i) for i in range(16)]
+        indexed = LeastLoadedIndex(devices)
+        reference = LeastLoadedIndex(mirror)
+        t = 0.0
+        for step in range(20):
+            t += float(rng.exponential(2.0))
+            positions = [int(p) for p in rng.integers(16, size=batch)]
+            for pos in positions:
+                request = Request(
+                    index=0, arrival_s=t, sustained_time_s=float(rng.uniform(1, 4))
+                )
+                devices[pos].serve(request)
+                mirror[pos].serve(request)
+                reference.update(pos)
+            indexed.push_many(positions)
+            assert indexed.pick(t) == reference.pick(t)

@@ -319,8 +319,34 @@ class TestTopologyInvariants:
             denied = stats.denied_by_level()
             assert all(count >= 0 for count in denied.values())
             assert stats.overall.sprints_denied <= sum(denied.values())
-            sprinted = sum(1 for s in result.served if s.sprinted)
-            assert sprinted <= stats.overall.sprints_granted
+            # Only sprints in racks whose cascade actually governs need a
+            # grant: a rack whose own, row, and datacenter budgets are all
+            # unlimited sprints through the engine's unlimited bypass and
+            # never touches any ledger.
+            governed_paths = {
+                path
+                for path, (row, rack) in zip(
+                    topology.rack_paths,
+                    (
+                        (row, rack)
+                        for row in topology.rows
+                        for rack in row.racks
+                    ),
+                )
+                if not (
+                    rack.governor.policy == "unlimited"
+                    and row.governor.policy == "unlimited"
+                    and topology.governor.policy == "unlimited"
+                )
+            }
+            labels = topology.device_labels()
+            governed_sprints = sum(
+                1
+                for s in result.served
+                if s.sprinted
+                and labels[s.device_id].rsplit("/", 1)[0] in governed_paths
+            )
+            assert governed_sprints <= stats.overall.sprints_granted
 
     @given(
         topology=topologies(),
